@@ -1,0 +1,43 @@
+"""APP-EPS: the Appendix ε sequence and its relation to Harper's optimum."""
+
+from fractions import Fraction
+
+from repro.core.bounds import epsilon_sequence, epsilon_value, harper_hypercube_in_line
+from repro.experiments.optima_tables import epsilon_rows
+
+
+def test_appendix_epsilon_initial_values_and_monotonicity(show):
+    from repro.experiments.optima_tables import epsilon_table
+
+    result = epsilon_table()
+    show(result)
+    values = epsilon_sequence(20)
+    assert values[0] == values[1] == values[2] == 1
+    for m in range(3, 20):
+        assert values[m] < values[m - 1]
+
+
+def test_appendix_identity_with_harper():
+    for d in range(1, 20):
+        assert harper_hypercube_in_line(d) == epsilon_value(d - 1) * 2 ** (d - 1)
+
+
+def test_appendix_rows_shape():
+    rows = epsilon_rows(12)
+    assert len(rows) == 12
+    assert rows[3]["ε_m"] == "7/8"
+
+
+def test_benchmark_epsilon_sequence(benchmark):
+    values = benchmark(epsilon_sequence, 64)
+    assert len(values) == 64
+    # ε_m ~ sqrt(8/(π m)) for large m, so ε_63 is a little above 0.2.
+    assert values[-1] < Fraction(1, 4)
+
+
+def test_benchmark_harper_values(benchmark):
+    def all_values():
+        return [harper_hypercube_in_line(d) for d in range(1, 64)]
+
+    values = benchmark(all_values)
+    assert values[0] == 1 and values[2] == 4

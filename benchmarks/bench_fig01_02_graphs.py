@@ -1,0 +1,39 @@
+"""FIG-1/2: the (4,2,3)-torus and (4,2,3)-mesh (Figures 1 and 2).
+
+Regenerates node/edge counts and the example distances quoted in Section 2
+and benchmarks graph construction plus full-pairwise distance evaluation.
+"""
+
+from repro.experiments.figures import figure_1_2
+from repro.graphs.base import Mesh, Torus
+
+
+def test_fig01_02_rows_match_paper(show):
+    result = figure_1_2()
+    show(result)
+    by_graph = {row["graph"]: row for row in result.rows}
+    assert by_graph["Torus(4, 2, 3)"]["distance (0,0,1)->(3,0,0)"] == 2
+    assert by_graph["Mesh(4, 2, 3)"]["distance (0,0,1)->(3,0,0)"] == 4
+    assert by_graph["Torus(4, 2, 3)"]["nodes"] == by_graph["Mesh(4, 2, 3)"]["nodes"] == 24
+    # A torus has at least as many edges as the mesh of the same shape.
+    assert by_graph["Torus(4, 2, 3)"]["edges"] >= by_graph["Mesh(4, 2, 3)"]["edges"]
+
+
+def test_benchmark_distance_evaluation(benchmark):
+    torus = Torus((4, 2, 3))
+    nodes = list(torus.nodes())
+
+    def all_pairs():
+        return sum(torus.distance(a, b) for a in nodes for b in nodes)
+
+    total = benchmark(all_pairs)
+    assert total > 0
+
+
+def test_benchmark_graph_materialization(benchmark):
+    def build():
+        mesh = Mesh((8, 8, 8))
+        return mesh.num_edges()
+
+    edges = benchmark(build)
+    assert edges == 3 * 7 * 64

@@ -1,0 +1,29 @@
+"""FIG-3: δm/δt spreads of a sequence over Ω_(3,3) (Figure 3 style)."""
+
+from repro.experiments.figures import figure_3
+from repro.numbering.sequences import cyclic_spread, sequence_spread
+
+
+def test_fig03_spread_table(show):
+    result = figure_3()
+    show(result)
+    acyclic = next(row for row in result.rows if row["view"] == "acyclic")
+    cyclic = next(row for row in result.rows if row["view"] == "cyclic")
+    # The cyclic view can only increase spreads, and δt never exceeds δm.
+    assert cyclic["δm-spread"] >= acyclic["δm-spread"]
+    assert cyclic["δt-spread"] >= acyclic["δt-spread"]
+    assert acyclic["δt-spread"] <= acyclic["δm-spread"]
+    assert cyclic["δt-spread"] <= cyclic["δm-spread"]
+
+
+def test_benchmark_spread_computation(benchmark):
+    sequence = [(i % 7, (i * 3) % 5) for i in range(35)]
+
+    def spreads():
+        return (
+            sequence_spread(sequence),
+            cyclic_spread(sequence, metric="torus", shape=(7, 5)),
+        )
+
+    mesh_spread, torus_spread = benchmark(spreads)
+    assert mesh_spread >= torus_spread

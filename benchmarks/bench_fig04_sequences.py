@@ -1,0 +1,24 @@
+"""FIG-4: the natural sequence P and the reflected sequence P' for L = (4,2,3)."""
+
+from repro.experiments.figures import figure_4
+from repro.numbering.graycode import natural_sequence, reflected_mixed_radix_sequence
+from repro.numbering.sequences import sequence_spread
+
+
+def test_fig04_reflection_fixes_the_spread(show):
+    result = figure_4()
+    show(result)
+    by_name = {row["sequence"]: row for row in result.rows}
+    assert by_name["P (natural)"]["δm-spread"] > 1
+    assert by_name["P' (= f_L)"]["δm-spread"] == 1
+
+
+def test_benchmark_reflected_sequence_generation(benchmark):
+    sequence = benchmark(reflected_mixed_radix_sequence, (8, 8, 8))
+    assert len(sequence) == 512
+    assert sequence_spread(sequence) == 1
+
+
+def test_benchmark_natural_sequence_generation(benchmark):
+    sequence = benchmark(natural_sequence, (8, 8, 8))
+    assert len(sequence) == 512

@@ -1,0 +1,35 @@
+"""FIG-9: the embedding functions f_L, g_L and h_L for n = 24, L = (4,2,3)."""
+
+from repro.core.basic import f_sequence, g_sequence, h_sequence
+from repro.experiments.figures import figure_9
+
+
+def test_fig09_spread_summary(show):
+    result = figure_9()
+    show(result)
+    by_function = {row["function"]: row for row in result.rows}
+    # Theorem 13 / Lemma 16 / Lemmas 23+27 for the figure's shape.
+    assert by_function["f_L"]["acyclic δm-spread"] == 1
+    assert by_function["g_L"]["cyclic δm-spread"] == 2
+    assert by_function["h_L"]["cyclic δm-spread"] == 1
+    assert by_function["h_L"]["cyclic δt-spread"] == 1
+
+
+def test_fig09_table_lists_all_24_values(show):
+    result = figure_9()
+    assert result.text.count("\n") >= 26
+
+
+def test_benchmark_f_sequence(benchmark):
+    sequence = benchmark(f_sequence, (16, 8, 8))
+    assert len(sequence) == 1024
+
+
+def test_benchmark_g_sequence(benchmark):
+    sequence = benchmark(g_sequence, (16, 8, 8))
+    assert len(sequence) == 1024
+
+
+def test_benchmark_h_sequence(benchmark):
+    sequence = benchmark(h_sequence, (16, 8, 8))
+    assert len(sequence) == 1024

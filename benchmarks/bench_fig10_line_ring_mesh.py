@@ -1,0 +1,40 @@
+"""FIG-10: embeddings of a line and a ring of size 24 in the (4,2,3)-mesh."""
+
+from repro.core.basic import line_in_graph_embedding, ring_in_graph_embedding
+from repro.experiments.figures import figure_10
+from repro.graphs.base import Mesh
+
+
+def test_fig10_dilations_match_paper(show):
+    result = figure_10()
+    show(result)
+    by_guest = {row["guest"]: row for row in result.rows}
+    assert by_guest["line of 24"]["dilation"] == 1
+    assert by_guest["ring of 24"]["dilation"] == 1
+
+
+def test_benchmark_line_embedding_construction(benchmark):
+    host = Mesh((16, 8, 8))
+
+    def build():
+        return line_in_graph_embedding(host)
+
+    embedding = benchmark(build)
+    assert embedding.is_valid()
+
+
+def test_benchmark_ring_embedding_construction(benchmark):
+    host = Mesh((16, 8, 8))
+
+    def build():
+        return ring_in_graph_embedding(host)
+
+    embedding = benchmark(build)
+    assert embedding.is_valid()
+
+
+def test_benchmark_dilation_measurement(benchmark):
+    host = Mesh((16, 8, 8))
+    embedding = ring_in_graph_embedding(host)
+    dilation = benchmark(embedding.dilation)
+    assert dilation == 1

@@ -1,0 +1,48 @@
+"""FIG-11: the functions F_V, G_V and H_V for L = (4,6), M = (2,2,2,3)."""
+
+from repro.core.expansion import ExpansionFactor
+from repro.core.increasing import F_value, G_value, H_value, embed_increasing
+from repro.experiments.figures import figure_11
+from repro.graphs.base import Mesh, Torus
+
+FACTOR = ExpansionFactor(((2, 2), (2, 3)))
+
+
+def test_fig11_dilation_matrix(show):
+    result = figure_11()
+    show(result)
+    dilations = {(row["guest"], row["host"]): row["dilation"] for row in result.rows}
+    assert dilations[("Mesh(4, 6)", "Mesh(2, 2, 2, 3)")] == 1
+    assert dilations[("Mesh(4, 6)", "Torus(2, 2, 2, 3)")] == 1
+    assert dilations[("Torus(4, 6)", "Torus(2, 2, 2, 3)")] == 1
+    # Even-size torus: the good expansion factor achieves dilation 1.
+    assert dilations[("Torus(4, 6)", "Mesh(2, 2, 2, 3)")] == 1
+
+
+def test_fig11_functions_are_injective():
+    guest = Mesh((4, 6))
+    for fn in (F_value, G_value, H_value):
+        images = {fn(FACTOR, node) for node in guest.nodes()}
+        assert len(images) == guest.size
+
+
+def test_benchmark_increasing_embedding_construction(benchmark):
+    guest = Torus((16, 16))
+    host = Mesh((4, 4, 4, 4))
+
+    def build():
+        return embed_increasing(guest, host)
+
+    embedding = benchmark(build)
+    assert embedding.is_valid()
+
+
+def test_benchmark_H_value_evaluation(benchmark):
+    guest = Mesh((4, 6))
+    nodes = list(guest.nodes())
+
+    def evaluate_all():
+        return [H_value(FACTOR, node) for node in nodes]
+
+    values = benchmark(evaluate_all)
+    assert len(values) == 24

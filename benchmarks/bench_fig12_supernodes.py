@@ -1,0 +1,47 @@
+"""FIG-12: the (3,3,6)-mesh embedded in the (6,9)-mesh via supernodes."""
+
+from repro.core.lowering import embed_lowering_general
+from repro.experiments.figures import figure_12
+from repro.graphs.base import Mesh, Torus
+
+
+def test_fig12_dilation_is_three(show):
+    result = figure_12()
+    show(result)
+    assert result.rows[0]["dilation"] == 3
+
+
+def test_fig12_supernode_structure():
+    # Every 6-node supernode (fixed first two guest coordinates) must land in a
+    # single 2x3 block of the host, exactly as drawn in Figure 12.
+    embedding = embed_lowering_general(Mesh((3, 3, 6)), Mesh((6, 9)))
+    for i in range(3):
+        for j in range(3):
+            images = [embedding[(i, j, k)] for k in range(6)]
+            rows = {r for r, _ in images}
+            cols = {c for _, c in images}
+            assert len(images) == 6
+            assert max(rows) - min(rows) <= 1
+            assert max(cols) - min(cols) <= 2
+
+
+def test_benchmark_general_reduction_construction(benchmark):
+    guest = Mesh((5, 5, 8))
+    host = Mesh((10, 20))
+
+    def build():
+        return embed_lowering_general(guest, host)
+
+    embedding = benchmark(build)
+    assert embedding.is_valid()
+
+
+def test_benchmark_general_reduction_torus_variant(benchmark):
+    guest = Torus((3, 3, 6))
+    host = Torus((6, 9))
+
+    def build():
+        return embed_lowering_general(guest, host)
+
+    embedding = benchmark(build)
+    assert embedding.dilation() == 3

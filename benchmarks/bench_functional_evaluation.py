@@ -1,0 +1,53 @@
+"""Pointwise embedding evaluation cost (the paper's concluding remark).
+
+The paper notes that evaluating any of its embedding functions on a single
+node costs O(dim H) operations.  This benchmark measures exactly that:
+per-node evaluation time on hosts of growing dimension, using graphs far too
+large to materialize (up to 2^30 nodes), via
+:func:`repro.core.functional.functional_embed`.
+"""
+
+import pytest
+
+from repro.core.functional import functional_embed
+from repro.types import GraphKind, ShapedGraphSpec
+
+
+def _spec(kind, shape):
+    return ShapedGraphSpec(GraphKind(kind), shape)
+
+
+CASES = {
+    "ring->2d-torus (2^20 nodes)": (_spec("torus", (2**20,)), _spec("torus", (1024, 1024))),
+    "line->3d-mesh (2^24 nodes)": (_spec("mesh", (2**24,)), _spec("mesh", (256, 256, 256))),
+    "3d->2d torus (2^30 nodes)": (
+        _spec("torus", (1024, 1024, 1024)),
+        _spec("torus", (1048576, 1024)),
+    ),
+    "2d->10d hypercube (2^20 nodes)": (_spec("torus", (1024, 1024)), _spec("torus", (2,) * 20)),
+}
+
+
+@pytest.mark.parametrize("name", list(CASES))
+def test_benchmark_pointwise_evaluation(benchmark, name):
+    guest, host = CASES[name]
+    functional = functional_embed(guest, host)
+    probe_indices = [i * (guest.size // 97) for i in range(97)]
+
+    def evaluate_probes():
+        return [functional.map_index(index) for index in probe_indices]
+
+    images = benchmark(evaluate_probes)
+    assert len(images) == 97
+    assert all(len(image) == host.dimension for image in images)
+
+
+def test_benchmark_sampled_dilation_estimate(benchmark):
+    guest, host = CASES["3d->2d torus (2^30 nodes)"]
+    functional = functional_embed(guest, host)
+
+    def estimate():
+        return functional.sample_dilation(samples=200, seed=0)
+
+    estimate_value = benchmark(estimate)
+    assert 1 <= estimate_value <= functional.predicted_dilation

@@ -1,0 +1,58 @@
+"""TAB-BASIC: Section 3's dilation results over a shape sweep.
+
+Regenerates the line/ring dilation rows for meshes and toruses of sizes
+8..4096 and checks every row against the theorem prediction; benchmarks the
+end-to-end construction on a large host.
+"""
+
+from repro.core.basic import line_in_graph_embedding, ring_in_graph_embedding
+from repro.experiments.basic_tables import BASIC_SWEEP, line_rows, ring_ablation_rows, ring_rows
+from repro.graphs.base import Mesh, Torus
+
+
+SMALL_SWEEP = [shape for shape in BASIC_SWEEP if Mesh(shape).size <= 600]
+
+
+def test_table_basic_line_rows_all_unit_dilation(show):
+    from repro.experiments.basic_tables import basic_table
+
+    result = basic_table()
+    show(result)
+    rows = line_rows(SMALL_SWEEP)
+    assert all(row["dilation"] == 1 for row in rows)
+
+
+def test_table_basic_ring_rows_match_section3():
+    for row in ring_rows(SMALL_SWEEP):
+        assert row["dilation"] == row["paper"]
+
+
+def test_table_basic_ring_ablation_h_wins():
+    for row in ring_ablation_rows(SMALL_SWEEP):
+        assert row["h_L dilation"] == 1
+        assert row["g_L dilation"] == 2
+
+
+def test_benchmark_line_embedding_large_host(benchmark):
+    host = Torus((16, 16, 16))
+
+    def build_and_measure():
+        embedding = line_in_graph_embedding(host)
+        return embedding.dilation()
+
+    assert benchmark(build_and_measure) == 1
+
+
+def test_benchmark_ring_embedding_large_host(benchmark):
+    host = Mesh((16, 16, 16))
+
+    def build_and_measure():
+        embedding = ring_in_graph_embedding(host)
+        return embedding.dilation()
+
+    assert benchmark(build_and_measure) == 1
+
+
+def test_benchmark_full_basic_sweep(benchmark):
+    rows = benchmark(lambda: line_rows(SMALL_SWEEP) + ring_rows(SMALL_SWEEP))
+    assert len(rows) == 4 * len(SMALL_SWEEP)

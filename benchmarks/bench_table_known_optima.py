@@ -1,0 +1,63 @@
+"""TAB-OPTIMA: Section 5's comparison against known optimal embeddings.
+
+The shape of the comparison reproduced here:
+
+* (l,l)-mesh -> line and (l,l)-torus -> ring: ours equals the known optimum;
+* (l,l,l)-mesh -> line: ours is within a factor 4/3 of FitzGerald's optimum;
+* hypercube -> line: ours is 2^(d-1); the ratio to Harper's optimum is
+  1/ε_(d-1) and grows with d.
+"""
+
+from repro.core.bounds import harper_hypercube_in_line
+from repro.core.dispatch import embed
+from repro.experiments.optima_tables import (
+    cube_mesh_in_line_rows,
+    hypercube_in_line_rows,
+    square_mesh_in_line_rows,
+    square_torus_in_ring_rows,
+)
+from repro.graphs.base import Hypercube, Line, Mesh
+
+
+def test_table_optima_square_cases_truly_optimal(show):
+    from repro.experiments.optima_tables import optima_table
+
+    result = optima_table()
+    show(result)
+    for row in square_mesh_in_line_rows((3, 4, 5, 6)) + square_torus_in_ring_rows((3, 4, 5, 6)):
+        assert row["ours"] == row["known optimal"]
+
+
+def test_table_optima_cube_mesh_within_four_thirds():
+    for row in cube_mesh_in_line_rows((3, 4, 5)):
+        assert row["known optimal"] <= row["ours"]
+        assert row["ours"] / row["known optimal"] <= 4 / 3 + 0.1
+
+
+def test_table_optima_hypercube_ratio_grows():
+    rows = hypercube_in_line_rows((3, 4, 5, 6, 8, 10))
+    ratios = [row["ratio (= 1/ε)"] for row in rows]
+    assert ratios == sorted(ratios)
+    assert all(row["known optimal"] <= row["ours"] for row in rows)
+
+
+def test_benchmark_square_mesh_in_line(benchmark):
+    guest = Mesh((24, 24))
+    host = Line(576)
+
+    def build_and_measure():
+        return embed(guest, host).dilation()
+
+    assert benchmark(build_and_measure) == 24
+
+
+def test_benchmark_hypercube_in_line(benchmark):
+    guest = Hypercube(10)
+    host = Line(1024)
+
+    def build_and_measure():
+        return embed(guest, host).dilation()
+
+    dilation = benchmark(build_and_measure)
+    assert dilation == 512
+    assert dilation >= harper_hypercube_in_line(10)

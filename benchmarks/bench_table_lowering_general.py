@@ -1,0 +1,49 @@
+"""TAB-LOW-GENERAL: Theorem 43 general-reduction dilation sweep."""
+
+from repro.core.lowering import embed_lowering_general
+from repro.core.reduction import find_general_reduction
+from repro.experiments.lowering_tables import GENERAL_SWEEP, general_rows
+from repro.graphs.base import Mesh
+
+
+def test_table_lowering_general_matches_theorem43(show):
+    from repro.experiments.lowering_tables import general_table
+
+    result = general_table()
+    show(result)
+    for row in general_rows():
+        if not isinstance(row["dilation"], int):
+            continue
+        assert row["dilation"] <= row["paper"]
+        if "Torus" not in row["guest"] or "Torus" in row["host"]:
+            assert row["dilation"] == row["paper"]
+
+
+def test_table_lowering_general_paper_example_decomposition():
+    # Definition 41's eight-dimensional example is decomposable; the paper's own
+    # factor ((5,2),(3,7)) gives max(s) = 7, and any factor the search returns
+    # must be a valid witness.
+    source = (2, 3, 2, 10, 6, 21, 5, 4)
+    target = (4, 3, 5, 28, 10, 18)
+    factor = find_general_reduction(source, target)
+    assert factor is not None
+    assert factor.reduces(source, target)
+    assert factor.dilation() >= 2
+
+
+def test_benchmark_general_reduction_factor_search(benchmark):
+    factor = benchmark(
+        find_general_reduction, (2, 3, 2, 10, 6, 21, 5, 4), (4, 3, 5, 28, 10, 18)
+    )
+    assert factor is not None
+
+
+def test_benchmark_general_reduction_embedding(benchmark):
+    guest = Mesh((5, 5, 9))
+    host = Mesh((15, 15))
+
+    def build():
+        return embed_lowering_general(guest, host)
+
+    embedding = benchmark(build)
+    assert embedding.dilation() == 3

@@ -1,0 +1,56 @@
+"""TAB-LOW-SIMPLE: Theorem 39 / Corollary 40 simple-reduction dilation sweep."""
+
+import math
+
+from repro.core.dispatch import embed
+from repro.core.lowering import embed_lowering_simple
+from repro.experiments.lowering_tables import (
+    SIMPLE_SWEEP,
+    hypercube_rows,
+    ordering_ablation_rows,
+    simple_rows,
+)
+from repro.graphs.base import Hypercube, Mesh
+
+QUICK_SWEEP = [pair for pair in SIMPLE_SWEEP if math.prod(pair[0]) <= 256]
+
+
+def test_table_lowering_simple_matches_theorem39(show):
+    from repro.experiments.lowering_tables import simple_table
+
+    result = simple_table()
+    show(result)
+    for row in simple_rows(QUICK_SWEEP):
+        assert row["dilation"] <= row["paper"]
+        if "Torus" not in row["guest"] or "Torus" in row["host"]:
+            # Exact in every case except torus -> mesh (which is an upper bound).
+            assert row["dilation"] == row["paper"]
+
+
+def test_table_lowering_simple_hypercubes_corollary40():
+    for row in hypercube_rows():
+        assert row["dilation"] == row["paper"]
+
+
+def test_table_lowering_simple_ordering_ablation():
+    for row in ordering_ablation_rows():
+        assert row["non-increasing"] <= row["non-decreasing"]
+
+
+def test_benchmark_simple_reduction_construction(benchmark):
+    guest = Hypercube(10)
+    host = Mesh((32, 32))
+
+    def build():
+        return embed(guest, host)
+
+    embedding = benchmark(build)
+    assert embedding.predicted_dilation == 16
+
+
+def test_benchmark_simple_reduction_dilation_measurement(benchmark):
+    guest = Mesh((8, 4, 4, 2))
+    host = Mesh((32, 8))
+    embedding = embed_lowering_simple(guest, host)
+    dilation = benchmark(embedding.dilation)
+    assert dilation == embedding.predicted_dilation

@@ -1,0 +1,47 @@
+"""TAB-SQUARE-INC: Theorems 52 and 53 over a (d, c, l) sweep."""
+
+from repro.core.square import embed_square, embed_square_increasing
+from repro.experiments.square_tables import SQUARE_INCREASING_SWEEP, square_increasing_rows
+from repro.graphs.base import Mesh, Torus
+
+QUICK_SWEEP = [(d, c, l) for (d, c, l) in SQUARE_INCREASING_SWEEP if l**d <= 1500]
+
+
+def test_table_square_increasing_matches_formula(show):
+    from repro.experiments.square_tables import square_increasing_table
+
+    result = square_increasing_table()
+    show(result)
+    for row in square_increasing_rows(QUICK_SWEEP):
+        assert row["dilation"] <= row["formula"]
+        if row["divisible"] == "yes":
+            # Theorem 52 is exact (and optimal).
+            assert row["dilation"] == row["formula"]
+
+
+def test_table_square_increasing_divisible_is_unit_or_two():
+    assert embed_square(Mesh((16,)), Mesh((4, 4))).dilation() == 1
+    assert embed_square(Torus((9, 9)), Mesh((3, 3, 3, 3))).dilation() == 2
+    assert embed_square(Torus((4, 4)), Mesh((2, 2, 2, 2))).dilation() == 1
+
+
+def test_benchmark_theorem52_expansion(benchmark):
+    guest = Torus((32, 32))
+    host = Torus((2,) * 10)
+
+    def build():
+        return embed_square_increasing(guest, host)
+
+    embedding = benchmark(build)
+    assert embedding.predicted_dilation == 1
+
+
+def test_benchmark_theorem53_expand_then_reduce(benchmark):
+    guest = Mesh((8, 8))
+    host = Mesh((4, 4, 4))
+
+    def build():
+        return embed_square_increasing(guest, host)
+
+    embedding = benchmark(build)
+    assert embedding.dilation() <= 2

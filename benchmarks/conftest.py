@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one experiment from the index in
+``DESIGN.md`` (one per figure / result table of the paper), asserts the
+paper-level claims about the regenerated rows (who wins, which formula the
+measured dilation matches) and times the central computation with
+``pytest-benchmark``.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to also see the regenerated tables on stdout.
+"""
+
+import pytest
+
+
+def emit(result) -> None:
+    """Print an experiment result (visible with ``pytest -s``)."""
+    print()
+    print(result.render())
+
+
+@pytest.fixture
+def show():
+    """Fixture alias for :func:`emit` used by the benchmark modules."""
+    return emit

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Hypercube scenario: meshes/toruses into hypercubes and hypercubes into rings/lines.
+
+Hypercubes were the dominant commercial topology when the paper was written
+(Intel iPSC, NCUBE); two practical questions it answers are exercised here:
+
+1. *Can my mesh- or torus-structured computation run on a hypercube without
+   stretching any communication edge?*  Yes — Corollary 34 gives dilation 1
+   whenever the task graph's size is a power of two, reproduced below for a
+   range of shapes and compared against the classic per-coordinate binary
+   reflected Gray code construction ([CS86]).
+
+2. *How well can a hypercube algorithm be emulated on a cheaper ring or line
+   of processors?*  Corollary 40 / Corollary 49 give dilation max(m_i)/2,
+   reproduced below together with Harper's optimal hypercube-in-line value
+   for comparison.
+
+Run with::
+
+    python examples/hypercube_mapping.py
+"""
+
+from repro import Hypercube, Line, Mesh, Ring, Torus, embed
+from repro.analysis import format_table
+from repro.baselines import binary_gray_embedding
+from repro.core.bounds import harper_hypercube_in_line
+
+
+def into_hypercubes() -> None:
+    rows = []
+    for shape in [(4, 8), (8, 8), (4, 4, 4), (2, 32), (16, 8), (4, 4, 2, 2)]:
+        for guest in (Mesh(shape), Torus(shape)):
+            bits = guest.size.bit_length() - 1
+            host = Hypercube(bits)
+            ours = embed(guest, host)
+            row = {
+                "guest": repr(guest),
+                "host": f"Q{bits}",
+                "ours (Thm 32)": ours.dilation(),
+            }
+            if guest.is_mesh:
+                row["binary Gray [CS86]"] = binary_gray_embedding(guest, host).dilation()
+            else:
+                row["binary Gray [CS86]"] = "-"
+            rows.append(row)
+    print(format_table(rows, title="Task graphs into hypercubes (paper: dilation 1, Corollary 34)"))
+    print()
+
+
+def out_of_hypercubes() -> None:
+    rows = []
+    for d in (4, 6, 8, 10):
+        cube = Hypercube(d)
+        line = Line(2**d)
+        ring = Ring(2**d)
+        rows.append(
+            {
+                "guest": f"Q{d}",
+                "host": f"line({2 ** d})",
+                "ours": embed(cube, line).dilation(),
+                "known optimal [Har66]": harper_hypercube_in_line(d),
+            }
+        )
+        rows.append(
+            {
+                "guest": f"Q{d}",
+                "host": f"ring({2 ** d})",
+                "ours": embed(cube, ring).dilation(),
+                "known optimal [Har66]": "-",
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title="Hypercubes into lines and rings (paper: 2^(d-1); optimal ratio 1/ε grows with d)",
+        )
+    )
+    print()
+
+    square_rows = []
+    for d, host_shape in [(4, (4, 4)), (6, (8, 8)), (8, (16, 16)), (8, (4, 4, 4, 4))]:
+        cube = Hypercube(d)
+        host = Mesh(host_shape)
+        square_rows.append(
+            {
+                "guest": f"Q{d}",
+                "host": repr(host),
+                "ours": embed(cube, host).dilation(),
+                "paper (Cor. 49): m/2": max(host_shape) // 2,
+            }
+        )
+    print(format_table(square_rows, title="Hypercubes into square meshes (Corollary 49)"))
+
+
+def main() -> None:
+    into_hypercubes()
+    out_of_hypercubes()
+
+
+if __name__ == "__main__":
+    main()

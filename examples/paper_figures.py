@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's worked figures (Figures 1-4, 9-12) as text.
+
+Run with::
+
+    python examples/paper_figures.py            # all figures
+    python examples/paper_figures.py FIG-9      # a single figure
+"""
+
+import sys
+
+from repro.experiments import run_all
+from repro.experiments.registry import EXPERIMENTS, _ensure_loaded
+
+FIGURE_IDS = ["FIG-1/2", "FIG-3", "FIG-4", "FIG-9", "FIG-10", "FIG-11", "FIG-12"]
+
+
+def main(argv) -> int:
+    _ensure_loaded()
+    wanted = argv[1:] if len(argv) > 1 else FIGURE_IDS
+    unknown = [name for name in wanted if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown figure id(s): {unknown}; available: {FIGURE_IDS}", file=sys.stderr)
+        return 2
+    for result in run_all(wanted):
+        print(result.render())
+        print()
+        print("=" * 78)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Survey the square-graph embeddings of Section 5 across dimensions.
+
+For a range of (guest dimension d, host dimension c, side length l) triples
+the script builds the embedding, measures its dilation and prints it next to
+the paper's formula and the Theorem 47 lower bound, illustrating the
+"optimal to within a constant" claim for lowering dimension and the exact
+optimality for the divisible increasing cases.
+
+Run with::
+
+    python examples/square_survey.py
+"""
+
+from repro import Mesh, Torus
+from repro.analysis import format_table
+from repro.core import embed_square, lowering_dilation_lower_bound, predicted_square_dilation
+from repro.experiments.square_tables import (
+    SQUARE_INCREASING_SWEEP,
+    SQUARE_LOWERING_SWEEP,
+    square_increasing_rows,
+    square_lowering_rows,
+)
+
+
+def survey_lowering() -> None:
+    rows = square_lowering_rows(
+        [(d, c, l) for (d, c, l) in SQUARE_LOWERING_SWEEP if l**d <= 1500],
+        kinds=(("mesh", "mesh"), ("torus", "mesh")),
+    )
+    print(format_table(rows, title="Square lowering-dimension embeddings (Theorems 48 and 51)"))
+    print()
+
+
+def survey_increasing() -> None:
+    rows = square_increasing_rows(
+        [(d, c, l) for (d, c, l) in SQUARE_INCREASING_SWEEP if l**d <= 1500],
+        kinds=(("mesh", "mesh"), ("torus", "mesh"), ("torus", "torus")),
+    )
+    print(format_table(rows, title="Square increasing-dimension embeddings (Theorems 52 and 53)"))
+    print()
+
+
+def headline_numbers() -> None:
+    cases = [
+        (Mesh((4, 4)), Mesh((16,))),
+        (Mesh((4, 4, 4)), Mesh((8, 8))),
+        (Torus((4, 4, 4)), Mesh((8, 8))),
+        (Mesh((8, 8)), Mesh((4, 4, 4))),
+        (Torus((9, 9)), Mesh((3, 3, 3, 3))),
+    ]
+    rows = []
+    for guest, host in cases:
+        embedding = embed_square(guest, host)
+        d, c = guest.dimension, host.dimension
+        row = {
+            "guest": repr(guest),
+            "host": repr(host),
+            "measured": embedding.dilation(),
+            "formula": predicted_square_dilation(guest.spec, host.spec),
+        }
+        if d > c:
+            row["lower bound"] = lowering_dilation_lower_bound(d, c, guest.shape[0])
+        rows.append(row)
+    print(format_table(rows, title="Headline square cases"))
+
+
+def main() -> None:
+    survey_lowering()
+    survey_increasing()
+    headline_numbers()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Map a stencil computation's task graph onto a parallel machine and simulate it.
+
+This is the paper's motivating use case (Section 1): the communication
+structure of the task — here a 2-D periodic stencil, i.e. an (8,8)-torus of
+tasks exchanging boundary data every iteration — must be matched to the
+communication support of the machine — here a (4,4,4)-mesh of processors.
+
+The script maps the task graph four ways (the paper's embedding plus three
+baselines), routes one neighbour-exchange phase through the store-and-forward
+network simulator and reports maximum hops, link congestion and the simulated
+completion time.  The paper's low-dilation embedding wins on every metric.
+
+Run with::
+
+    python examples/stencil_task_mapping.py
+"""
+
+from repro import Mesh, Torus, embed
+from repro.analysis import format_table
+from repro.baselines import bfs_order_embedding, lexicographic_embedding, random_embedding
+from repro.netsim import CostModel, HostNetwork, neighbor_exchange_traffic, simulate_phase
+
+
+def run_scenario(guest, host, *, alpha=1.0, bandwidth=4.0, message_size=64.0) -> None:
+    network = HostNetwork(host, CostModel(alpha=alpha, bandwidth=bandwidth))
+    traffic = neighbor_exchange_traffic(guest, message_size=message_size)
+    strategies = {
+        "paper (Ma & Tao)": embed(guest, host),
+        "lexicographic": lexicographic_embedding(guest, host),
+        "bfs-order": bfs_order_embedding(guest, host),
+        "random": random_embedding(guest, host, seed=0),
+    }
+    rows = []
+    for name, embedding in strategies.items():
+        result = simulate_phase(network, embedding, traffic)
+        rows.append(
+            {
+                "mapping": name,
+                "dilation": embedding.dilation(),
+                "max hops": result.statistics.max_hops,
+                "mean hops": round(result.statistics.mean_hops, 2),
+                "max link msgs": result.statistics.max_link_load_messages,
+                "phase time": round(result.makespan, 1),
+            }
+        )
+    title = (
+        f"One neighbour-exchange phase of a {guest!r} stencil on a {host!r} machine "
+        f"(alpha={alpha}, bandwidth={bandwidth}, message={message_size} bytes)"
+    )
+    print(format_table(rows, title=title))
+    print()
+
+
+def main() -> None:
+    # An 8x8 periodic stencil on a 64-processor 3-D mesh machine.
+    run_scenario(Torus((8, 8)), Mesh((4, 4, 4)))
+    # The same stencil on a 6-dimensional hypercube machine.
+    run_scenario(Torus((8, 8)), Torus((2,) * 6))
+    # A non-periodic 16x4 stencil on a 3-D torus machine.
+    run_scenario(Mesh((16, 4)), Torus((4, 4, 4)))
+
+
+if __name__ == "__main__":
+    main()

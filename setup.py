@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs keep working on environments whose setuptools/pip
+combination lacks the ``wheel`` package required by the PEP 660 editable
+build path (``pip install -e . --no-build-isolation`` falls back to the
+legacy ``setup.py develop`` route in that situation).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Embedding verification and cost analysis.
+
+``metrics``
+    Cost measures of an embedding: dilation (Definition 1), average
+    dilation, edge congestion under dimension-ordered routing, expansion
+    cost, plus an :class:`~repro.analysis.metrics.EmbeddingReport` bundling
+    them for experiment tables.
+``verify``
+    Independent checks: injectivity, adjacency-by-adjacency dilation audit,
+    spread verification of sequences, and comparison against theorem
+    predictions.
+``report``
+    Plain-text table rendering used by the benchmark harnesses, the examples
+    and the CLI (the paper's "tables" are regenerated in this format).
+"""
+
+from .metrics import (
+    EmbeddingReport,
+    average_dilation_cost,
+    dilation_cost,
+    edge_congestion_cost,
+    evaluate_embedding,
+)
+from .verify import (
+    audit_dilation,
+    verify_embedding,
+    verify_prediction,
+    verify_sequence_spread,
+)
+from .report import Table, format_table
+
+__all__ = [
+    "EmbeddingReport",
+    "dilation_cost",
+    "average_dilation_cost",
+    "edge_congestion_cost",
+    "evaluate_embedding",
+    "verify_embedding",
+    "verify_prediction",
+    "audit_dilation",
+    "verify_sequence_spread",
+    "Table",
+    "format_table",
+]

@@ -1,0 +1,89 @@
+"""Cost measures for embeddings.
+
+The paper's sole optimization measure is the dilation cost (Definition 1);
+the companion measures provided here (average dilation, edge congestion,
+expansion cost) are standard in the embedding literature and are reported by
+the experiment harness so that the paper's constructions can be compared
+against baselines on more than one axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.embedding import Embedding
+
+__all__ = [
+    "dilation_cost",
+    "average_dilation_cost",
+    "edge_congestion_cost",
+    "expansion_cost",
+    "EmbeddingReport",
+    "evaluate_embedding",
+]
+
+
+def dilation_cost(embedding: Embedding) -> int:
+    """The measured dilation cost (maximum host distance over guest edges)."""
+    return embedding.dilation()
+
+
+def average_dilation_cost(embedding: Embedding) -> float:
+    """The mean host distance over guest edges."""
+    return embedding.average_dilation()
+
+
+def edge_congestion_cost(embedding: Embedding) -> int:
+    """Maximum number of guest edges routed through one host edge."""
+    return embedding.edge_congestion()
+
+
+def expansion_cost(embedding: Embedding) -> float:
+    """``|V_H| / |V_G|`` (always 1 for the paper's same-size embeddings)."""
+    return embedding.expansion_cost()
+
+
+@dataclass(frozen=True)
+class EmbeddingReport:
+    """A bundle of measured costs for one embedding, ready for tabulation."""
+
+    guest: str
+    host: str
+    strategy: str
+    predicted_dilation: Optional[int]
+    dilation: int
+    average_dilation: float
+    congestion: Optional[int]
+    valid: bool
+
+    def as_row(self) -> Dict[str, object]:
+        """Dictionary form used by :class:`repro.analysis.report.Table`."""
+        return {
+            "guest": self.guest,
+            "host": self.host,
+            "strategy": self.strategy,
+            "predicted": "-" if self.predicted_dilation is None else self.predicted_dilation,
+            "dilation": self.dilation,
+            "avg dilation": round(self.average_dilation, 3),
+            "congestion": "-" if self.congestion is None else self.congestion,
+            "valid": "yes" if self.valid else "NO",
+        }
+
+
+def evaluate_embedding(embedding: Embedding, *, with_congestion: bool = False) -> EmbeddingReport:
+    """Measure an embedding and package the results.
+
+    Congestion requires routing every guest edge and is therefore optional
+    (it is quadratic-ish in practice for large hosts).
+    """
+    return EmbeddingReport(
+        guest=repr(embedding.guest),
+        host=repr(embedding.host),
+        strategy=embedding.strategy,
+        predicted_dilation=embedding.predicted_dilation,
+        dilation=embedding.dilation(),
+        average_dilation=embedding.average_dilation(),
+        congestion=embedding.edge_congestion() if with_congestion else None,
+        valid=embedding.is_valid(),
+    )

@@ -1,0 +1,76 @@
+"""Plain-text tables for experiment reports.
+
+The paper presents its quantitative content as worked figures and
+theorem-backed cost formulas rather than numbered tables; the benchmark
+harness regenerates the corresponding rows and prints them with this
+formatter so that paper-vs-measured comparisons are easy to eyeball and to
+record in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["Table", "format_table"]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    rows = list(rows)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    widths = {col: len(str(col)) for col in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [_stringify(row.get(col, "")) for col in columns]
+        rendered_rows.append(rendered)
+        for col, cell in zip(columns, rendered):
+            widths[col] = max(widths[col], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    separator = "-+-".join("-" * widths[col] for col in columns)
+    lines.append(header)
+    lines.append(separator)
+    for rendered in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[col]) for col, cell in zip(columns, rendered)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """An incrementally built report table."""
+
+    title: Optional[str] = None
+    columns: Optional[List[str]] = None
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, **cells: object) -> None:
+        self.rows.append(dict(cells))
+
+    def extend(self, rows: Iterable[Mapping[str, object]]) -> None:
+        for row in rows:
+            self.rows.append(dict(row))
+
+    def render(self) -> str:
+        return format_table(self.rows, columns=self.columns, title=self.title)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

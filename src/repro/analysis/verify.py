@@ -1,0 +1,102 @@
+"""Independent verification of embeddings and sequences.
+
+Every constructive claim of the paper is double-checked in two ways by the
+reproduction: (a) the constructors attach the theorem's predicted dilation to
+the :class:`~repro.core.embedding.Embedding`, and (b) the functions here
+re-measure the embedding from scratch (injectivity plus an edge-by-edge
+distance audit) so tests and experiment reports never rely on the prediction
+alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.embedding import Embedding
+from ..exceptions import InvalidEmbeddingError
+from ..numbering.sequences import cyclic_spread, is_bijective_sequence, sequence_spread
+from ..types import Node
+
+__all__ = [
+    "DilationAudit",
+    "verify_embedding",
+    "verify_prediction",
+    "audit_dilation",
+    "verify_sequence_spread",
+]
+
+
+@dataclass(frozen=True)
+class DilationAudit:
+    """Result of an edge-by-edge dilation audit."""
+
+    dilation: int
+    worst_edges: Tuple[Tuple[Node, Node], ...]
+    num_edges: int
+
+    @property
+    def worst_edge(self) -> Optional[Tuple[Node, Node]]:
+        return self.worst_edges[0] if self.worst_edges else None
+
+
+def verify_embedding(embedding: Embedding) -> None:
+    """Raise :class:`InvalidEmbeddingError` unless the embedding is a valid injection."""
+    embedding.validate()
+
+
+def audit_dilation(embedding: Embedding, *, max_worst: int = 5) -> DilationAudit:
+    """Measure the dilation and record the guest edges achieving it."""
+    worst = 0
+    worst_edges: List[Tuple[Node, Node]] = []
+    count = 0
+    for a, b in embedding.guest.edges():
+        count += 1
+        distance = embedding.host.distance(embedding[a], embedding[b])
+        if distance > worst:
+            worst = distance
+            worst_edges = [(a, b)]
+        elif distance == worst and len(worst_edges) < max_worst:
+            worst_edges.append((a, b))
+    return DilationAudit(dilation=worst, worst_edges=tuple(worst_edges[:max_worst]), num_edges=count)
+
+
+def verify_prediction(embedding: Embedding) -> bool:
+    """Check the measured dilation against the recorded theorem prediction.
+
+    Exact predictions must match exactly; predictions flagged as upper
+    bounds only need to dominate the measurement.  An embedding without a
+    prediction passes vacuously.  Invalid embeddings always fail.
+    """
+    if not embedding.is_valid():
+        return False
+    return embedding.matches_prediction()
+
+
+def verify_sequence_spread(
+    sequence: Sequence[Node],
+    *,
+    universe_size: int,
+    metric: str = "mesh",
+    shape: Optional[Sequence[int]] = None,
+    cyclic: bool = False,
+    expected_spread: int = 1,
+) -> None:
+    """Assert that a sequence is a bijection with the expected spread.
+
+    Used by tests and benchmarks to certify the Gray-code properties of
+    ``f_L`` (Lemmas 10–12), ``g_L`` (Lemma 16), ``r_L`` (Lemmas 21, 26) and
+    ``h_L`` (Lemmas 23, 27).
+    """
+    if not is_bijective_sequence(sequence, universe_size):
+        raise InvalidEmbeddingError(
+            f"sequence of length {len(sequence)} is not a bijection onto a universe "
+            f"of size {universe_size}"
+        )
+    spread_fn = cyclic_spread if cyclic else sequence_spread
+    spread = spread_fn(sequence, metric=metric, shape=shape)
+    if spread != expected_spread:
+        raise InvalidEmbeddingError(
+            f"sequence has {'cyclic ' if cyclic else ''}{metric} spread {spread}, "
+            f"expected {expected_spread}"
+        )

@@ -1,0 +1,34 @@
+"""Baseline embeddings used as comparison points.
+
+None of these come from the paper — they are the straightforward strategies
+a practitioner might use instead, and the experiment harness measures how
+much dilation (and, via the simulator, communication time) the paper's
+constructions save relative to them:
+
+``lexicographic``
+    Rank both node sets in natural (row-major) order and match ranks.  This
+    is the "obvious" mapping and is what the paper's sequence ``P``
+    corresponds to for 1-dimensional guests.
+``random_embedding``
+    A uniformly random bijection (seeded), the expected-case worst baseline.
+``bfs_embedding``
+    Match breadth-first-search visit orders of the two graphs; a greedy
+    locality heuristic.
+``reflected_gray``
+    The classic binary reflected Gray code mapping for hypercube hosts
+    ([CS86]-style); coincides with the paper's ``f_L`` on power-of-two
+    lines, and serves as the prior-art comparator for mesh-in-hypercube
+    embeddings.
+"""
+
+from .lexicographic import lexicographic_embedding
+from .random_embedding import random_embedding
+from .bfs_embedding import bfs_order_embedding
+from .reflected_gray import binary_gray_embedding
+
+__all__ = [
+    "lexicographic_embedding",
+    "random_embedding",
+    "bfs_order_embedding",
+    "binary_gray_embedding",
+]

@@ -1,0 +1,62 @@
+"""The breadth-first-search order baseline embedding.
+
+Both graphs are traversed breadth-first from their all-zero corner node and
+the visit orders are matched rank by rank.  This is a cheap locality
+heuristic: nodes close to the guest origin land close to the host origin,
+but nothing controls the dilation of edges far from the origin, so it
+typically sits between the lexicographic baseline and the paper's
+constructions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from ..core.embedding import Embedding
+from ..exceptions import ShapeMismatchError
+from ..graphs.base import CartesianGraph
+from ..types import Node
+
+__all__ = ["bfs_order_embedding", "bfs_order"]
+
+
+def bfs_order(graph: CartesianGraph) -> List[Node]:
+    """Breadth-first visit order starting from the all-zero node.
+
+    Ties at equal depth are broken by natural node order (the order in which
+    :meth:`CartesianGraph.neighbors` yields them), so the order is
+    deterministic.
+    """
+    start: Node = (0,) * graph.dimension
+    seen = {start}
+    order: List[Node] = [start]
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                order.append(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def bfs_order_embedding(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
+    """Match breadth-first visit ranks of guest and host nodes."""
+    if guest.size != host.size:
+        raise ShapeMismatchError(
+            f"guest has {guest.size} nodes but host has {host.size}"
+        )
+    guest_order = bfs_order(guest)
+    host_order = bfs_order(host)
+    mapping: Dict[Node, Node] = {
+        guest_node: host_node for guest_node, host_node in zip(guest_order, host_order)
+    }
+    return Embedding(
+        guest=guest,
+        host=host,
+        mapping=mapping,
+        strategy="baseline:bfs-order",
+        predicted_dilation=None,
+    )

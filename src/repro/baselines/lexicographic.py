@@ -1,0 +1,31 @@
+"""The lexicographic (row-major) baseline embedding.
+
+Guest node with natural-order rank ``x`` maps to the host node with the same
+rank.  For a line guest this is exactly the paper's natural sequence ``P``
+(Section 3.1), whose ``δm``-spread the paper shows to be larger than 1 for
+every host of dimension above 1 — the motivating "bad" embedding that the
+reflected sequence ``P'``/``f_L`` improves on.
+"""
+
+from __future__ import annotations
+
+from ..core.embedding import Embedding
+from ..exceptions import ShapeMismatchError
+from ..graphs.base import CartesianGraph
+
+__all__ = ["lexicographic_embedding"]
+
+
+def lexicographic_embedding(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
+    """Match natural-order ranks of guest and host nodes."""
+    if guest.size != host.size:
+        raise ShapeMismatchError(
+            f"guest has {guest.size} nodes but host has {host.size}"
+        )
+    return Embedding.from_callable(
+        guest,
+        host,
+        lambda node: host.index_node(guest.node_index(node)),
+        strategy="baseline:lexicographic",
+        predicted_dilation=None,
+    )

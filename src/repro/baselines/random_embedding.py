@@ -1,0 +1,43 @@
+"""The random-bijection baseline embedding.
+
+A uniformly random matching of guest nodes to host nodes.  Its expected
+dilation is close to the host diameter for all but tiny graphs, which makes
+it the sanity-check lower bar: every structured strategy (the paper's and
+the other baselines) should beat it comfortably.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.embedding import Embedding
+from ..exceptions import ShapeMismatchError
+from ..graphs.base import CartesianGraph
+
+__all__ = ["random_embedding"]
+
+
+def random_embedding(
+    guest: CartesianGraph, host: CartesianGraph, *, seed: Optional[int] = 0
+) -> Embedding:
+    """A seeded uniformly random bijection of guest nodes onto host nodes."""
+    if guest.size != host.size:
+        raise ShapeMismatchError(
+            f"guest has {guest.size} nodes but host has {host.size}"
+        )
+    rng = random.Random(seed)
+    host_nodes = list(host.nodes())
+    rng.shuffle(host_nodes)
+    mapping = {
+        guest_node: host_nodes[index]
+        for index, guest_node in enumerate(guest.nodes())
+    }
+    return Embedding(
+        guest=guest,
+        host=host,
+        mapping=mapping,
+        strategy="baseline:random",
+        predicted_dilation=None,
+        notes={"seed": seed},
+    )

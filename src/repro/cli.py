@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Three subcommands:
+
+``embed``
+    Build an embedding between two graphs given as ``kind:shape`` strings
+    (for example ``torus:4,6``), print its strategy, predicted and measured
+    dilation, and optionally the congestion and a picture of the mapping.
+
+``figure``
+    Regenerate one of the paper's worked figures (``fig4``, ``fig9``,
+    ``fig10``, ``fig11``, ``fig12``) as text.
+
+``simulate``
+    Map a guest task graph onto a host network with the paper's embedding
+    and with the baselines, and report the simulated communication time of a
+    neighbour-exchange phase.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.metrics import evaluate_embedding
+from .analysis.report import format_table
+from .baselines import bfs_order_embedding, lexicographic_embedding, random_embedding
+from .core import (
+    ExpansionFactor,
+    embed,
+    embed_increasing,
+    embed_lowering_general,
+    f_value,
+    g_value,
+    h_value,
+)
+from .core.basic import f_sequence
+from .graphs.base import CartesianGraph, Mesh, Torus, make_graph
+from .netsim import CostModel, HostNetwork, neighbor_exchange_traffic, simulate_phase
+from .numbering.graycode import natural_sequence
+from .types import GraphKind
+from .viz.ascii import render_embedding_grid, render_sequence_table
+
+__all__ = ["main", "parse_graph"]
+
+
+def parse_graph(spec: str) -> CartesianGraph:
+    """Parse ``kind:shape`` strings such as ``torus:4,6`` or ``mesh:2,2,2,3``.
+
+    The 1-dimensional and hypercube conveniences of the paper are accepted as
+    well: ``ring:<n>`` (a 1-D torus), ``line:<n>`` (a 1-D mesh) and
+    ``hypercube:<d>`` (shape ``(2, ..., 2)`` with ``d`` dimensions).
+    """
+    try:
+        kind_text, shape_text = spec.split(":", 1)
+        kind_text = kind_text.strip().lower()
+        shape = tuple(int(part) for part in shape_text.split(",") if part.strip())
+        if kind_text == "ring":
+            (size,) = shape
+            return make_graph(GraphKind.TORUS, (size,))
+        if kind_text == "line":
+            (size,) = shape
+            return make_graph(GraphKind.MESH, (size,))
+        if kind_text == "hypercube":
+            (dimension,) = shape
+            return make_graph(GraphKind.TORUS, (2,) * dimension)
+        return make_graph(GraphKind(kind_text), shape)
+    except Exception as error:
+        raise argparse.ArgumentTypeError(
+            f"could not parse graph spec {spec!r}: expected e.g. 'torus:4,6' ({error})"
+        ) from error
+
+
+def _cmd_embed(args: argparse.Namespace) -> int:
+    guest = parse_graph(args.guest)
+    host = parse_graph(args.host)
+    embedding = embed(guest, host)
+    report = evaluate_embedding(embedding, with_congestion=args.congestion)
+    print(format_table([report.as_row()], title="Embedding report"))
+    if args.grid and host.dimension <= 3:
+        print()
+        print(render_embedding_grid(embedding, title=f"Guest ranks inside {host!r}:"))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name.lower()
+    if name == "fig4":
+        base = (4, 2, 3)
+        naturals = natural_sequence(base)
+        print(
+            render_sequence_table(
+                24,
+                {"P (natural)": lambda x: naturals[x], "P' (= f_L)": lambda x: f_value(base, x)},
+                title="Figure 4: sequences P and P' for L = (4, 2, 3)",
+            )
+        )
+    elif name == "fig9":
+        base = (4, 2, 3)
+        print(
+            render_sequence_table(
+                24,
+                {
+                    "f_L": lambda x: f_value(base, x),
+                    "g_L": lambda x: g_value(base, x),
+                    "h_L": lambda x: h_value(base, x),
+                },
+                title="Figure 9: embedding functions f, g, h for L = (4, 2, 3)",
+            )
+        )
+    elif name == "fig10":
+        host = Mesh((4, 2, 3))
+        from .core.basic import line_in_graph_embedding, ring_in_graph_embedding
+
+        print(render_embedding_grid(line_in_graph_embedding(host), title="Figure 10(d): line via f"))
+        print()
+        print(render_embedding_grid(ring_in_graph_embedding(host), title="Figure 10(f): ring via h"))
+    elif name == "fig11":
+        factor = ExpansionFactor(((2, 2), (2, 3)))
+        from .core.increasing import F_value, G_value, H_value
+
+        guest_base = (4, 6)
+        naturals = natural_sequence(guest_base)
+        print(
+            render_sequence_table(
+                24,
+                {
+                    "F_V": lambda x: F_value(factor, naturals[x]),
+                    "G_V": lambda x: G_value(factor, naturals[x]),
+                    "H_V": lambda x: H_value(factor, naturals[x]),
+                },
+                title="Figure 11: F_V, G_V, H_V for L = (4, 6), V = ((2,2),(2,3))",
+            )
+        )
+    elif name == "fig12":
+        guest = Mesh((3, 3, 6))
+        host = Mesh((6, 9))
+        embedding = embed_lowering_general(guest, host)
+        print(render_embedding_grid(embedding, title="Figure 12: (3,3,6)-mesh in a (6,9)-mesh"))
+        print(f"dilation = {embedding.dilation()} (paper: 3)")
+    else:
+        print(f"unknown figure {args.name!r}; choose from fig4, fig9, fig10, fig11, fig12", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    guest = parse_graph(args.guest)
+    host = parse_graph(args.host)
+    network = HostNetwork(host, CostModel(alpha=args.alpha, bandwidth=args.bandwidth))
+    traffic = neighbor_exchange_traffic(guest, message_size=args.message_size)
+    strategies = {
+        "paper": embed(guest, host),
+        "lexicographic": lexicographic_embedding(guest, host),
+        "bfs": bfs_order_embedding(guest, host),
+        "random": random_embedding(guest, host, seed=args.seed),
+    }
+    rows = []
+    for name, embedding in strategies.items():
+        result = simulate_phase(network, embedding, traffic)
+        row = {"strategy": name, "dilation": embedding.dilation()}
+        row.update(result.as_row())
+        rows.append(row)
+    print(format_table(rows, title=f"Neighbour exchange of {guest!r} on {host!r}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="torus-mesh-embed",
+        description="Embeddings among toruses and meshes (Ma & Tao, ICPP 1987) — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_embed = subparsers.add_parser("embed", help="embed a guest graph in a host graph")
+    p_embed.add_argument("--guest", required=True, help="guest graph, e.g. torus:4,6")
+    p_embed.add_argument("--host", required=True, help="host graph, e.g. mesh:2,2,2,3")
+    p_embed.add_argument("--congestion", action="store_true", help="also measure edge congestion")
+    p_embed.add_argument("--grid", action="store_true", help="print the mapping as a grid")
+    p_embed.set_defaults(func=_cmd_embed)
+
+    p_figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
+    p_figure.add_argument("name", help="fig4, fig9, fig10, fig11 or fig12")
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_sim = subparsers.add_parser("simulate", help="simulate a neighbour-exchange phase")
+    p_sim.add_argument("--guest", required=True, help="guest task graph, e.g. torus:8,8")
+    p_sim.add_argument("--host", required=True, help="host network, e.g. mesh:4,4,4")
+    p_sim.add_argument("--alpha", type=float, default=1.0, help="per-hop latency")
+    p_sim.add_argument("--bandwidth", type=float, default=1.0, help="link bandwidth")
+    p_sim.add_argument("--message-size", type=float, default=1.0, help="message size")
+    p_sim.add_argument("--seed", type=int, default=0, help="seed for the random baseline")
+    p_sim.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,159 @@
+"""Automatic strategy selection: ``embed(guest, host)``.
+
+The paper's results are organized by the relationship between the two
+shapes; this module encodes the decision procedure so that a caller can
+simply ask for an embedding and get the best construction the paper offers:
+
+1. equal shapes → Lemma 36 (identity or ``T_L``);
+2. shapes that are permutations of each other → permute dimensions
+   (plus ``T`` for a torus guest in a mesh host);
+3. 1-dimensional guest (line or ring) → Section 3 basic embeddings;
+4. 1-dimensional host → the simple reduction with a single group (always
+   applies), Theorem 39;
+5. higher-dimensional host satisfying the expansion condition → Theorem 32;
+6. lower-dimensional host satisfying a reduction condition → Theorem 39 / 43;
+7. both graphs square → the Section 5 chains (Theorems 48, 51, 52, 53);
+8. otherwise → :class:`~repro.exceptions.UnsupportedEmbeddingError` (the
+   paper does not cover the pair).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..exceptions import (
+    NoExpansionError,
+    NoReductionError,
+    ShapeMismatchError,
+    UnsupportedEmbeddingError,
+)
+from ..graphs.base import CartesianGraph
+from ..utils.listops import apply_permutation, find_permutation, is_permutation_of
+from .basic import line_in_graph_embedding, ring_in_graph_embedding
+from .embedding import Embedding
+from .expansion import find_expansion_factor
+from .increasing import embed_increasing
+from .lowering import embed_lowering_simple, embed_lowering
+from .reduction import SimpleReductionFactor, find_general_reduction, find_simple_reduction
+from .same_shape import same_shape_embedding, t_vector_value
+from .square import embed_square
+
+__all__ = ["embed", "strategy_for"]
+
+
+def _permuted_shape_embedding(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
+    """Shapes are permutations of each other: permute coordinates (plus ``T`` if needed)."""
+    permutation = find_permutation(guest.shape, host.shape)
+    assert permutation is not None
+    if guest.is_torus and host.is_mesh and not guest.is_hypercube:
+        shape = guest.shape
+        return Embedding.from_callable(
+            guest,
+            host,
+            lambda node: apply_permutation(permutation, t_vector_value(shape, node)),
+            strategy="permute-dimensions∘T_L",
+            predicted_dilation=2,
+            notes={"permutation": permutation, "dilation_is_upper_bound": min(shape) <= 2},
+        )
+    return Embedding.from_permutation(guest, host, permutation)
+
+
+def strategy_for(guest: CartesianGraph, host: CartesianGraph) -> str:
+    """Name of the strategy :func:`embed` would use, without building the mapping.
+
+    Useful for experiment sweeps that only need to know which theorem covers
+    a pair of shapes.
+    """
+    if guest.size != host.size:
+        raise ShapeMismatchError(
+            f"guest has {guest.size} nodes but host has {host.size}"
+        )
+    if guest.shape == host.shape:
+        return "same-shape"
+    if is_permutation_of(guest.shape, host.shape):
+        return "permute-dimensions"
+    if guest.dimension == 1:
+        return "basic"
+    if host.dimension == 1:
+        return "lowering-simple"
+    if guest.dimension < host.dimension:
+        if find_expansion_factor(guest.shape, host.shape) is not None:
+            return "increasing"
+        if guest.is_square and host.is_square:
+            return "square-increasing"
+        return "unsupported"
+    if find_simple_reduction(guest.shape, host.shape) is not None:
+        return "lowering-simple"
+    if find_general_reduction(guest.shape, host.shape) is not None:
+        return "lowering-general"
+    if guest.is_square and host.is_square:
+        return "square-lowering"
+    return "unsupported"
+
+
+def embed(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
+    """Embed ``guest`` in ``host`` using the paper's best applicable construction.
+
+    Raises
+    ------
+    ShapeMismatchError
+        When the graphs do not have the same number of nodes.
+    UnsupportedEmbeddingError
+        When none of the paper's conditions (expansion, reduction, square,
+        basic, same-shape) applies to the pair of shapes.
+    """
+    if guest.size != host.size:
+        raise ShapeMismatchError(
+            f"guest has {guest.size} nodes but host has {host.size}; "
+            "the paper studies same-size embeddings only"
+        )
+
+    if guest.shape == host.shape:
+        return same_shape_embedding(guest, host)
+
+    if is_permutation_of(guest.shape, host.shape):
+        return _permuted_shape_embedding(guest, host)
+
+    if guest.dimension == 1:
+        if guest.is_mesh:
+            embedding = line_in_graph_embedding(host)
+        else:
+            embedding = ring_in_graph_embedding(host)
+        # The builders create their own 1-D guest; rebuild with the caller's
+        # guest object so identities (kind/shape) are preserved exactly.
+        return Embedding(
+            guest=guest,
+            host=host,
+            mapping={guest.index_node(x): embedding.map_index(x) for x in range(guest.size)},
+            strategy=embedding.strategy,
+            predicted_dilation=embedding.predicted_dilation,
+            notes=embedding.notes,
+        )
+
+    if host.dimension == 1:
+        # A 1-dimensional host is always a simple reduction: one group
+        # containing every guest dimension, largest length first.
+        group = tuple(sorted(guest.shape, reverse=True))
+        factor = SimpleReductionFactor((group,))
+        return embed_lowering_simple(guest, host, factor)
+
+    if guest.dimension < host.dimension:
+        try:
+            return embed_increasing(guest, host)
+        except NoExpansionError:
+            if guest.is_square and host.is_square:
+                return embed_square(guest, host)
+            raise UnsupportedEmbeddingError(
+                f"{host.shape} is not an expansion of {guest.shape} and the graphs are "
+                "not both square; the paper does not provide an embedding for this pair"
+            ) from None
+
+    try:
+        return embed_lowering(guest, host)
+    except NoReductionError:
+        if guest.is_square and host.is_square:
+            return embed_square(guest, host)
+        raise UnsupportedEmbeddingError(
+            f"{host.shape} is not a reduction of {guest.shape} and the graphs are "
+            "not both square; the paper does not provide an embedding for this pair"
+        ) from None

@@ -1,0 +1,325 @@
+"""The :class:`Embedding` type — an injection of guest nodes into host nodes.
+
+Definition 1 of the paper: an embedding ``f`` of ``G = (V_G, E_G)`` in
+``H = (V_H, E_H)`` is an injection ``f : V_G -> V_H``; its *dilation cost* is
+the maximum distance in ``H`` between the images of adjacent nodes of ``G``.
+
+The class stores the guest graph, the host graph and the explicit mapping,
+and offers:
+
+* validity checking (:meth:`Embedding.is_valid`, :meth:`Embedding.validate`)
+  — the mapping must be total on the guest nodes, land inside the host node
+  set and be injective;
+* measured costs (:meth:`dilation`, :meth:`average_dilation`,
+  :meth:`edge_congestion`) computed from the host graph's exact distances;
+* composition (:meth:`compose`) used by the paper's multi-step constructions
+  ``G -> G' -> H' -> H``; and
+* convenient constructors (:meth:`from_callable`, :meth:`identity`,
+  :meth:`from_permutation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import InvalidEmbeddingError, ShapeMismatchError
+from ..graphs.base import CartesianGraph
+from ..graphs.paths import dimension_order_path
+from ..types import Node
+from ..utils.listops import apply_permutation
+
+__all__ = ["Embedding"]
+
+
+@dataclass
+class Embedding:
+    """An injection of the nodes of ``guest`` into the nodes of ``host``.
+
+    Attributes
+    ----------
+    guest, host:
+        The two graphs.  The paper studies same-size embeddings; the class
+        allows ``host.size >= guest.size`` so that sub-graph embeddings can
+        also be represented, but the constructors used by the paper's
+        strategies always produce same-size (bijective) embeddings.
+    mapping:
+        Dict from guest node tuple to host node tuple.
+    strategy:
+        Human-readable name of the construction that produced the embedding.
+    predicted_dilation:
+        The dilation cost promised by the paper's theorem for this
+        construction (``None`` when no prediction applies).  The measured
+        dilation (:meth:`dilation`) is computed independently so the two can
+        be compared in tests and experiment reports.
+    notes:
+        Free-form metadata (expansion factors used, chain steps, ...).
+    """
+
+    guest: CartesianGraph
+    host: CartesianGraph
+    mapping: Dict[Node, Node]
+    strategy: str = "custom"
+    predicted_dilation: Optional[int] = None
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_callable(
+        cls,
+        guest: CartesianGraph,
+        host: CartesianGraph,
+        func: Callable[[Node], Node],
+        *,
+        strategy: str = "custom",
+        predicted_dilation: Optional[int] = None,
+        notes: Optional[Dict[str, object]] = None,
+    ) -> "Embedding":
+        """Materialize an embedding from a node-mapping function."""
+        mapping = {node: tuple(func(node)) for node in guest.nodes()}
+        return cls(
+            guest=guest,
+            host=host,
+            mapping=mapping,
+            strategy=strategy,
+            predicted_dilation=predicted_dilation,
+            notes=dict(notes or {}),
+        )
+
+    @classmethod
+    def identity(cls, guest: CartesianGraph, host: CartesianGraph) -> "Embedding":
+        """The identity embedding between two graphs of the same shape.
+
+        Used by Lemma 36 for same-shape pairs (except torus -> non-hypercube
+        mesh, which needs :func:`repro.core.same_shape.torus_in_mesh_same_shape`).
+        """
+        if guest.shape != host.shape:
+            raise ShapeMismatchError(
+                f"identity embedding requires equal shapes, got {guest.shape} and {host.shape}"
+            )
+        return cls.from_callable(
+            guest, host, lambda node: node, strategy="identity", predicted_dilation=1
+        )
+
+    @classmethod
+    def from_permutation(
+        cls,
+        guest: CartesianGraph,
+        host: CartesianGraph,
+        permutation: Sequence[int],
+        *,
+        strategy: str = "permute-dimensions",
+    ) -> "Embedding":
+        """Embed by permuting coordinate positions.
+
+        ``permutation`` must satisfy
+        ``apply_permutation(permutation, guest.shape) == host.shape``; node
+        ``A`` of the guest maps to ``apply_permutation(permutation, A)``.
+        Neighbours remain neighbours (the coordinate that changes is simply
+        relocated), so the dilation cost is 1 whenever the guest's edges are
+        a subset of the host's edges under the renaming — i.e. for
+        same-kind pairs and for mesh guests in torus hosts.
+        """
+        permuted_shape = apply_permutation(permutation, guest.shape)
+        if tuple(permuted_shape) != tuple(host.shape):
+            raise ShapeMismatchError(
+                f"permutation {tuple(permutation)} maps shape {guest.shape} to "
+                f"{tuple(permuted_shape)}, but the host shape is {host.shape}"
+            )
+        if guest.is_torus and host.is_mesh and not guest.is_hypercube:
+            raise InvalidEmbeddingError(
+                "a permutation embedding of a (non-hypercube) torus in a mesh does not "
+                "preserve adjacency; use the same-shape T_L embedding instead"
+            )
+        return cls.from_callable(
+            guest,
+            host,
+            lambda node: apply_permutation(permutation, node),
+            strategy=strategy,
+            predicted_dilation=1,
+            notes={"permutation": tuple(permutation)},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, node: Sequence[int]) -> Node:
+        return self.mapping[tuple(node)]
+
+    def __contains__(self, node: Sequence[int]) -> bool:
+        return tuple(node) in self.mapping
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def map_index(self, index: int) -> Node:
+        """Image of the guest node with natural-order rank ``index``.
+
+        For 1-dimensional guests this is the paper's integer-node shorthand:
+        ``map_index(x)`` is the image of node ``x`` of the line/ring.
+        """
+        return self.mapping[self.guest.index_node(index)]
+
+    def image(self) -> List[Node]:
+        """All host nodes used by the embedding, in guest natural order."""
+        return [self.mapping[node] for node in self.guest.nodes()]
+
+    def inverse_mapping(self) -> Dict[Node, Node]:
+        """Host-node -> guest-node mapping (defined on the image only)."""
+        return {image: node for node, image in self.mapping.items()}
+
+    # ------------------------------------------------------------------ #
+    # Validity
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise :class:`InvalidEmbeddingError` unless this is a valid embedding."""
+        if self.guest.size > self.host.size:
+            raise ShapeMismatchError(
+                f"guest has {self.guest.size} nodes but host only {self.host.size}"
+            )
+        if len(self.mapping) != self.guest.size:
+            raise InvalidEmbeddingError(
+                f"mapping covers {len(self.mapping)} of {self.guest.size} guest nodes"
+            )
+        images = set()
+        for node, image in self.mapping.items():
+            if not self.guest.contains(node):
+                raise InvalidEmbeddingError(f"{node!r} is not a node of the guest graph")
+            if not self.host.contains(image):
+                raise InvalidEmbeddingError(f"image {image!r} is not a node of the host graph")
+            if image in images:
+                raise InvalidEmbeddingError(f"image {image!r} is used more than once")
+            images.add(image)
+
+    def is_valid(self) -> bool:
+        """True when :meth:`validate` does not raise."""
+        try:
+            self.validate()
+        except (InvalidEmbeddingError, ShapeMismatchError):
+            return False
+        return True
+
+    def is_bijective(self) -> bool:
+        """True when the embedding uses every host node (same-size embeddings)."""
+        return self.is_valid() and self.guest.size == self.host.size
+
+    # ------------------------------------------------------------------ #
+    # Costs
+    # ------------------------------------------------------------------ #
+    def edge_dilations(self) -> List[int]:
+        """Distance in the host between the images of every guest edge."""
+        return [
+            self.host.distance(self.mapping[a], self.mapping[b])
+            for a, b in self.guest.edges()
+        ]
+
+    def dilation(self) -> int:
+        """The measured dilation cost (Definition 1)."""
+        dilations = self.edge_dilations()
+        return max(dilations) if dilations else 0
+
+    def average_dilation(self) -> float:
+        """Mean distance in the host over all guest edges."""
+        dilations = self.edge_dilations()
+        return sum(dilations) / len(dilations) if dilations else 0.0
+
+    def expansion_cost(self) -> float:
+        """``|V_H| / |V_G|`` — always 1 for the paper's same-size embeddings."""
+        return self.host.size / self.guest.size
+
+    def edge_congestion(self) -> int:
+        """Maximum number of guest edges routed over a single host edge.
+
+        Each guest edge is routed along the dimension-ordered shortest path
+        between its endpoint images; the congestion of a host edge is the
+        number of such paths that traverse it.  (Congestion is not analysed
+        by the paper but is a standard companion cost and is reported in the
+        experiment harness.)
+        """
+        load: Dict[Tuple[Node, Node], int] = {}
+        for a, b in self.guest.edges():
+            path = dimension_order_path(self.host, self.mapping[a], self.mapping[b])
+            for u, v in zip(path, path[1:]):
+                key = (u, v) if self.host.node_index(u) < self.host.node_index(v) else (v, u)
+                load[key] = load.get(key, 0) + 1
+        return max(load.values()) if load else 0
+
+    def matches_prediction(self) -> bool:
+        """True when the measured dilation equals the theorem's prediction.
+
+        If no prediction was recorded the check is vacuously true.  Note that
+        the general-reduction torus->mesh case (Theorem 43(iii)) and the
+        square chains only promise an *upper bound*; for those strategies the
+        constructors record the bound under ``notes['dilation_is_upper_bound']``
+        and this method checks ``measured <= predicted`` instead.
+        """
+        if self.predicted_dilation is None:
+            return True
+        measured = self.dilation()
+        if self.notes.get("dilation_is_upper_bound"):
+            return measured <= self.predicted_dilation
+        return measured == self.predicted_dilation
+
+    # ------------------------------------------------------------------ #
+    # Composition
+    # ------------------------------------------------------------------ #
+    def compose(self, outer: "Embedding", *, strategy: Optional[str] = None) -> "Embedding":
+        """The embedding ``outer ∘ self`` of ``self.guest`` in ``outer.host``.
+
+        ``outer.guest`` must have the same kind and shape as ``self.host``
+        (it is the intermediate graph of a chain such as ``G -> H' -> H``).
+        The predicted dilation of the composition is the product of the two
+        predictions when both are present (dilation costs compose at most
+        multiplicatively); the flag ``dilation_is_upper_bound`` is propagated
+        if either step only promises an upper bound.
+        """
+        if (self.host.kind, self.host.shape) != (outer.guest.kind, outer.guest.shape):
+            raise ShapeMismatchError(
+                f"cannot compose: inner host is {self.host!r} but outer guest is {outer.guest!r}"
+            )
+        mapping = {node: outer.mapping[image] for node, image in self.mapping.items()}
+        predicted: Optional[int] = None
+        if self.predicted_dilation is not None and outer.predicted_dilation is not None:
+            predicted = self.predicted_dilation * outer.predicted_dilation
+        notes: Dict[str, object] = {
+            "chain": [self.strategy, outer.strategy],
+            "inner_notes": self.notes,
+            "outer_notes": outer.notes,
+        }
+        if self.notes.get("dilation_is_upper_bound") or outer.notes.get(
+            "dilation_is_upper_bound"
+        ):
+            notes["dilation_is_upper_bound"] = True
+        elif predicted is not None and predicted > 1:
+            # Products of exact dilations are still only upper bounds for the
+            # composite (a shorter route may exist in the final host).
+            notes["dilation_is_upper_bound"] = True
+        return Embedding(
+            guest=self.guest,
+            host=outer.host,
+            mapping=mapping,
+            strategy=strategy or f"{self.strategy} ∘ {outer.strategy}",
+            predicted_dilation=predicted,
+            notes=notes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Presentation
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """One-line human-readable description used by the CLI and examples."""
+        predicted = (
+            "?" if self.predicted_dilation is None else str(self.predicted_dilation)
+        )
+        return (
+            f"{self.guest!r} -> {self.host!r} via {self.strategy}: "
+            f"dilation {self.dilation()} (predicted {predicted})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Embedding({self.guest!r} -> {self.host!r}, strategy={self.strategy!r}, "
+            f"predicted_dilation={self.predicted_dilation!r})"
+        )

@@ -1,0 +1,266 @@
+"""Functional (non-materialized) embeddings for very large graphs.
+
+The paper closes with the observation that *"given any argument in the
+corresponding domains of our embedding functions, the numbers of operations
+needed to evaluate the functions are all proportional to the dimension of
+H"* — i.e. the constructions are usable pointwise without ever materializing
+the full node mapping.  The :class:`Embedding` class materializes the map (so
+it can be validated and measured exhaustively), which is the right default
+for graphs up to a few hundred thousand nodes but not for, say, a
+``(1024, 1024, 1024)``-torus.
+
+:func:`functional_embed` returns a :class:`FunctionalEmbedding` — a thin
+wrapper around the per-node mapping function — for the strategies whose
+pointwise form is direct:
+
+* 1-dimensional guests (lines and rings): ``f_L``, ``g_L``, ``π ∘ h_{L*}``;
+* same-shape pairs: identity or ``T_L``;
+* shapes that are permutations of each other;
+* increasing dimension under the expansion condition: ``π ∘ {F,G,H}_V``;
+* lowering dimension under the simple-reduction condition: ``U_V ∘ [T] ∘ τ``.
+
+(The general-reduction and square-chain strategies build intermediate
+mappings and are only available in materialized form; requesting them raises
+:class:`UnsupportedEmbeddingError` with a pointer to :func:`repro.core.embed`.)
+
+A :class:`FunctionalEmbedding` can evaluate single nodes in O(dim H) time,
+estimate its dilation by sampling random guest edges, and materialize itself
+into a full :class:`Embedding` on demand.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..exceptions import ShapeMismatchError, UnsupportedEmbeddingError
+from ..graphs.base import CartesianGraph, graph_from_spec
+from ..numbering.distance import mesh_distance, torus_distance
+from ..numbering.radix import RadixBase
+from ..types import Node, ShapedGraphSpec
+from ..utils.listops import apply_permutation, find_permutation, is_permutation_of
+from .basic import even_first_permutation, f_value, g_value, h_value, predicted_ring_dilation
+from .embedding import Embedding
+from .expansion import find_expansion_factor, find_unit_dilation_torus_factor
+from .increasing import F_value, G_value, H_value, predicted_increasing_dilation
+from .lowering import U_value
+from .reduction import find_simple_reduction
+from .same_shape import t_vector_value
+
+__all__ = ["FunctionalEmbedding", "functional_embed"]
+
+
+@dataclass
+class FunctionalEmbedding:
+    """A pointwise embedding ``guest -> host`` that is never materialized.
+
+    The mapping function evaluates one node in time proportional to the host
+    dimension, as promised by the paper's concluding remark.
+    """
+
+    guest: ShapedGraphSpec
+    host: ShapedGraphSpec
+    mapping: Callable[[Node], Node]
+    strategy: str
+    predicted_dilation: Optional[int] = None
+
+    def __call__(self, node: Node) -> Node:
+        return self.mapping(tuple(node))
+
+    def map_index(self, index: int) -> Node:
+        """Image of the guest node with natural-order rank ``index``."""
+        return self.mapping(RadixBase(self.guest.shape).to_digits(index))
+
+    def host_distance(self, a: Node, b: Node) -> int:
+        """Distance between two host nodes under the host's metric."""
+        if self.host.is_torus:
+            return torus_distance(a, b, self.host.shape)
+        return mesh_distance(a, b)
+
+    def sample_dilation(self, samples: int = 1024, *, seed: int = 0) -> int:
+        """Maximum host distance over ``samples`` randomly chosen guest edges.
+
+        A lower bound on the true dilation (and usually equal to it, because
+        the constructions stretch a constant fraction of the edges); useful
+        when the guest is too large to enumerate.
+        """
+        rng = random.Random(seed)
+        guest_base = RadixBase(self.guest.shape)
+        shape = self.guest.shape
+        worst = 0
+        for _ in range(samples):
+            node = list(guest_base.to_digits(rng.randrange(guest_base.size)))
+            dim = rng.randrange(len(shape))
+            neighbor = list(node)
+            if self.guest.is_torus:
+                neighbor[dim] = (neighbor[dim] + 1) % shape[dim]
+            else:
+                if node[dim] + 1 >= shape[dim]:
+                    node[dim] -= 1
+                    neighbor[dim] = node[dim] + 1
+                else:
+                    neighbor[dim] = node[dim] + 1
+            if tuple(node) == tuple(neighbor):
+                continue
+            worst = max(
+                worst, self.host_distance(self.mapping(tuple(node)), self.mapping(tuple(neighbor)))
+            )
+        return worst
+
+    def materialize(self) -> Embedding:
+        """Build the full :class:`Embedding` (requires enumerating the guest)."""
+        guest_graph = graph_from_spec(self.guest)
+        host_graph = graph_from_spec(self.host)
+        return Embedding.from_callable(
+            guest_graph,
+            host_graph,
+            self.mapping,
+            strategy=self.strategy,
+            predicted_dilation=self.predicted_dilation,
+        )
+
+
+def _spec_of(graph_or_spec) -> ShapedGraphSpec:
+    if isinstance(graph_or_spec, CartesianGraph):
+        return graph_or_spec.spec
+    return graph_or_spec
+
+
+def functional_embed(guest, host) -> FunctionalEmbedding:
+    """A pointwise embedding between the two graphs (specs or graph objects).
+
+    Covers the strategies listed in the module docstring; raises
+    :class:`UnsupportedEmbeddingError` for pairs that need an intermediate
+    materialized mapping (general reduction, square chains).
+    """
+    guest_spec = _spec_of(guest)
+    host_spec = _spec_of(host)
+    if guest_spec.size != host_spec.size:
+        raise ShapeMismatchError(
+            f"guest has {guest_spec.size} nodes but host has {host_spec.size}"
+        )
+    guest_shape, host_shape = guest_spec.shape, host_spec.shape
+    torus_guest = guest_spec.is_torus and not guest_spec.is_hypercube
+
+    # Same shape (Lemma 36).
+    if guest_shape == host_shape:
+        if torus_guest and host_spec.is_mesh:
+            return FunctionalEmbedding(
+                guest_spec,
+                host_spec,
+                lambda node: t_vector_value(guest_shape, node),
+                "same-shape:T_L",
+                2,
+            )
+        return FunctionalEmbedding(guest_spec, host_spec, lambda node: node, "identity", 1)
+
+    # Permuted shapes.
+    if is_permutation_of(guest_shape, host_shape):
+        permutation = find_permutation(guest_shape, host_shape)
+        if torus_guest and host_spec.is_mesh:
+            return FunctionalEmbedding(
+                guest_spec,
+                host_spec,
+                lambda node: apply_permutation(permutation, t_vector_value(guest_shape, node)),
+                "permute-dimensions∘T_L",
+                2,
+            )
+        return FunctionalEmbedding(
+            guest_spec,
+            host_spec,
+            lambda node: apply_permutation(permutation, node),
+            "permute-dimensions",
+            1,
+        )
+
+    # 1-dimensional guests (Section 3).
+    if guest_spec.dimension == 1:
+        host_base = RadixBase(host_shape)
+        host_graph_like = graph_from_spec(host_spec)
+        if guest_spec.is_mesh:
+            return FunctionalEmbedding(
+                guest_spec, host_spec, lambda node: f_value(host_base, node[0]), "line:f_L", 1
+            )
+        if host_spec.is_torus:
+            return FunctionalEmbedding(
+                guest_spec, host_spec, lambda node: h_value(host_base, node[0]), "ring:h_L", 1
+            )
+        if host_spec.dimension >= 2 and host_spec.size % 2 == 0:
+            reordered_shape, perm = even_first_permutation(host_shape)
+            base = RadixBase(reordered_shape)
+            return FunctionalEmbedding(
+                guest_spec,
+                host_spec,
+                lambda node: apply_permutation(perm, h_value(base, node[0])),
+                "ring:π∘h_L*",
+                1,
+            )
+        return FunctionalEmbedding(
+            guest_spec,
+            host_spec,
+            lambda node: g_value(host_base, node[0]),
+            "ring:g_L",
+            predicted_ring_dilation(host_graph_like),
+        )
+
+    # Increasing dimension under the expansion condition (Theorem 32).
+    if guest_spec.dimension < host_spec.dimension:
+        factor = None
+        unit_factor = False
+        if torus_guest and host_spec.is_mesh and guest_spec.size % 2 == 0:
+            factor = find_unit_dilation_torus_factor(guest_shape, host_shape)
+            unit_factor = factor is not None
+        if factor is None:
+            factor = find_expansion_factor(guest_shape, host_shape)
+        if factor is None:
+            raise UnsupportedEmbeddingError(
+                f"{host_shape} is not an expansion of {guest_shape}; use repro.core.embed "
+                "for the square-graph chain strategies"
+            )
+        permutation = find_permutation(factor.flattened, host_shape)
+        if not torus_guest:
+            value_fn, strategy = F_value, "increasing:F_V"
+        elif host_spec.is_torus:
+            value_fn, strategy = H_value, "increasing:H_V"
+        elif unit_factor:
+            value_fn, strategy = H_value, "increasing:H_V(even-first)"
+        else:
+            value_fn, strategy = G_value, "increasing:G_V"
+        guest_graph_like = graph_from_spec(guest_spec)
+        host_graph_like = graph_from_spec(host_spec)
+        predicted = predicted_increasing_dilation(
+            guest_graph_like, host_graph_like, unit_torus_factor=unit_factor
+        )
+        return FunctionalEmbedding(
+            guest_spec,
+            host_spec,
+            lambda node: apply_permutation(permutation, value_fn(factor, node)),
+            strategy,
+            predicted,
+        )
+
+    # Lowering dimension under the simple-reduction condition (Theorem 39).
+    factor = find_simple_reduction(guest_shape, host_shape)
+    if factor is None:
+        raise UnsupportedEmbeddingError(
+            f"{host_shape} is not a simple reduction of {guest_shape}; the general-reduction "
+            "and square-chain strategies are only available through repro.core.embed"
+        )
+    flattened = factor.flattened
+    tau = find_permutation(guest_shape, flattened)
+    if torus_guest and host_spec.is_mesh:
+        return FunctionalEmbedding(
+            guest_spec,
+            host_spec,
+            lambda node: U_value(factor, t_vector_value(flattened, apply_permutation(tau, node))),
+            "lowering:U_V∘T∘τ",
+            2 * factor.dilation(),
+        )
+    return FunctionalEmbedding(
+        guest_spec,
+        host_spec,
+        lambda node: U_value(factor, apply_permutation(tau, node)),
+        "lowering:U_V∘τ",
+        factor.dilation(),
+    )

@@ -1,0 +1,328 @@
+"""Reduction of shapes (Definitions 37 and 41) and the factor searches.
+
+Two flavours of reduction are defined by the paper for lowering-dimension
+embeddings (guest dimension ``d`` greater than host dimension ``c``):
+
+**Simple reduction** (Definition 37): ``M`` is a simple reduction of ``L``
+with reduction factor ``V = (V_1, ..., V_c)`` when ``L`` is an expansion of
+``M`` with expansion factor ``V`` — every host length ``m_i`` is the product
+of a group of guest lengths.  The search simply reuses the expansion-factor
+machinery with the roles of the shapes swapped; Theorem 39 additionally wants
+the components of each ``V_i`` sorted in non-increasing order (which
+minimizes the resulting dilation), handled by
+:meth:`SimpleReductionFactor.sorted_non_increasing`.
+
+**General reduction** (Definition 41, requires ``c < d < 2c``): ``L`` splits
+(as a multiset) into a *multiplicant* sublist ``L'`` of length ``c`` and a
+*multiplier* sublist ``L''`` of length ``d - c``; each ``l''_i`` factors into
+a list ``S_i`` of integers > 1; writing ``S̄ = S_1 ∘ ... ∘ S_{d-c}`` of
+length ``b`` with ``d - c < b ≤ c``, the host shape ``M`` must be a
+permutation of ``[S̄ ∘ (1, ..., 1)] × L'`` — i.e. each host length is either
+a multiplicant length or the product of a multiplicant length and one
+``s``-value.  :func:`find_general_reduction` performs the (backtracking)
+search for such a decomposition and returns it in the arranged form needed by
+the embedding functions of Definition 42.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import NoReductionError
+from ..utils.listops import concat, is_permutation_of, product
+from ..utils.intmath import factorizations_into_parts
+from .expansion import ExpansionFactor, find_expansion_factor, iter_expansion_factors
+
+__all__ = [
+    "SimpleReductionFactor",
+    "GeneralReductionFactor",
+    "is_simple_reduction",
+    "find_simple_reduction",
+    "is_general_reduction",
+    "find_general_reduction",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Simple reduction
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SimpleReductionFactor:
+    """A reduction factor ``V = (V_1, ..., V_c)`` of ``L`` into ``M`` (Definition 37).
+
+    ``groups[i]`` multiplies to the host length ``m_{i+1}``; the concatenation
+    of the groups is a permutation of the guest shape ``L``.
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def flattened(self) -> Tuple[int, ...]:
+        """``V̄ = V_1 ∘ ... ∘ V_c`` — the rearranged guest shape."""
+        return concat(*self.groups)
+
+    @property
+    def host_shape(self) -> Tuple[int, ...]:
+        """The host shape recovered as per-group products."""
+        return tuple(product(group) for group in self.groups)
+
+    def sorted_non_increasing(self) -> "SimpleReductionFactor":
+        """Sort the components of every group in non-increasing order.
+
+        Theorem 39 assumes this ordering; it minimizes the dilation
+        ``max_i m_i / l_{v_i}`` because the *largest* component of each group
+        is the one excluded from the ratio.
+        """
+        return SimpleReductionFactor(
+            tuple(tuple(sorted(group, reverse=True)) for group in self.groups)
+        )
+
+    def sorted_non_decreasing(self) -> "SimpleReductionFactor":
+        """The adversarial ordering, used by the ablation benchmark."""
+        return SimpleReductionFactor(
+            tuple(tuple(sorted(group)) for group in self.groups)
+        )
+
+    def dilation(self) -> int:
+        """``max_i m_i / l_{v_i}`` for the current component ordering (Theorem 39)."""
+        return max(product(group) // group[0] for group in self.groups)
+
+    def reduces(self, source: Sequence[int], target: Sequence[int]) -> bool:
+        """True when this factor witnesses ``target`` as a simple reduction of ``source``."""
+        return self.host_shape == tuple(target) and is_permutation_of(
+            self.flattened, tuple(source)
+        )
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+
+def is_simple_reduction(source: Sequence[int], target: Sequence[int]) -> bool:
+    """True when ``target`` (length c) is a simple reduction of ``source`` (length d > c)."""
+    source = tuple(source)
+    target = tuple(target)
+    if len(source) <= len(target):
+        return False
+    return find_expansion_factor(target, source) is not None
+
+
+def find_simple_reduction(
+    source: Sequence[int], target: Sequence[int]
+) -> Optional[SimpleReductionFactor]:
+    """A simple-reduction factor of ``source`` into ``target``, sorted non-increasingly."""
+    source = tuple(source)
+    target = tuple(target)
+    if len(source) <= len(target):
+        return None
+    expansion = find_expansion_factor(target, source)
+    if expansion is None:
+        return None
+    return SimpleReductionFactor(expansion.lists).sorted_non_increasing()
+
+
+# --------------------------------------------------------------------------- #
+# General reduction
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GeneralReductionFactor:
+    """A general-reduction decomposition (Definition 41), arranged for Definition 42.
+
+    Attributes
+    ----------
+    multiplicant:
+        The ordered multiplicant sublist ``L'`` (length ``c``); its first
+        ``b`` entries are the ones multiplied by the ``s``-values.
+    multiplier:
+        The ordered multiplier sublist ``L''`` (length ``d - c``).
+    s_groups:
+        The lists ``S_1, ..., S_{d-c}``; ``Π S_i = multiplier[i]`` and every
+        component exceeds 1.
+    """
+
+    multiplicant: Tuple[int, ...]
+    multiplier: Tuple[int, ...]
+    s_groups: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def s_flat(self) -> Tuple[int, ...]:
+        """``S̄ = S_1 ∘ ... ∘ S_{d-c}`` of length ``b``."""
+        return concat(*self.s_groups)
+
+    @property
+    def b(self) -> int:
+        """Number of multiplied host dimensions."""
+        return len(self.s_flat)
+
+    @property
+    def c(self) -> int:
+        return len(self.multiplicant)
+
+    @property
+    def d(self) -> int:
+        return len(self.multiplicant) + len(self.multiplier)
+
+    @property
+    def rearranged_source(self) -> Tuple[int, ...]:
+        """``L' ∘ L''`` — the guest shape after the permutation α."""
+        return self.multiplicant + self.multiplier
+
+    @property
+    def host_arrangement(self) -> Tuple[int, ...]:
+        """``[S̄ ∘ (1, ..., 1)] × L'`` — the host shape before the permutation β."""
+        s = self.s_flat
+        multiplied = tuple(s_j * l_j for s_j, l_j in zip(s, self.multiplicant))
+        return multiplied + self.multiplicant[len(s):]
+
+    def dilation(self) -> int:
+        """``max(s_1, ..., s_b)`` — the dilation of Theorem 43 (cases i–ii)."""
+        return max(self.s_flat)
+
+    def reduces(self, source: Sequence[int], target: Sequence[int]) -> bool:
+        """True when this decomposition witnesses ``target`` as a general reduction of ``source``."""
+        source = tuple(source)
+        target = tuple(target)
+        if not is_permutation_of(self.rearranged_source, source):
+            return False
+        if not is_permutation_of(self.host_arrangement, target):
+            return False
+        if tuple(product(group) for group in self.s_groups) != self.multiplier:
+            return False
+        if any(part <= 1 for group in self.s_groups for part in group):
+            return False
+        b = self.b
+        return self.d - self.c < b <= self.c
+
+
+def _multiset_factorizations(value: int) -> List[Tuple[int, ...]]:
+    """Distinct multiset factorizations of ``value`` into parts > 1 (sorted descending)."""
+    seen = set()
+    result: List[Tuple[int, ...]] = []
+    for parts in factorizations_into_parts(value, min_part=2):
+        key = tuple(sorted(parts, reverse=True))
+        if key not in seen:
+            seen.add(key)
+            result.append(key)
+    return result
+
+
+def _match_pairs(
+    s_values: Tuple[int, ...],
+    multiplicant_pool: Counter,
+    target_pool: Counter,
+) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Pair each ``s`` with a multiplicant length so products cover the target multiset.
+
+    Returns ``(paired_multiplicants, unpaired_multiplicants)`` — the
+    multiplicant lengths aligned with ``s_values`` followed by the leftover
+    ones — or ``None`` when no pairing exists.  The leftover multiplicants
+    must coincide (as a multiset) with the target lengths not produced by a
+    pairing.
+    """
+
+    def recurse(
+        index: int, pool: Counter, remaining_target: Counter, chosen: Tuple[int, ...]
+    ) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        if index == len(s_values):
+            if pool == remaining_target:
+                leftover = tuple(sorted(pool.elements(), reverse=True))
+                return chosen, leftover
+            return None
+        s = s_values[index]
+        for candidate in sorted(pool):
+            produced = s * candidate
+            if remaining_target.get(produced, 0) == 0:
+                continue
+            pool[candidate] -= 1
+            if pool[candidate] == 0:
+                del pool[candidate]
+            remaining_target[produced] -= 1
+            if remaining_target[produced] == 0:
+                del remaining_target[produced]
+            result = recurse(index + 1, pool, remaining_target, chosen + (candidate,))
+            pool[candidate] += 1
+            remaining_target[produced] += 1
+            if result is not None:
+                return result
+        return None
+
+    return recurse(0, multiplicant_pool.copy(), target_pool.copy(), ())
+
+
+def iter_general_reductions(
+    source: Sequence[int], target: Sequence[int], *, limit: Optional[int] = None
+) -> Iterator[GeneralReductionFactor]:
+    """Enumerate general-reduction decompositions of ``source`` into ``target``."""
+    source = tuple(source)
+    target = tuple(target)
+    d, c = len(source), len(target)
+    if not (c < d < 2 * c) or product(source) != product(target):
+        return
+    count = 0
+    seen_multipliers: set[Tuple[int, ...]] = set()
+    indices = range(d)
+    for multiplier_positions in itertools.combinations(indices, d - c):
+        multiplier = tuple(sorted((source[i] for i in multiplier_positions), reverse=True))
+        if multiplier in seen_multipliers:
+            continue
+        seen_multipliers.add(multiplier)
+        multiplicant_counter = Counter(source)
+        for value in multiplier:
+            multiplicant_counter[value] -= 1
+            if multiplicant_counter[value] == 0:
+                del multiplicant_counter[value]
+        # Choose a factorization for every multiplier entry.
+        options = [_multiset_factorizations(value) for value in multiplier]
+        for combo in itertools.product(*options):
+            s_flat = concat(*combo)
+            b = len(s_flat)
+            if not (d - c < b <= c):
+                continue
+            pairing = _match_pairs(s_flat, multiplicant_counter, Counter(target))
+            if pairing is None:
+                continue
+            paired, leftover = pairing
+            factor = GeneralReductionFactor(
+                multiplicant=paired + leftover,
+                multiplier=multiplier,
+                s_groups=tuple(combo),
+            )
+            if factor.reduces(source, target):
+                count += 1
+                yield factor
+                if limit is not None and count >= limit:
+                    return
+
+
+def find_general_reduction(
+    source: Sequence[int], target: Sequence[int]
+) -> Optional[GeneralReductionFactor]:
+    """The first general-reduction decomposition found, or ``None``."""
+    for factor in iter_general_reductions(source, target, limit=1):
+        return factor
+    return None
+
+
+def is_general_reduction(source: Sequence[int], target: Sequence[int]) -> bool:
+    """True when ``target`` is a general reduction of ``source`` (Definition 41)."""
+    return find_general_reduction(source, target) is not None
+
+
+def require_reduction(
+    source: Sequence[int], target: Sequence[int]
+) -> SimpleReductionFactor | GeneralReductionFactor:
+    """Find a simple reduction first, then a general one; raise if neither exists."""
+    simple = find_simple_reduction(source, target)
+    if simple is not None:
+        return simple
+    general = find_general_reduction(source, target)
+    if general is not None:
+        return general
+    raise NoReductionError(
+        f"shape {tuple(target)} is neither a simple nor a general reduction of {tuple(source)}"
+    )

@@ -1,0 +1,66 @@
+"""Embeddings between a torus and a mesh of the same shape (Lemma 36).
+
+Given two graphs of the same shape ``L = (l_1, ..., l_d)``:
+
+* if the guest is a mesh, or both graphs are toruses, or both are
+  hypercubes, the identity map is an embedding with dilation 1;
+* if the guest is a torus and the host is a mesh (and they are not
+  hypercubes) the identity fails (wrap-around edges stretch across the whole
+  mesh); the paper's ``T_L`` — applying ``t_{l_i}`` to every coordinate —
+  achieves the optimal dilation 2.
+
+``T_L`` works because ``t_l`` (Definition 14) is a cyclic sequence of
+``0..l-1`` with spread 2: torus neighbours in any dimension differ by 1
+modulo ``l``, so their ``t``-relabelled coordinates differ by at most 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import ShapeMismatchError
+from ..graphs.base import CartesianGraph
+from ..types import Node
+from .basic import t_value
+from .embedding import Embedding
+
+__all__ = ["t_vector_value", "same_shape_embedding", "torus_in_mesh_same_shape"]
+
+
+def t_vector_value(shape: Sequence[int], node: Sequence[int]) -> Node:
+    """``T_L((x_1, ..., x_d)) = (t_{l_1}(x_1), ..., t_{l_d}(x_d))`` (Definition 35)."""
+    if len(shape) != len(node):
+        raise ValueError("shape and node must have the same dimension")
+    return tuple(t_value(length, coordinate) for length, coordinate in zip(shape, node))
+
+
+def torus_in_mesh_same_shape(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
+    """The ``T_L`` embedding of an ``L``-torus in an ``L``-mesh (dilation 2)."""
+    if guest.shape != host.shape:
+        raise ShapeMismatchError(
+            f"same-shape embedding requires equal shapes, got {guest.shape} and {host.shape}"
+        )
+    shape = guest.shape
+    return Embedding.from_callable(
+        guest,
+        host,
+        lambda node: t_vector_value(shape, node),
+        strategy="same-shape:T_L",
+        predicted_dilation=2,
+        notes={"dilation_is_upper_bound": guest.is_hypercube or min(shape) <= 2},
+    )
+
+
+def same_shape_embedding(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
+    """The optimal same-shape embedding of Lemma 36.
+
+    Identity (dilation 1) except for a non-hypercube torus guest in a mesh
+    host, which uses ``T_L`` (dilation 2).
+    """
+    if guest.shape != host.shape:
+        raise ShapeMismatchError(
+            f"same-shape embedding requires equal shapes, got {guest.shape} and {host.shape}"
+        )
+    if guest.is_torus and host.is_mesh and not guest.is_hypercube:
+        return torus_in_mesh_same_shape(guest, host)
+    return Embedding.identity(guest, host)

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the torus/mesh embedding library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidShapeError",
+    "InvalidRadixError",
+    "InvalidEmbeddingError",
+    "ShapeMismatchError",
+    "NoExpansionError",
+    "NoReductionError",
+    "UnsupportedEmbeddingError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class InvalidShapeError(ReproError, ValueError):
+    """A torus/mesh shape is malformed (empty, non-integer, or a length < 2).
+
+    The paper (Definitions 2 and 3) requires every dimension length to be an
+    integer greater than 1; a shape that violates this cannot describe a
+    torus or a mesh.
+    """
+
+
+class InvalidRadixError(ReproError, ValueError):
+    """A mixed-radix base is malformed (Definition 7 requires every radix > 1)."""
+
+
+class InvalidEmbeddingError(ReproError, ValueError):
+    """An embedding is not an injection into the target node set."""
+
+
+class ShapeMismatchError(ReproError, ValueError):
+    """The guest and host graphs do not have the same number of nodes.
+
+    Every embedding studied in the paper is between graphs of equal size;
+    a size mismatch means no injection of the required kind exists.
+    """
+
+
+class NoExpansionError(ReproError, ValueError):
+    """The host shape is not an expansion of the guest shape (Definition 30)."""
+
+
+class NoReductionError(ReproError, ValueError):
+    """The host shape is neither a simple nor a general reduction of the guest
+    shape (Definitions 37 and 41)."""
+
+
+class UnsupportedEmbeddingError(ReproError, ValueError):
+    """No strategy implemented by the library applies to the requested pair.
+
+    The paper only covers pairs whose shapes satisfy the condition of
+    expansion (increasing dimension) or reduction (lowering dimension), plus
+    the square and basic special cases.  Pairs outside those conditions are
+    reported with this exception rather than silently producing a poor
+    embedding.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The network simulator was given an inconsistent configuration."""

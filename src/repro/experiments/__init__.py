@@ -1,0 +1,33 @@
+"""Experiment harness: regenerate every figure and result table of the paper.
+
+Each module computes the rows of one (or a small group of) experiment(s) from
+the index in ``DESIGN.md``; the benchmark suite under ``benchmarks/`` wraps
+these generators with ``pytest-benchmark`` timing and shape assertions, and
+``python -m repro.experiments`` renders all of them as the markdown recorded
+in ``EXPERIMENTS.md``.
+
+Experiment identifiers
+----------------------
+========  ==========================================================
+FIG-1/2   the (4,2,3)-torus and mesh of Figures 1-2
+FIG-3     distance/spread table in the style of Figure 3
+FIG-4     sequences P and P' for L = (4,2,3) (Figure 4)
+FIG-9     embedding functions f, g, h for L = (4,2,3) (Figure 9)
+FIG-10    line/ring of size 24 in the (4,2,3)-mesh (Figure 10)
+FIG-11    F_V, G_V, H_V for L = (4,6), M = (2,2,2,3) (Figure 11)
+FIG-12    (3,3,6)-mesh in the (6,9)-mesh via supernodes (Figure 12)
+TAB-BASIC dilation of a line/ring in meshes and toruses (Section 3)
+TAB-INC   Theorem 32 dilation matrix under the expansion condition
+TAB-LOW-SIMPLE  Theorem 39 / Corollary 40 dilation sweep
+TAB-LOW-GENERAL Theorem 43 dilation sweep
+TAB-SQUARE-LOW  Theorems 48 and 51 sweep
+TAB-SQUARE-INC  Theorems 52 and 53 sweep
+TAB-OPTIMA      Section 5 comparison against known optimal embeddings
+APP-EPS         the Appendix ε sequence
+SIM-MAP         task-mapping simulation: paper embedding vs baselines
+========  ==========================================================
+"""
+
+from .registry import EXPERIMENTS, ExperimentResult, get_experiment, run_all, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "get_experiment", "run_experiment", "run_all"]

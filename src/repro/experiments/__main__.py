@@ -1,0 +1,41 @@
+"""Run the full experiment suite from the command line.
+
+``python -m repro.experiments``                 prints every experiment as text
+``python -m repro.experiments --markdown``      prints markdown (EXPERIMENTS.md body)
+``python -m repro.experiments --only FIG-9 ...``  restricts to specific ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .registry import EXPERIMENTS, run_all, _ensure_loaded
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
+    parser.add_argument("--markdown", action="store_true", help="emit markdown sections")
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument("--only", nargs="*", default=None, help="restrict to these experiment ids")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    _ensure_loaded()
+    if args.list:
+        for experiment_id, (title, _func) in EXPERIMENTS.items():
+            print(f"{experiment_id:16s} {title}")
+        return 0
+
+    results = run_all(args.only)
+    for result in results:
+        if args.markdown:
+            print(result.render_markdown())
+        else:
+            print(result.render())
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

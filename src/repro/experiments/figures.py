@@ -1,0 +1,226 @@
+"""Experiments FIG-1/2, FIG-3, FIG-4, FIG-9, FIG-10, FIG-11, FIG-12.
+
+These regenerate the paper's worked figures as data: node/edge counts and
+example distances for Figures 1–2, sequence/spread tables for Figures 3, 4,
+9 and 11, and the embedding grids of Figures 10 and 12 together with their
+measured dilation costs.
+"""
+
+from __future__ import annotations
+
+from ..core.basic import (
+    f_sequence,
+    f_value,
+    g_value,
+    h_value,
+    line_in_graph_embedding,
+    ring_in_graph_embedding,
+)
+from ..core.expansion import ExpansionFactor
+from ..core.increasing import F_value, G_value, H_value
+from ..core.lowering import embed_lowering_general
+from ..graphs.base import Mesh, Torus
+from ..numbering.graycode import natural_sequence
+from ..numbering.radix import RadixBase
+from ..numbering.sequences import cyclic_spread, sequence_spread
+from ..viz.ascii import render_embedding_grid, render_sequence_table
+from .registry import ExperimentResult, register
+
+FIGURE_SHAPE = (4, 2, 3)
+FIGURE11_GUEST = (4, 6)
+FIGURE11_FACTOR = ExpansionFactor(((2, 2), (2, 3)))
+
+
+@register("FIG-1/2", "The (4,2,3)-torus and (4,2,3)-mesh of Figures 1 and 2")
+def figure_1_2() -> ExperimentResult:
+    result = ExperimentResult("FIG-1/2", "The (4,2,3)-torus and (4,2,3)-mesh of Figures 1 and 2")
+    for graph in (Torus(FIGURE_SHAPE), Mesh(FIGURE_SHAPE)):
+        result.rows.append(
+            {
+                "graph": repr(graph),
+                "nodes": graph.size,
+                "edges": graph.num_edges(),
+                "diameter": graph.diameter(),
+                "distance (0,0,1)->(3,0,0)": graph.distance((0, 0, 1), (3, 0, 0)),
+            }
+        )
+    result.notes.append(
+        "paper: the torus distance between (0,0,1) and (3,0,0) is 2; the mesh distance is 4"
+    )
+    return result
+
+
+@register("FIG-3", "δm/δt spreads of a sequence over Ω_(3,3) (Figure 3 style)")
+def figure_3() -> ExperimentResult:
+    sequence = [(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1), (0, 2), (1, 2), (2, 2)]
+    result = ExperimentResult("FIG-3", "δm/δt spreads of a sequence over Ω_(3,3) (Figure 3 style)")
+    result.rows.append(
+        {
+            "view": "acyclic",
+            "δm-spread": sequence_spread(sequence),
+            "δt-spread": sequence_spread(sequence, metric="torus", shape=(3, 3)),
+        }
+    )
+    result.rows.append(
+        {
+            "view": "cyclic",
+            "δm-spread": cyclic_spread(sequence),
+            "δt-spread": cyclic_spread(sequence, metric="torus", shape=(3, 3)),
+        }
+    )
+    result.notes.append("illustrates Definition 8: the two views and two metrics give different spreads")
+    return result
+
+
+@register("FIG-4", "Sequences P and P' for L = (4,2,3) (Figure 4)")
+def figure_4() -> ExperimentResult:
+    naturals = natural_sequence(FIGURE_SHAPE)
+    reflected = f_sequence(FIGURE_SHAPE)
+    result = ExperimentResult("FIG-4", "Sequences P and P' for L = (4,2,3) (Figure 4)")
+    result.text = render_sequence_table(
+        24,
+        {"P": lambda x: naturals[x], "P'": lambda x: reflected[x]},
+        title="Figure 4: natural sequence P and reflected sequence P'",
+    )
+    result.rows.append(
+        {
+            "sequence": "P (natural)",
+            "δm-spread": sequence_spread(naturals),
+            "paper": "> 1 for d > 1",
+        }
+    )
+    result.rows.append(
+        {"sequence": "P' (= f_L)", "δm-spread": sequence_spread(reflected), "paper": 1}
+    )
+    return result
+
+
+@register("FIG-9", "Embedding functions f_L, g_L, h_L for n = 24, L = (4,2,3) (Figure 9)")
+def figure_9() -> ExperimentResult:
+    result = ExperimentResult(
+        "FIG-9", "Embedding functions f_L, g_L, h_L for n = 24, L = (4,2,3) (Figure 9)"
+    )
+    result.text = render_sequence_table(
+        24,
+        {
+            "f_L": lambda x: f_value(FIGURE_SHAPE, x),
+            "g_L": lambda x: g_value(FIGURE_SHAPE, x),
+            "h_L": lambda x: h_value(FIGURE_SHAPE, x),
+        },
+        title="Figure 9: f_L, g_L and h_L for L = (4, 2, 3)",
+    )
+    shape = FIGURE_SHAPE
+    result.rows.append(
+        {
+            "function": "f_L",
+            "acyclic δm-spread": sequence_spread([f_value(shape, x) for x in range(24)]),
+            "cyclic δm-spread": cyclic_spread([f_value(shape, x) for x in range(24)]),
+            "cyclic δt-spread": cyclic_spread(
+                [f_value(shape, x) for x in range(24)], metric="torus", shape=shape
+            ),
+        }
+    )
+    result.rows.append(
+        {
+            "function": "g_L",
+            "acyclic δm-spread": sequence_spread([g_value(shape, x) for x in range(24)]),
+            "cyclic δm-spread": cyclic_spread([g_value(shape, x) for x in range(24)]),
+            "cyclic δt-spread": cyclic_spread(
+                [g_value(shape, x) for x in range(24)], metric="torus", shape=shape
+            ),
+        }
+    )
+    result.rows.append(
+        {
+            "function": "h_L",
+            "acyclic δm-spread": sequence_spread([h_value(shape, x) for x in range(24)]),
+            "cyclic δm-spread": cyclic_spread([h_value(shape, x) for x in range(24)]),
+            "cyclic δt-spread": cyclic_spread(
+                [h_value(shape, x) for x in range(24)], metric="torus", shape=shape
+            ),
+        }
+    )
+    result.notes.append("paper: f has unit acyclic spreads; g has cyclic δm-spread 2; h has unit cyclic spreads")
+    return result
+
+
+@register("FIG-10", "A line and a ring of size 24 in the (4,2,3)-mesh (Figure 10)")
+def figure_10() -> ExperimentResult:
+    host = Mesh(FIGURE_SHAPE)
+    line = line_in_graph_embedding(host)
+    ring = ring_in_graph_embedding(host)
+    result = ExperimentResult("FIG-10", "A line and a ring of size 24 in the (4,2,3)-mesh (Figure 10)")
+    result.text = "\n\n".join(
+        [
+            render_embedding_grid(line, title="Figure 10(d): the line embedded with f_(4,2,3)"),
+            render_embedding_grid(ring, title="Figure 10(f): the ring embedded with h_(4,2,3)"),
+        ]
+    )
+    result.rows.append(
+        {"guest": "line of 24", "strategy": line.strategy, "dilation": line.dilation(), "paper": 1}
+    )
+    result.rows.append(
+        {"guest": "ring of 24", "strategy": ring.strategy, "dilation": ring.dilation(), "paper": 1}
+    )
+    return result
+
+
+@register("FIG-11", "F_V, G_V, H_V for L = (4,6), M = (2,2,2,3) (Figure 11)")
+def figure_11() -> ExperimentResult:
+    guest_base = RadixBase(FIGURE11_GUEST)
+    naturals = [guest_base.to_digits(x) for x in range(guest_base.size)]
+    result = ExperimentResult("FIG-11", "F_V, G_V, H_V for L = (4,6), M = (2,2,2,3) (Figure 11)")
+    result.text = render_sequence_table(
+        guest_base.size,
+        {
+            "F_V": lambda x: F_value(FIGURE11_FACTOR, naturals[x]),
+            "G_V": lambda x: G_value(FIGURE11_FACTOR, naturals[x]),
+            "H_V": lambda x: H_value(FIGURE11_FACTOR, naturals[x]),
+        },
+        title="Figure 11: F_V, G_V, H_V for V = ((2,2), (2,3))",
+    )
+    from ..core.increasing import embed_increasing
+
+    for guest_kind, host_kind, paper in [
+        ("mesh", "mesh", 1),
+        ("mesh", "torus", 1),
+        ("torus", "torus", 1),
+        ("torus", "mesh", "1 (even size) / 2 in general"),
+    ]:
+        guest = Mesh(FIGURE11_GUEST) if guest_kind == "mesh" else Torus(FIGURE11_GUEST)
+        host = Mesh((2, 2, 2, 3)) if host_kind == "mesh" else Torus((2, 2, 2, 3))
+        embedding = embed_increasing(guest, host)
+        result.rows.append(
+            {
+                "guest": repr(guest),
+                "host": repr(host),
+                "strategy": embedding.strategy,
+                "dilation": embedding.dilation(),
+                "paper": paper,
+            }
+        )
+    return result
+
+
+@register("FIG-12", "The (3,3,6)-mesh in the (6,9)-mesh via supernodes (Figure 12)")
+def figure_12() -> ExperimentResult:
+    guest = Mesh((3, 3, 6))
+    host = Mesh((6, 9))
+    embedding = embed_lowering_general(guest, host)
+    result = ExperimentResult("FIG-12", "The (3,3,6)-mesh in the (6,9)-mesh via supernodes (Figure 12)")
+    result.text = render_embedding_grid(
+        embedding, title="Figure 12: guest ranks inside the (6,9)-mesh (supernode construction)"
+    )
+    result.rows.append(
+        {
+            "guest": repr(guest),
+            "host": repr(host),
+            "strategy": embedding.strategy,
+            "dilation": embedding.dilation(),
+            "paper": 3,
+        }
+    )
+    result.notes.append(
+        "the paper walks through exactly this example when introducing general reduction (Section 4.2.2)"
+    )
+    return result

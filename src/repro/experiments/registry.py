@@ -1,0 +1,102 @@
+"""Registry and runner for the reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..analysis.report import format_table
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "register", "get_experiment", "run_experiment", "run_all"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: tabular rows plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    text: Optional[str] = None
+
+    def render(self) -> str:
+        """Render as plain text (table + notes)."""
+        parts: List[str] = []
+        if self.text is not None:
+            parts.append(self.text)
+        if self.rows:
+            parts.append(format_table(self.rows, title=f"{self.experiment_id}: {self.title}"))
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def render_markdown(self) -> str:
+        """Render as a markdown section (used to build ``EXPERIMENTS.md``)."""
+        lines = [f"### {self.experiment_id} — {self.title}", ""]
+        if self.text is not None:
+            lines.append("```")
+            lines.append(self.text)
+            lines.append("```")
+            lines.append("")
+        if self.rows:
+            columns: List[str] = []
+            for row in self.rows:
+                for key in row:
+                    if key not in columns:
+                        columns.append(key)
+            lines.append("| " + " | ".join(columns) + " |")
+            lines.append("|" + "|".join("---" for _ in columns) + "|")
+            for row in self.rows:
+                lines.append("| " + " | ".join(str(row.get(col, "")) for col in columns) + " |")
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"*{note}*")
+            lines.append("")
+        return "\n".join(lines)
+
+
+#: Experiment id -> (title, generator) registry, populated by the modules below.
+EXPERIMENTS: Dict[str, tuple] = {}
+
+
+def register(experiment_id: str, title: str) -> Callable:
+    """Decorator registering a zero-argument generator returning an ExperimentResult."""
+
+    def decorator(func: Callable[[], ExperimentResult]) -> Callable[[], ExperimentResult]:
+        EXPERIMENTS[experiment_id] = (title, func)
+        return func
+
+    return decorator
+
+
+def get_experiment(experiment_id: str):
+    """The generator registered under the given id."""
+    _ensure_loaded()
+    title, func = EXPERIMENTS[experiment_id]
+    return func
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment and return its result."""
+    return get_experiment(experiment_id)()
+
+
+def run_all(ids: Optional[Sequence[str]] = None) -> List[ExperimentResult]:
+    """Run every registered experiment (or the given subset) in registry order."""
+    _ensure_loaded()
+    selected = list(ids) if ids is not None else list(EXPERIMENTS)
+    return [run_experiment(experiment_id) for experiment_id in selected]
+
+
+def _ensure_loaded() -> None:
+    """Import the experiment modules so their registrations run."""
+    from . import (  # noqa: F401  (imported for registration side effects)
+        figures,
+        basic_tables,
+        increasing_tables,
+        lowering_tables,
+        square_tables,
+        optima_tables,
+        simulation_tables,
+    )

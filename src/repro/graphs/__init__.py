@@ -1,0 +1,44 @@
+"""Torus, mesh, line, ring and hypercube graphs (Definitions 2–4).
+
+The classes here are the *substrate* on which embeddings are measured: they
+provide node enumeration, adjacency, exact shortest-path distances (computed
+analytically from Lemmas 5 and 6 and cross-checked against breadth-first
+search in the test suite), explicit shortest paths (dimension-ordered
+routing), Hamiltonian-circuit constructions (Corollaries 18, 25 and 29) and a
+:mod:`networkx` adapter for independent verification.
+"""
+
+from .base import (
+    CartesianGraph,
+    Hypercube,
+    Line,
+    Mesh,
+    Ring,
+    Torus,
+    graph_from_spec,
+    make_graph,
+)
+from .paths import dimension_order_path, shortest_path
+from .hamiltonian import (
+    find_hamiltonian_circuit,
+    has_hamiltonian_circuit,
+    hamiltonian_path,
+)
+from .networkx_adapter import to_networkx
+
+__all__ = [
+    "CartesianGraph",
+    "Torus",
+    "Mesh",
+    "Line",
+    "Ring",
+    "Hypercube",
+    "make_graph",
+    "graph_from_spec",
+    "shortest_path",
+    "dimension_order_path",
+    "find_hamiltonian_circuit",
+    "has_hamiltonian_circuit",
+    "hamiltonian_path",
+    "to_networkx",
+]

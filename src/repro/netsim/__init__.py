@@ -1,0 +1,43 @@
+"""A small interconnection-network simulation substrate.
+
+The paper's motivation (Section 1) is mapping the communication structure of
+a parallel task onto the interconnection network of a parallel machine: the
+dilation of the embedding bounds how many hops each task-graph message must
+travel, and therefore the communication time.  The 1980s machines the paper
+had in mind are unavailable, so this package substitutes a deterministic
+store-and-forward network simulator that preserves exactly the behaviour the
+paper relies on — per-hop latency and link serialization — allowing the
+benefit of low-dilation embeddings to be demonstrated end to end.
+
+``network``
+    The host machine: a torus/mesh of processors with link parameters.
+``routing``
+    Dimension-ordered (e-cube) routing of messages, the standard deadlock-free
+    discipline on meshes and toruses.
+``traffic``
+    Workload generation: neighbour-exchange traffic derived from a guest
+    task graph (the communication pattern of stencil computations).
+``models``
+    The latency/bandwidth cost model.
+``simulator``
+    An analytic estimate and a discrete-time store-and-forward simulation of
+    one communication phase, plus per-link statistics.
+"""
+
+from .models import CostModel
+from .network import HostNetwork
+from .routing import route_message
+from .traffic import Message, TrafficPattern, neighbor_exchange_traffic
+from .simulator import PhaseStatistics, SimulationResult, simulate_phase
+
+__all__ = [
+    "CostModel",
+    "HostNetwork",
+    "route_message",
+    "Message",
+    "TrafficPattern",
+    "neighbor_exchange_traffic",
+    "PhaseStatistics",
+    "SimulationResult",
+    "simulate_phase",
+]

@@ -1,0 +1,48 @@
+"""Communication cost model for the network simulator.
+
+The classic latency/bandwidth ("alpha-beta") model for store-and-forward
+networks: forwarding a message of ``s`` bytes across one link costs
+``alpha + s / bandwidth`` time units, and a link transfers one message at a
+time.  The defaults give per-hop latency 1 and bandwidth 1 byte per time
+unit, so with unit-size messages the analytic completion time reduces to hop
+counts and link loads — i.e. precisely the quantities the paper's dilation
+and congestion measures control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency/bandwidth parameters of every link in the host network.
+
+    Attributes
+    ----------
+    alpha:
+        Fixed per-hop startup latency (time units).
+    bandwidth:
+        Bytes transferred per time unit once a message occupies a link.
+    """
+
+    alpha: float = 1.0
+    bandwidth: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def link_occupancy(self, message_size: float) -> float:
+        """Time a single message of the given size occupies one link."""
+        return self.alpha + message_size / self.bandwidth
+
+    def uncontended_time(self, message_size: float, hops: int) -> float:
+        """Store-and-forward time of one message over ``hops`` links with no contention."""
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        return hops * self.link_occupancy(message_size)

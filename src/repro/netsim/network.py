@@ -1,0 +1,73 @@
+"""The host machine model: a torus or mesh of processors.
+
+A :class:`HostNetwork` wraps a :class:`~repro.graphs.base.CartesianGraph`
+(the processor/link topology) together with a :class:`~repro.netsim.models.CostModel`.
+Links are *directed*: the link ``(u, v)`` carries traffic from ``u`` to
+``v``; its reverse is a distinct resource, matching full-duplex hardware
+channels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..exceptions import SimulationError
+from ..graphs.base import CartesianGraph
+from ..types import Node
+from .models import CostModel
+
+__all__ = ["HostNetwork", "DirectedLink"]
+
+#: A directed link between two adjacent processors.
+DirectedLink = Tuple[Node, Node]
+
+
+class HostNetwork:
+    """A parallel machine whose processors form a torus or mesh."""
+
+    def __init__(self, topology: CartesianGraph, cost_model: CostModel | None = None):
+        self._topology = topology
+        self._cost_model = cost_model or CostModel()
+
+    @property
+    def topology(self) -> CartesianGraph:
+        """The processor/link graph."""
+        return self._topology
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    @property
+    def num_processors(self) -> int:
+        return self._topology.size
+
+    def processors(self) -> Iterator[Node]:
+        """All processor coordinates."""
+        return self._topology.nodes()
+
+    def links(self) -> Iterator[DirectedLink]:
+        """All directed links (both orientations of every edge)."""
+        for u, v in self._topology.edges():
+            yield (u, v)
+            yield (v, u)
+
+    def num_links(self) -> int:
+        return 2 * self._topology.num_edges()
+
+    def validate_processor(self, node: Node) -> None:
+        if not self._topology.contains(node):
+            raise SimulationError(f"{node!r} is not a processor of {self._topology!r}")
+
+    def link_exists(self, link: DirectedLink) -> bool:
+        u, v = link
+        return self._topology.contains(u) and self._topology.contains(v) and (
+            self._topology.distance(u, v) == 1
+        )
+
+    def empty_link_loads(self) -> Dict[DirectedLink, float]:
+        """A zero-initialized per-link load accumulator."""
+        return {link: 0.0 for link in self.links()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HostNetwork({self._topology!r}, {self._cost_model!r})"

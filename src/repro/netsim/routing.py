@@ -1,0 +1,31 @@
+"""Dimension-ordered (e-cube) routing of messages.
+
+Every message follows the dimension-ordered shortest path between its source
+and destination processors (:func:`repro.graphs.paths.dimension_order_path`),
+the standard deterministic, deadlock-free routing discipline on meshes and
+toruses.  The number of links on the route equals the graph distance, so the
+embedding's dilation is exactly the maximum route length of neighbour-exchange
+traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graphs.paths import dimension_order_path
+from ..types import Node
+from .network import DirectedLink, HostNetwork
+
+__all__ = ["route_message"]
+
+
+def route_message(network: HostNetwork, source: Node, destination: Node) -> List[DirectedLink]:
+    """The ordered list of directed links a message traverses.
+
+    An empty list means source and destination are the same processor (the
+    message needs no network resources).
+    """
+    network.validate_processor(source)
+    network.validate_processor(destination)
+    path = dimension_order_path(network.topology, source, destination)
+    return [(path[i], path[i + 1]) for i in range(len(path) - 1)]

@@ -1,0 +1,166 @@
+"""Mixed-radix numbering systems (Definition 7).
+
+Given a radix-base ``L = (l_1, ..., l_d)`` with every ``l_j > 1`` and
+``n = Π l_j``, the radix-L representation of ``x ∈ [n]`` is the ``d``-tuple
+``(x̂_1, ..., x̂_d)`` with ``x̂_j = ⌊x / w_j⌋ mod l_j``, where the weights are
+``w_d = 1`` and ``w_{j-1} = l_j · w_j`` (so ``w_0 = n``).  The set of all
+radix-L numbers is ``Ω_L`` and ``u_L : [n] -> Ω_L`` is the resulting
+bijection.
+
+The most significant digit is the *first* component, matching the paper's
+convention (e.g. for ``L = (4, 2, 3)``: ``w_1 = 6``, ``w_2 = 3``, ``w_3 = 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..exceptions import InvalidRadixError
+from ..types import Node
+
+__all__ = ["RadixBase"]
+
+
+class RadixBase:
+    """A mixed-radix base ``L = (l_1, ..., l_d)``.
+
+    Parameters
+    ----------
+    radices:
+        The radices ``l_1, ..., l_d``; each must be an integer greater than 1.
+
+    Examples
+    --------
+    >>> L = RadixBase((4, 2, 3))
+    >>> L.size
+    24
+    >>> L.weights
+    (24, 6, 3, 1)
+    >>> L.to_digits(11)
+    (1, 1, 2)
+    >>> L.from_digits((1, 1, 2))
+    11
+    """
+
+    __slots__ = ("_radices", "_weights", "_size")
+
+    def __init__(self, radices: Iterable[int]):
+        rs = tuple(int(r) for r in radices)
+        if len(rs) == 0:
+            raise InvalidRadixError("a radix-base must have at least one radix")
+        for r in rs:
+            if r < 2:
+                raise InvalidRadixError(
+                    f"radix {r} is invalid: every radix must be an integer > 1"
+                )
+        self._radices = rs
+        # Weights w_0 .. w_d with w_d = 1 and w_{j-1} = l_j * w_j; w_0 = n.
+        weights: List[int] = [1]
+        for r in reversed(rs):
+            weights.append(weights[-1] * r)
+        weights.reverse()
+        self._weights = tuple(weights)
+        self._size = weights[0]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def radices(self) -> Tuple[int, ...]:
+        """The radices ``(l_1, ..., l_d)``."""
+        return self._radices
+
+    @property
+    def dimension(self) -> int:
+        """Number of radices ``d``."""
+        return len(self._radices)
+
+    @property
+    def size(self) -> int:
+        """Number of representable values ``n = Π l_j``."""
+        return self._size
+
+    @property
+    def weights(self) -> Tuple[int, ...]:
+        """The weights ``(w_0, w_1, ..., w_d)`` with ``w_0 = n`` and ``w_d = 1``."""
+        return self._weights
+
+    def weight(self, j: int) -> int:
+        """The weight ``w_j`` for ``j ∈ [d + 1]`` (0-based ``j`` as in the paper)."""
+        return self._weights[j]
+
+    def __len__(self) -> int:
+        return len(self._radices)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RadixBase) and self._radices == other._radices
+
+    def __hash__(self) -> int:
+        return hash(("RadixBase", self._radices))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RadixBase({self._radices!r})"
+
+    # ------------------------------------------------------------------ #
+    # Conversions (the bijections u_L and u_L^{-1})
+    # ------------------------------------------------------------------ #
+    def to_digits(self, x: int) -> Node:
+        """The radix-L representation ``u_L(x)`` of ``x ∈ [n]``.
+
+        ``x̂_j = ⌊x / w_j⌋ mod l_j`` for ``j = 1..d``.
+        """
+        self._check_value(x)
+        digits = []
+        for j, radix in enumerate(self._radices, start=1):
+            digits.append((x // self._weights[j]) % radix)
+        return tuple(digits)
+
+    def from_digits(self, digits: Sequence[int]) -> int:
+        """The inverse bijection ``u_L^{-1}((x̂_1, ..., x̂_d)) = Σ x̂_k w_k``."""
+        self._check_digits(digits)
+        return sum(d * self._weights[j] for j, d in enumerate(digits, start=1))
+
+    def __iter__(self) -> Iterator[Node]:
+        """Iterate over ``Ω_L`` in natural (lexicographic) order."""
+        return (self.to_digits(x) for x in range(self._size))
+
+    def all_digits(self) -> List[Node]:
+        """All radix-L numbers in natural order (the sequence ``P`` of Section 3.1)."""
+        return list(iter(self))
+
+    def contains_digits(self, digits: Sequence[int]) -> bool:
+        """True when the tuple is a valid radix-L number."""
+        if len(digits) != self.dimension:
+            return False
+        return all(0 <= d < r for d, r in zip(digits, self._radices))
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers
+    # ------------------------------------------------------------------ #
+    def _check_value(self, x: int) -> None:
+        if not (0 <= x < self._size):
+            raise InvalidRadixError(
+                f"value {x} is out of range for radix-base {self._radices} (size {self._size})"
+            )
+
+    def _check_digits(self, digits: Sequence[int]) -> None:
+        if len(digits) != self.dimension:
+            raise InvalidRadixError(
+                f"expected {self.dimension} digits, got {len(digits)}: {tuple(digits)!r}"
+            )
+        for position, (digit, radix) in enumerate(zip(digits, self._radices), start=1):
+            if not (0 <= digit < radix):
+                raise InvalidRadixError(
+                    f"digit {digit} at position {position} is out of range [0, {radix})"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Derived bases
+    # ------------------------------------------------------------------ #
+    def take(self, start: int, stop: int) -> "RadixBase":
+        """Sub-base formed by radices ``start..stop-1`` (0-based slice)."""
+        return RadixBase(self._radices[start:stop])
+
+    def concat(self, other: "RadixBase") -> "RadixBase":
+        """The base whose radix list is the concatenation of the two bases."""
+        return RadixBase(self._radices + other._radices)

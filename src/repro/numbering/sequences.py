@@ -1,0 +1,131 @@
+"""Sequences of radix-L numbers and their spreads (Definition 8).
+
+A bijection ``f : [n] -> Ω_L`` can be viewed either as an *acyclic* sequence
+``f(0), f(1), ..., f(n-1)`` or as a *cyclic* sequence in which ``f(n-1)`` and
+``f(0)`` are also successive.  The ``δm``-spread (``δt``-spread) of the
+sequence is the maximum ``δm`` (``δt``) distance between successive elements.
+
+The paper's basic embeddings are exactly statements about spreads:
+
+* a line -> mesh embedding with dilation ``k`` is an acyclic sequence with
+  ``δm``-spread ``k``;
+* a ring -> torus embedding with dilation ``k`` is a cyclic sequence with
+  ``δt``-spread ``k``; and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..types import Node
+from .distance import mesh_distance, torus_distance
+
+__all__ = [
+    "sequence_pairs",
+    "cyclic_pairs",
+    "sequence_spread",
+    "cyclic_spread",
+    "pairwise_distances",
+    "is_gray_sequence",
+    "is_cyclic_gray_sequence",
+    "is_bijective_sequence",
+]
+
+Metric = Callable[[Sequence[int], Sequence[int]], int]
+
+
+def _resolve_metric(metric: str, shape: Optional[Sequence[int]]) -> Metric:
+    if metric == "mesh":
+        return mesh_distance
+    if metric == "torus":
+        if shape is None:
+            raise ValueError("the torus metric requires the shape of the torus")
+        return lambda a, b: torus_distance(a, b, shape)
+    raise ValueError(f"unknown metric {metric!r}: expected 'mesh' or 'torus'")
+
+
+def sequence_pairs(sequence: Sequence[Node]) -> Iterator[Tuple[Node, Node]]:
+    """Successive pairs of an acyclic sequence."""
+    for i in range(len(sequence) - 1):
+        yield sequence[i], sequence[i + 1]
+
+
+def cyclic_pairs(sequence: Sequence[Node]) -> Iterator[Tuple[Node, Node]]:
+    """Successive pairs of a cyclic sequence (includes last -> first)."""
+    n = len(sequence)
+    for i in range(n):
+        yield sequence[i], sequence[(i + 1) % n]
+
+
+def pairwise_distances(
+    sequence: Sequence[Node],
+    *,
+    metric: str = "mesh",
+    shape: Optional[Sequence[int]] = None,
+    cyclic: bool = False,
+) -> List[int]:
+    """Distances between successive elements, in order.
+
+    With ``cyclic=True`` the wrap-around pair is included as the last entry,
+    matching the layout of Figure 3(b) in the paper.
+    """
+    dist = _resolve_metric(metric, shape)
+    pairs = cyclic_pairs(sequence) if cyclic else sequence_pairs(sequence)
+    return [dist(a, b) for a, b in pairs]
+
+
+def sequence_spread(
+    sequence: Sequence[Node],
+    *,
+    metric: str = "mesh",
+    shape: Optional[Sequence[int]] = None,
+) -> int:
+    """The δm- or δt-spread of an acyclic sequence (Definition 8)."""
+    distances = pairwise_distances(sequence, metric=metric, shape=shape, cyclic=False)
+    if not distances:
+        return 0
+    return max(distances)
+
+
+def cyclic_spread(
+    sequence: Sequence[Node],
+    *,
+    metric: str = "mesh",
+    shape: Optional[Sequence[int]] = None,
+) -> int:
+    """The δm- or δt-spread of a cyclic sequence (Definition 8)."""
+    distances = pairwise_distances(sequence, metric=metric, shape=shape, cyclic=True)
+    if not distances:
+        return 0
+    return max(distances)
+
+
+def is_bijective_sequence(sequence: Sequence[Node], universe_size: int) -> bool:
+    """True when the sequence lists ``universe_size`` pairwise-distinct elements."""
+    return len(sequence) == universe_size and len(set(sequence)) == universe_size
+
+
+def is_gray_sequence(
+    sequence: Sequence[Node],
+    *,
+    metric: str = "mesh",
+    shape: Optional[Sequence[int]] = None,
+) -> bool:
+    """True when successive elements are always at distance exactly 1.
+
+    For ``L`` a list of 2's and the mesh metric this is the classical Gray
+    code property (the paper's definition at the end of Section 2).
+    """
+    distances = pairwise_distances(sequence, metric=metric, shape=shape, cyclic=False)
+    return all(d == 1 for d in distances)
+
+
+def is_cyclic_gray_sequence(
+    sequence: Sequence[Node],
+    *,
+    metric: str = "mesh",
+    shape: Optional[Sequence[int]] = None,
+) -> bool:
+    """True when the cyclic sequence has unit spread."""
+    distances = pairwise_distances(sequence, metric=metric, shape=shape, cyclic=True)
+    return all(d == 1 for d in distances)

@@ -1,0 +1,153 @@
+"""Shared value types used across the library.
+
+The central notions are the *shape* of a torus or mesh (the tuple of
+dimension lengths ``(l_1, ..., l_d)`` from Definitions 2 and 3 of the paper)
+and the *kind* of graph (torus or mesh).  Nodes of a ``d``-dimensional torus
+or mesh are ``d``-tuples of coordinates; one-dimensional graphs (lines and
+rings) use plain integers in the paper's notation, but the library uniformly
+represents nodes as tuples and provides helpers for the 1-D convenience form.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from .exceptions import InvalidShapeError
+
+__all__ = [
+    "GraphKind",
+    "Shape",
+    "Node",
+    "as_shape",
+    "shape_size",
+    "is_square_shape",
+    "is_hypercube_shape",
+    "ShapedGraphSpec",
+]
+
+#: A node of a d-dimensional torus or mesh: a tuple of d coordinates.
+Node = Tuple[int, ...]
+
+#: A shape: the tuple of dimension lengths (l_1, ..., l_d).
+Shape = Tuple[int, ...]
+
+
+class GraphKind(str, enum.Enum):
+    """Whether a graph is a torus or a mesh (the paper's *type* of a graph).
+
+    A hypercube is simultaneously a torus and a mesh (every dimension has
+    length 2, so wrap-around edges coincide with the mesh edges); the library
+    represents hypercubes explicitly with whichever kind the caller selects
+    and exposes :func:`is_hypercube_shape` to detect the coincidence.
+    """
+
+    TORUS = "torus"
+    MESH = "mesh"
+
+    @property
+    def is_torus(self) -> bool:
+        return self is GraphKind.TORUS
+
+    @property
+    def is_mesh(self) -> bool:
+        return self is GraphKind.MESH
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def as_shape(lengths: Iterable[int]) -> Shape:
+    """Normalize and validate a shape.
+
+    Parameters
+    ----------
+    lengths:
+        The dimension lengths ``(l_1, ..., l_d)``.  Each must be an integer
+        greater than 1 (Definitions 2 and 3).
+
+    Returns
+    -------
+    tuple of int
+        The validated shape as a tuple.
+
+    Raises
+    ------
+    InvalidShapeError
+        If the shape is empty or any length is not an integer > 1.
+    """
+    shape = tuple(int(l) for l in lengths)
+    if len(shape) == 0:
+        raise InvalidShapeError("a shape must have at least one dimension")
+    for original, value in zip(lengths, shape):
+        if isinstance(original, bool) or original != value:
+            raise InvalidShapeError(f"dimension length {original!r} is not an integer")
+    for value in shape:
+        if value < 2:
+            raise InvalidShapeError(
+                f"dimension length {value} is invalid: every length must be > 1"
+            )
+    return shape
+
+
+def shape_size(shape: Sequence[int]) -> int:
+    """Number of nodes of a torus/mesh with the given shape (``prod l_i``)."""
+    return math.prod(shape)
+
+
+def is_square_shape(shape: Sequence[int]) -> bool:
+    """True when every dimension has the same length (the paper's *square*)."""
+    return len(set(shape)) == 1
+
+
+def is_hypercube_shape(shape: Sequence[int]) -> bool:
+    """True when every dimension has length 2 (Definition 4)."""
+    return all(l == 2 for l in shape)
+
+
+@dataclass(frozen=True)
+class ShapedGraphSpec:
+    """A lightweight (kind, shape) pair used when only the metadata matters.
+
+    Several parts of the library — strategy selection, dilation-cost
+    prediction, experiment sweeps — only need to know a graph's kind and
+    shape, not its materialized node set.  This spec captures exactly that.
+    """
+
+    kind: GraphKind
+    shape: Shape
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", as_shape(self.shape))
+        object.__setattr__(self, "kind", GraphKind(self.kind))
+
+    @property
+    def dimension(self) -> int:
+        """Number of dimensions ``d``."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes."""
+        return shape_size(self.shape)
+
+    @property
+    def is_square(self) -> bool:
+        return is_square_shape(self.shape)
+
+    @property
+    def is_hypercube(self) -> bool:
+        return is_hypercube_shape(self.shape)
+
+    @property
+    def is_torus(self) -> bool:
+        return self.kind.is_torus
+
+    @property
+    def is_mesh(self) -> bool:
+        return self.kind.is_mesh
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}{self.shape}"

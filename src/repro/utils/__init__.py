@@ -1,0 +1,54 @@
+"""Small generic utilities shared across the library.
+
+Submodules
+----------
+``listops``
+    Operations on lists/tuples used throughout the paper's constructions:
+    concatenation, applying and inverting permutations, finding a permutation
+    between two multisets.
+``intmath``
+    Integer arithmetic helpers: exact integer roots, divisor enumeration,
+    prime factorization, and the property proved in Lemma 50 of the paper.
+``validation``
+    Argument validation helpers that raise the library's exceptions.
+"""
+
+from .listops import (
+    apply_permutation,
+    compose_permutations,
+    concat,
+    find_permutation,
+    identity_permutation,
+    invert_permutation,
+    is_permutation_of,
+    product,
+)
+from .intmath import (
+    divisors,
+    exact_nth_root,
+    factorizations_into_parts,
+    gcd,
+    integer_nth_root,
+    is_perfect_power,
+    is_power_of,
+    prime_factorization,
+)
+
+__all__ = [
+    "apply_permutation",
+    "compose_permutations",
+    "concat",
+    "find_permutation",
+    "identity_permutation",
+    "invert_permutation",
+    "is_permutation_of",
+    "product",
+    "divisors",
+    "exact_nth_root",
+    "factorizations_into_parts",
+    "gcd",
+    "integer_nth_root",
+    "is_perfect_power",
+    "is_power_of",
+    "prime_factorization",
+]

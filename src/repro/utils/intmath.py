@@ -1,0 +1,196 @@
+"""Integer arithmetic helpers.
+
+These back the shape analysis done in Sections 4 and 5 of the paper:
+
+* finding *expansion factors* requires enumerating ordered factorizations of
+  a dimension length into parts greater than 1
+  (:func:`factorizations_into_parts`, :func:`divisors`);
+* the square-graph theorems (Theorems 51 and 53) rely on Lemma 50 — if
+  ``x^(u/v)`` is an integer for coprime ``u`` and ``v`` then ``x^(1/v)`` is an
+  integer — which in code amounts to exact integer-root extraction
+  (:func:`exact_nth_root`) and a direct check (:func:`lemma50_root`);
+* prime factorization supports both of the above.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "gcd",
+    "prime_factorization",
+    "divisors",
+    "integer_nth_root",
+    "exact_nth_root",
+    "is_perfect_power",
+    "is_power_of",
+    "factorizations_into_parts",
+    "lemma50_root",
+]
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor (non-negative)."""
+    return math.gcd(a, b)
+
+
+@lru_cache(maxsize=4096)
+def prime_factorization(n: int) -> Tuple[Tuple[int, int], ...]:
+    """Prime factorization of ``n >= 1`` as a tuple of ``(prime, exponent)`` pairs.
+
+    This is the "standard form" the paper cites as property (*) in Section 5.
+    """
+    if n < 1:
+        raise ValueError("prime_factorization requires a positive integer")
+    factors: List[Tuple[int, int]] = []
+    remaining = n
+    candidate = 2
+    while candidate * candidate <= remaining:
+        if remaining % candidate == 0:
+            exponent = 0
+            while remaining % candidate == 0:
+                remaining //= candidate
+                exponent += 1
+            factors.append((candidate, exponent))
+        candidate += 1 if candidate == 2 else 2
+    if remaining > 1:
+        factors.append((remaining, 1))
+    return tuple(factors)
+
+
+def divisors(n: int, *, proper: bool = False, exclude_one: bool = False) -> List[int]:
+    """Sorted divisors of ``n``.
+
+    Parameters
+    ----------
+    proper:
+        Exclude ``n`` itself.
+    exclude_one:
+        Exclude 1 (useful when enumerating factor components which must be
+        greater than 1 per Definitions 30 and 41).
+    """
+    if n < 1:
+        raise ValueError("divisors requires a positive integer")
+    result = {1}
+    for prime, exponent in prime_factorization(n):
+        result = {d * prime**e for d in result for e in range(exponent + 1)}
+    values = sorted(result)
+    if proper:
+        values = [d for d in values if d != n]
+    if exclude_one:
+        values = [d for d in values if d != 1]
+    return values
+
+
+def integer_nth_root(value: int, n: int) -> int:
+    """Floor of the ``n``-th root of a non-negative integer."""
+    if n < 1:
+        raise ValueError("root degree must be >= 1")
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value in (0, 1) or n == 1:
+        return value
+    # Newton-style search seeded with the float estimate, corrected exactly.
+    root = int(round(value ** (1.0 / n)))
+    root = max(root, 1)
+    while root**n > value:
+        root -= 1
+    while (root + 1) ** n <= value:
+        root += 1
+    return root
+
+
+def exact_nth_root(value: int, n: int) -> Optional[int]:
+    """Return ``r`` with ``r**n == value`` if such an integer exists, else ``None``."""
+    root = integer_nth_root(value, n)
+    return root if root**n == value else None
+
+
+def is_perfect_power(value: int, n: int) -> bool:
+    """True when ``value`` is an exact ``n``-th power of an integer."""
+    return exact_nth_root(value, n) is not None
+
+
+def is_power_of(value: int, base: int) -> Optional[int]:
+    """If ``value == base**k`` for an integer ``k >= 0``, return ``k``; else ``None``."""
+    if base < 2:
+        raise ValueError("base must be >= 2")
+    if value < 1:
+        return None
+    exponent = 0
+    remaining = value
+    while remaining % base == 0:
+        remaining //= base
+        exponent += 1
+    return exponent if remaining == 1 else None
+
+
+def lemma50_root(x: int, u: int, v: int) -> Optional[int]:
+    """Lemma 50 of the paper, constructively.
+
+    Let ``x > 1`` and let ``u`` and ``v`` be coprime positive integers.  If
+    ``x**(u/v)`` is an integer then ``x**(1/v)`` is an integer; this function
+    returns that integer ``x**(1/v)`` when the premise holds and ``None``
+    otherwise (i.e. when ``x**u`` is not a perfect ``v``-th power).
+    """
+    if x <= 1:
+        raise ValueError("Lemma 50 requires x > 1")
+    if u < 1 or v < 1:
+        raise ValueError("u and v must be positive")
+    if math.gcd(u, v) != 1:
+        raise ValueError("u and v must be relatively prime")
+    if exact_nth_root(x**u, v) is None:
+        return None
+    return exact_nth_root(x, v)
+
+
+def factorizations_into_parts(
+    n: int,
+    *,
+    num_parts: Optional[int] = None,
+    min_part: int = 2,
+    max_parts: Optional[int] = None,
+) -> Iterator[Tuple[int, ...]]:
+    """Enumerate ordered factorizations of ``n`` into parts ``>= min_part``.
+
+    Every yielded tuple ``(p_1, ..., p_k)`` satisfies ``p_1 * ... * p_k == n``
+    and ``p_i >= min_part``.  The enumeration yields *ordered* factorizations
+    (the order of parts matters), which mirrors the paper's expansion factors
+    where ``V_i`` is an ordered list.  Duplicate orderings of the same
+    multiset are all produced.
+
+    Parameters
+    ----------
+    num_parts:
+        If given, only factorizations with exactly this many parts are
+        yielded (``num_parts == 0`` yields the empty factorization only when
+        ``n == 1``).
+    max_parts:
+        If given, factorizations with more parts are pruned.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+
+    def recurse(remaining: int, parts: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+        if num_parts is not None and len(parts) > num_parts:
+            return
+        if max_parts is not None and len(parts) > max_parts:
+            return
+        if remaining == 1:
+            if num_parts is None or len(parts) == num_parts:
+                yield parts
+            # A part could still be appended only if min_part == 1, which we
+            # disallow for factor searches (parts must exceed 1).
+            return
+        for part in divisors(remaining):
+            if part < min_part:
+                continue
+            yield from recurse(remaining // part, parts + (part,))
+
+    if n == 1:
+        if num_parts in (None, 0):
+            yield ()
+        return
+    yield from recurse(n, ())

@@ -1,0 +1,143 @@
+"""List and permutation operations used by the paper's constructions.
+
+The paper (Section 2) fixes the following conventions, which the functions in
+this module implement verbatim:
+
+* ``(x_1, ..., x_p) ∘ (y_1, ..., y_q)`` denotes list concatenation
+  (:func:`concat`).
+* Given a permutation ``π : [k]+ -> [k]+`` and a list ``(i_1, ..., i_k)``,
+  ``π((i_1, ..., i_k))`` denotes ``(i_{π(1)}, ..., i_{π(k)})``
+  (:func:`apply_permutation`).  Permutations are represented 0-based in code:
+  a permutation is a tuple ``perm`` of length ``k`` with
+  ``apply_permutation(perm, xs)[j] == xs[perm[j]]``.
+* ``Π A`` denotes the product of the elements of a list (:func:`product`).
+
+The key derived operation is :func:`find_permutation`: given two lists that
+are permutations of each other (as multisets), produce one explicit
+permutation ``perm`` with ``apply_permutation(perm, source) == target``.  The
+paper repeatedly asserts "let π be a permutation such that π(V) = M"; this
+function constructs such a π.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Optional, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "concat",
+    "product",
+    "apply_permutation",
+    "invert_permutation",
+    "identity_permutation",
+    "compose_permutations",
+    "find_permutation",
+    "is_permutation_of",
+]
+
+T = TypeVar("T")
+
+Permutation = Tuple[int, ...]
+
+
+def concat(*lists: Sequence[T]) -> Tuple[T, ...]:
+    """Concatenate lists: the paper's ``∘`` operator on lists."""
+    out: list[T] = []
+    for xs in lists:
+        out.extend(xs)
+    return tuple(out)
+
+
+def product(values: Iterable[int]) -> int:
+    """Product of a list of integers (the paper's ``Π A``)."""
+    return math.prod(values)
+
+
+def _validate_permutation(perm: Sequence[int]) -> None:
+    k = len(perm)
+    if sorted(perm) != list(range(k)):
+        raise ValueError(f"{perm!r} is not a permutation of 0..{k - 1}")
+
+
+def apply_permutation(perm: Sequence[int], values: Sequence[T]) -> Tuple[T, ...]:
+    """Apply a permutation to a list: ``result[j] = values[perm[j]]``.
+
+    This is the paper's ``π((i_1, ..., i_k)) = (i_{π(1)}, ..., i_{π(k)})``
+    with 0-based indices.
+    """
+    if len(perm) != len(values):
+        raise ValueError(
+            f"permutation length {len(perm)} does not match list length {len(values)}"
+        )
+    _validate_permutation(perm)
+    return tuple(values[p] for p in perm)
+
+
+def invert_permutation(perm: Sequence[int]) -> Permutation:
+    """Return the inverse permutation ``perm^{-1}``.
+
+    ``apply_permutation(invert_permutation(perm), apply_permutation(perm, xs)) == xs``.
+    """
+    _validate_permutation(perm)
+    inverse = [0] * len(perm)
+    for position, source_index in enumerate(perm):
+        inverse[source_index] = position
+    return tuple(inverse)
+
+
+def identity_permutation(k: int) -> Permutation:
+    """The identity permutation on ``k`` elements."""
+    if k < 0:
+        raise ValueError("permutation size must be non-negative")
+    return tuple(range(k))
+
+
+def compose_permutations(outer: Sequence[int], inner: Sequence[int]) -> Permutation:
+    """Compose permutations so that applying the result equals applying
+    ``inner`` first and then ``outer``.
+
+    Formally ``apply_permutation(compose_permutations(outer, inner), xs)
+    == apply_permutation(outer, apply_permutation(inner, xs))``.
+    """
+    if len(outer) != len(inner):
+        raise ValueError("permutations must have the same length")
+    _validate_permutation(outer)
+    _validate_permutation(inner)
+    return tuple(inner[o] for o in outer)
+
+
+def is_permutation_of(xs: Sequence[T], ys: Sequence[T]) -> bool:
+    """True when the two lists are equal as multisets."""
+    if len(xs) != len(ys):
+        return False
+    counts: defaultdict[T, int] = defaultdict(int)
+    for x in xs:
+        counts[x] += 1
+    for y in ys:
+        counts[y] -= 1
+        if counts[y] < 0:
+            return False
+    return True
+
+
+def find_permutation(source: Sequence[T], target: Sequence[T]) -> Optional[Permutation]:
+    """Find a permutation ``perm`` with ``apply_permutation(perm, source) == target``.
+
+    Returns ``None`` when the lists are not permutations of each other.
+    When several permutations exist (repeated values), the lexicographically
+    smallest assignment of source positions is returned, which makes the
+    result deterministic.
+    """
+    if len(source) != len(target):
+        return None
+    positions: defaultdict[T, list[int]] = defaultdict(list)
+    for index in range(len(source) - 1, -1, -1):
+        positions[source[index]].append(index)
+    perm: list[int] = []
+    for value in target:
+        stack = positions.get(value)
+        if not stack:
+            return None
+        perm.append(stack.pop())
+    return tuple(perm)

@@ -1,0 +1,11 @@
+"""Textual renderings of the paper's figures.
+
+The original figures are hand-drawn; the functions here regenerate their
+content as deterministic text (sequence tables like Figure 9, embedding
+grids like Figure 10) so that the reproduction's output can be compared to
+the paper line by line and checked in tests.
+"""
+
+from .ascii import render_embedding_grid, render_sequence_table, render_distance_table
+
+__all__ = ["render_sequence_table", "render_embedding_grid", "render_distance_table"]

@@ -1,0 +1,128 @@
+"""ASCII renderings of embedding functions and embeddings.
+
+Three renderers, matching the structure of the paper's figures:
+
+* :func:`render_sequence_table` — the Figure 9 / Figure 11 style tables that
+  list one or more functions ``[n] -> Ω_L`` side by side;
+* :func:`render_distance_table` — the Figure 3 style table of δm/δt
+  distances between successive sequence elements;
+* :func:`render_embedding_grid` — the Figure 10 style picture of where each
+  guest node lands inside a 1-, 2- or 3-dimensional host.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..core.embedding import Embedding
+from ..numbering.distance import mesh_distance, torus_distance
+from ..types import Node
+
+__all__ = ["render_sequence_table", "render_distance_table", "render_embedding_grid"]
+
+
+def _format_node(node: Node) -> str:
+    return "(" + ",".join(str(c) for c in node) + ")"
+
+
+def render_sequence_table(
+    size: int,
+    functions: Mapping[str, Callable[[int], Node]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Tabulate one or more functions ``[size] -> Ω_L`` (Figure 9 / Figure 11 style)."""
+    names = list(functions)
+    widths = {name: len(name) for name in names}
+    cells: List[List[str]] = []
+    for x in range(size):
+        row = [_format_node(functions[name](x)) for name in names]
+        cells.append(row)
+        for name, cell in zip(names, row):
+            widths[name] = max(widths[name], len(cell))
+    x_width = max(len("x"), len(str(size - 1)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(["x".rjust(x_width)] + [name.center(widths[name]) for name in names]))
+    lines.append("-+-".join(["-" * x_width] + ["-" * widths[name] for name in names]))
+    for x, row in enumerate(cells):
+        lines.append(
+            " | ".join([str(x).rjust(x_width)] + [cell.rjust(widths[name]) for name, cell in zip(names, row)])
+        )
+    return "\n".join(lines)
+
+
+def render_distance_table(
+    sequence: Sequence[Node],
+    shape: Sequence[int],
+    *,
+    cyclic: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Tabulate δm and δt distances between successive elements (Figure 3 style)."""
+    n = len(sequence)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("pair".ljust(24) + "δm".rjust(4) + "δt".rjust(4))
+    lines.append("-" * 32)
+    count = n if cyclic else n - 1
+    for i in range(count):
+        a = sequence[i]
+        b = sequence[(i + 1) % n]
+        pair = f"{_format_node(a)} -> {_format_node(b)}"
+        dm = mesh_distance(a, b)
+        dt = torus_distance(a, b, shape)
+        lines.append(pair.ljust(24) + str(dm).rjust(4) + str(dt).rjust(4))
+    return "\n".join(lines)
+
+
+def render_embedding_grid(embedding: Embedding, *, title: Optional[str] = None) -> str:
+    """Draw where each guest node lands in a host of dimension 1, 2 or 3.
+
+    Every host position shows the natural-order rank of the guest node mapped
+    there (Figure 10 labels nodes of the line/ring 0..n-1 in exactly this
+    way).  Hosts of dimension above 3 are rendered plane by plane over the
+    trailing coordinates.
+    """
+    host = embedding.host
+    inverse: Dict[Node, int] = {
+        image: embedding.guest.node_index(node) for node, image in embedding.mapping.items()
+    }
+    width = max(len(str(embedding.guest.size - 1)), 2)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    shape = host.shape
+    if host.dimension == 1:
+        lines.append(" ".join(str(inverse.get((i,), "")).rjust(width) for i in range(shape[0])))
+        return "\n".join(lines)
+    rows, cols = shape[0], shape[1]
+    trailing_shapes = shape[2:]
+
+    def trailing_indices():
+        if not trailing_shapes:
+            yield ()
+            return
+        def recurse(prefix, remaining):
+            if not remaining:
+                yield prefix
+                return
+            for value in range(remaining[0]):
+                yield from recurse(prefix + (value,), remaining[1:])
+        yield from recurse((), trailing_shapes)
+
+    for trailing in trailing_indices():
+        if trailing_shapes:
+            lines.append(f"plane {trailing}:")
+        for i in range(rows - 1, -1, -1):  # first dimension increases upward, as in Figure 5
+            row_cells = []
+            for j in range(cols):
+                node = (i, j) + trailing
+                row_cells.append(str(inverse.get(node, ".")).rjust(width))
+            lines.append(" ".join(row_cells))
+        lines.append("")
+    if lines and lines[-1] == "":
+        lines.pop()
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graphs.base import Mesh, Torus
+from repro.types import GraphKind
+
+
+MAX_PROPERTY_SIZE = 600
+
+
+@st.composite
+def small_shapes(draw, min_dim: int = 1, max_dim: int = 4, min_len: int = 2, max_len: int = 6):
+    """Random shapes with a bounded node count, suitable for exhaustive checks."""
+    dimension = draw(st.integers(min_value=min_dim, max_value=max_dim))
+    shape = []
+    for _ in range(dimension):
+        shape.append(draw(st.integers(min_value=min_len, max_value=max_len)))
+        if math.prod(shape) > MAX_PROPERTY_SIZE:
+            # Keep sizes small enough for exhaustive verification.
+            shape[-1] = min_len
+    return tuple(shape)
+
+
+@st.composite
+def small_even_shapes(draw, **kwargs):
+    """Random shapes of even size (at least one even length)."""
+    shape = draw(small_shapes(**kwargs))
+    if math.prod(shape) % 2 == 1:
+        shape = (2,) + shape[1:]
+    return shape
+
+
+graph_kinds = st.sampled_from([GraphKind.TORUS, GraphKind.MESH])
+
+
+@pytest.fixture
+def figure_shape():
+    """The (4, 2, 3) shape used throughout the paper's worked figures."""
+    return (4, 2, 3)
+
+
+@pytest.fixture
+def small_mesh():
+    return Mesh((3, 4))
+
+
+@pytest.fixture
+def small_torus():
+    return Torus((3, 4))

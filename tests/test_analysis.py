@@ -1,0 +1,115 @@
+"""Unit tests for the analysis package (metrics, verification, report tables)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    EmbeddingReport,
+    average_dilation_cost,
+    dilation_cost,
+    edge_congestion_cost,
+    evaluate_embedding,
+    expansion_cost,
+)
+from repro.analysis.report import Table, format_table
+from repro.analysis.verify import (
+    audit_dilation,
+    verify_embedding,
+    verify_prediction,
+    verify_sequence_spread,
+)
+from repro.baselines import lexicographic_embedding
+from repro.core.basic import f_sequence, line_in_graph_embedding, ring_in_graph_embedding
+from repro.core.dispatch import embed
+from repro.core.embedding import Embedding
+from repro.exceptions import InvalidEmbeddingError
+from repro.graphs.base import Line, Mesh, Torus
+
+
+class TestMetrics:
+    def test_dilation_and_average(self):
+        embedding = line_in_graph_embedding(Mesh((4, 2, 3)))
+        assert dilation_cost(embedding) == 1
+        assert average_dilation_cost(embedding) == 1.0
+        assert expansion_cost(embedding) == 1.0
+
+    def test_congestion_positive(self):
+        embedding = embed(Torus((4, 4)), Mesh((4, 4)))
+        assert edge_congestion_cost(embedding) >= 1
+
+    def test_evaluate_embedding_report(self):
+        embedding = line_in_graph_embedding(Mesh((3, 4)))
+        report = evaluate_embedding(embedding, with_congestion=True)
+        assert isinstance(report, EmbeddingReport)
+        assert report.dilation == 1
+        assert report.valid
+        row = report.as_row()
+        assert row["dilation"] == 1
+        assert row["valid"] == "yes"
+
+    def test_evaluate_without_congestion(self):
+        embedding = line_in_graph_embedding(Mesh((3, 4)))
+        report = evaluate_embedding(embedding)
+        assert report.congestion is None
+        assert report.as_row()["congestion"] == "-"
+
+
+class TestVerify:
+    def test_verify_embedding_passes_for_valid(self):
+        verify_embedding(line_in_graph_embedding(Mesh((3, 4))))
+
+    def test_verify_embedding_raises_for_invalid(self):
+        broken = Embedding(Line(2), Mesh((2,)), {(0,): (0,), (1,): (0,)})
+        with pytest.raises(InvalidEmbeddingError):
+            verify_embedding(broken)
+
+    def test_audit_dilation_reports_worst_edge(self):
+        embedding = lexicographic_embedding(Line(6), Mesh((2, 3)))
+        audit = audit_dilation(embedding)
+        assert audit.dilation == 3
+        assert audit.num_edges == 5
+        assert audit.worst_edge is not None
+        a, b = audit.worst_edge
+        assert embedding.host.distance(embedding[a], embedding[b]) == 3
+
+    def test_verify_prediction(self):
+        assert verify_prediction(line_in_graph_embedding(Mesh((3, 4))))
+        assert verify_prediction(ring_in_graph_embedding(Mesh((3, 5))))
+        broken = Embedding(Line(2), Mesh((2,)), {(0,): (0,), (1,): (0,)}, predicted_dilation=1)
+        assert not verify_prediction(broken)
+
+    def test_verify_sequence_spread(self):
+        verify_sequence_spread(f_sequence((4, 2, 3)), universe_size=24, expected_spread=1)
+        with pytest.raises(InvalidEmbeddingError):
+            verify_sequence_spread(f_sequence((4, 2, 3)), universe_size=25, expected_spread=1)
+        with pytest.raises(InvalidEmbeddingError):
+            verify_sequence_spread(
+                f_sequence((4, 2, 3)), universe_size=24, expected_spread=2
+            )
+
+
+class TestReportTables:
+    def test_format_table_basic(self):
+        text = format_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], columns=["a", "b"], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_infers_columns(self):
+        text = format_table([{"x": 1}, {"y": 2}])
+        assert "x" in text and "y" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 1.23456}])
+        assert "1.235" in text
+
+    def test_table_object(self):
+        table = Table(title="costs")
+        table.add_row(strategy="paper", dilation=1)
+        table.add_row(strategy="baseline", dilation=5)
+        rendered = table.render()
+        assert "paper" in rendered and "baseline" in rendered
+        table.extend([{"strategy": "random", "dilation": 9}])
+        assert len(table.rows) == 3

@@ -1,0 +1,90 @@
+"""Unit tests for the baseline embeddings."""
+
+import pytest
+
+from repro.baselines import (
+    bfs_order_embedding,
+    binary_gray_embedding,
+    lexicographic_embedding,
+    random_embedding,
+)
+from repro.baselines.bfs_embedding import bfs_order
+from repro.core.dispatch import embed
+from repro.exceptions import ShapeMismatchError, UnsupportedEmbeddingError
+from repro.graphs.base import Hypercube, Line, Mesh, Ring, Torus
+
+
+class TestLexicographic:
+    def test_is_valid_bijection(self):
+        embedding = lexicographic_embedding(Torus((3, 4)), Mesh((2, 6)))
+        embedding.validate()
+        assert embedding.is_bijective()
+
+    def test_line_guest_matches_natural_sequence(self):
+        embedding = lexicographic_embedding(Line(6), Mesh((2, 3)))
+        assert embedding.map_index(4) == (1, 1)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            lexicographic_embedding(Line(5), Mesh((2, 3)))
+
+    def test_paper_beats_lexicographic_on_line_guest(self):
+        host = Mesh((4, 2, 3))
+        paper = embed(Line(24), host).dilation()
+        baseline = lexicographic_embedding(Line(24), host).dilation()
+        assert paper == 1
+        assert baseline > paper
+
+
+class TestRandom:
+    def test_is_valid_and_deterministic_per_seed(self):
+        a = random_embedding(Mesh((3, 4)), Torus((3, 4)), seed=7)
+        b = random_embedding(Mesh((3, 4)), Torus((3, 4)), seed=7)
+        c = random_embedding(Mesh((3, 4)), Torus((3, 4)), seed=8)
+        a.validate()
+        assert a.mapping == b.mapping
+        assert a.mapping != c.mapping
+
+    def test_size_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            random_embedding(Line(5), Mesh((2, 3)))
+
+    def test_paper_beats_random(self):
+        guest, host = Torus((4, 4)), Mesh((4, 4))
+        assert embed(guest, host).dilation() <= random_embedding(guest, host).dilation()
+
+
+class TestBfs:
+    def test_bfs_order_starts_at_origin_and_covers_graph(self):
+        order = bfs_order(Mesh((3, 3)))
+        assert order[0] == (0, 0)
+        assert len(order) == 9
+        assert len(set(order)) == 9
+
+    def test_is_valid_bijection(self):
+        embedding = bfs_order_embedding(Mesh((3, 4)), Torus((2, 6)))
+        embedding.validate()
+        assert embedding.is_bijective()
+
+    def test_size_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            bfs_order_embedding(Line(5), Mesh((2, 3)))
+
+
+class TestBinaryGray:
+    def test_matches_paper_construction_on_power_of_two_meshes(self):
+        guest = Mesh((4, 8))
+        host = Hypercube(5)
+        classic = binary_gray_embedding(guest, host)
+        classic.validate()
+        assert classic.dilation() == 1
+        ours = embed(guest, host)
+        assert ours.dilation() == 1
+
+    def test_requires_hypercube_host(self):
+        with pytest.raises(UnsupportedEmbeddingError):
+            binary_gray_embedding(Mesh((4, 4)), Mesh((4, 4)))
+
+    def test_size_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            binary_gray_embedding(Mesh((4, 4)), Hypercube(5))

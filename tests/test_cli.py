@@ -1,0 +1,57 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_graph
+from repro.graphs.base import Mesh, Torus
+
+
+class TestParseGraph:
+    def test_torus(self):
+        graph = parse_graph("torus:4,6")
+        assert graph == Torus((4, 6))
+
+    def test_mesh_with_spaces(self):
+        assert parse_graph("mesh: 2,2,3") == Mesh((2, 2, 3))
+
+    def test_invalid(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_graph("blob")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_graph("cube:2,2")
+
+
+class TestCommands:
+    def test_embed_command(self, capsys):
+        assert main(["embed", "--guest", "torus:4,6", "--host", "mesh:2,2,2,3"]) == 0
+        out = capsys.readouterr().out
+        assert "dilation" in out
+        assert "Torus(4, 6)" in out
+
+    def test_embed_with_grid_and_congestion(self, capsys):
+        assert main(
+            ["embed", "--guest", "ring:12", "--host", "mesh:3,4", "--grid", "--congestion"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "congestion" in out
+
+    @pytest.mark.parametrize("figure", ["fig4", "fig9", "fig10", "fig11", "fig12"])
+    def test_figure_commands(self, figure, capsys):
+        assert main(["figure", figure]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 3
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "--guest", "torus:4,4", "--host", "mesh:2,2,2,2"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "random" in out and "makespan" in out
+
+    def test_parser_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])

@@ -1,0 +1,249 @@
+"""Unit tests for the basic embeddings of Section 3 (f, t, g, r, h)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.basic import (
+    even_first_permutation,
+    f_sequence,
+    f_value,
+    g_sequence,
+    g_value,
+    h_sequence,
+    h_value,
+    line_in_graph_embedding,
+    predicted_ring_dilation,
+    r_sequence,
+    r_value,
+    ring_in_graph_embedding,
+    t_sequence,
+    t_value,
+)
+from repro.exceptions import InvalidRadixError
+from repro.graphs.base import Line, Mesh, Ring, Torus
+from repro.numbering.radix import RadixBase
+from repro.numbering.sequences import cyclic_spread, sequence_spread
+from repro.utils.listops import apply_permutation
+
+from .conftest import small_shapes
+
+
+class TestTFunction:
+    def test_even_n(self):
+        assert t_sequence(6) == [0, 2, 4, 5, 3, 1]
+
+    def test_odd_n(self):
+        assert t_sequence(5) == [0, 2, 4, 3, 1]
+
+    def test_t_is_bijective(self):
+        for n in range(1, 30):
+            assert sorted(t_sequence(n)) == list(range(n))
+
+    def test_cyclic_spread_two(self):
+        # Definition 14's purpose: the cyclic sequence of t_n values has spread 2.
+        for n in range(3, 30):
+            values = t_sequence(n)
+            diffs = [abs(values[i] - values[(i + 1) % n]) for i in range(n)]
+            assert max(diffs) == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            t_value(5, 5)
+        with pytest.raises(ValueError):
+            t_value(0, 0)
+
+
+class TestFFunction:
+    """Theorem 13: f_L embeds a line with unit dilation."""
+
+    def test_figure9_values(self):
+        L = (4, 2, 3)
+        assert f_value(L, 0) == (0, 0, 0)
+        assert f_value(L, 5) == (0, 1, 0)
+        assert f_value(L, 6) == (1, 1, 0)
+        assert f_value(L, 11) == (1, 0, 0)
+        assert f_value(L, 12) == (2, 0, 0)
+        assert f_value(L, 23) == (3, 0, 0)
+
+    def test_lemma10_bijective(self):
+        for shape in [(4, 2, 3), (3, 3), (2, 2, 2, 2), (5, 4)]:
+            assert len(set(f_sequence(shape))) == RadixBase(shape).size
+
+    def test_lemma11_unit_mesh_spread(self):
+        for shape in [(4, 2, 3), (3, 3, 3), (2, 5), (6,)]:
+            assert sequence_spread(f_sequence(shape)) == 1
+
+    def test_lemma12_unit_torus_spread(self):
+        for shape in [(4, 2, 3), (3, 3, 3)]:
+            assert sequence_spread(f_sequence(shape), metric="torus", shape=shape) == 1
+
+    def test_lemma19_last_element(self):
+        # If l1 is even, f_L(n-1) = (l1 - 1, 0, ..., 0).
+        for shape in [(4, 2, 3), (2, 3, 3), (6, 5)]:
+            assert f_sequence(shape)[-1] == (shape[0] - 1,) + (0,) * (len(shape) - 1)
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidRadixError):
+            f_value((2, 2), 4)
+
+    @given(small_shapes(max_dim=3, max_len=5))
+    def test_f_properties(self, shape):
+        seq = f_sequence(shape)
+        assert len(set(seq)) == RadixBase(shape).size
+        assert sequence_spread(seq) == 1
+
+
+class TestGFunction:
+    """Theorem 17: g_L embeds a ring in a mesh with dilation 2."""
+
+    def test_g_is_f_composed_with_t(self):
+        L = (4, 2, 3)
+        n = 24
+        for x in range(n):
+            assert g_value(L, x) == f_value(L, t_value(n, x))
+
+    def test_lemma16_cyclic_spread_at_most_two(self):
+        for shape in [(4, 2, 3), (3, 3), (3, 5), (5,), (3, 3, 3)]:
+            assert cyclic_spread(g_sequence(shape)) <= 2
+
+    def test_bijective(self):
+        for shape in [(4, 2, 3), (3, 3)]:
+            assert len(set(g_sequence(shape))) == RadixBase(shape).size
+
+    @given(small_shapes(max_dim=3, max_len=5))
+    def test_g_properties(self, shape):
+        seq = g_sequence(shape)
+        assert len(set(seq)) == RadixBase(shape).size
+        assert cyclic_spread(seq) <= 2
+
+
+class TestRFunction:
+    """Lemmas 21 and 26: r_L for 2-dimensional bases."""
+
+    def test_requires_two_dimensions(self):
+        with pytest.raises(InvalidRadixError):
+            r_value((4, 2, 3), 0)
+
+    def test_first_column_top_down(self):
+        seq = r_sequence((4, 3))
+        assert seq[:4] == [(3, 0), (2, 0), (1, 0), (0, 0)]
+
+    def test_lemma21_unit_cyclic_mesh_spread_for_even_first_dimension(self):
+        for shape in [(4, 3), (2, 5), (6, 2), (4, 2), (2, 2)]:
+            assert cyclic_spread(r_sequence(shape)) == 1
+
+    def test_lemma26_unit_cyclic_torus_spread_always(self):
+        for shape in [(4, 3), (3, 3), (5, 4), (3, 2), (5, 2)]:
+            assert cyclic_spread(r_sequence(shape), metric="torus", shape=shape) == 1
+
+    def test_odd_first_dimension_ends_at_top_of_last_column(self):
+        # Figure 8: when l1 is odd the last element is (l1 - 1, l2 - 1).
+        seq = r_sequence((3, 4))
+        assert seq[-1] == (2, 3)
+
+    def test_bijective(self):
+        for shape in [(4, 3), (3, 4), (2, 2), (5, 2)]:
+            assert len(set(r_sequence(shape))) == shape[0] * shape[1]
+
+
+class TestHFunction:
+    """Lemmas 23 and 27, Theorems 24 and 28."""
+
+    def test_dimension_one_is_identity(self):
+        assert h_sequence((7,)) == [(x,) for x in range(7)]
+
+    def test_dimension_two_is_r(self):
+        assert h_sequence((4, 3)) == r_sequence((4, 3))
+
+    def test_lemma23_unit_cyclic_mesh_spread_for_even_first_dimension(self):
+        for shape in [(4, 2, 3), (2, 3, 3), (2, 2, 2, 2), (4, 3, 3), (2, 2, 5)]:
+            assert cyclic_spread(h_sequence(shape)) == 1
+
+    def test_lemma27_unit_cyclic_torus_spread_always(self):
+        for shape in [(4, 2, 3), (3, 3, 3), (3, 5, 3), (5, 3), (3, 3, 3, 3)]:
+            assert cyclic_spread(h_sequence(shape), metric="torus", shape=shape) == 1
+
+    def test_bijective(self):
+        for shape in [(4, 2, 3), (3, 3, 3), (2, 2, 2, 2)]:
+            assert len(set(h_sequence(shape))) == RadixBase(shape).size
+
+    @given(small_shapes(min_dim=2, max_dim=4, max_len=4))
+    def test_h_properties(self, shape):
+        seq = h_sequence(shape)
+        assert len(set(seq)) == RadixBase(shape).size
+        assert cyclic_spread(seq, metric="torus", shape=shape) == 1
+        if shape[0] % 2 == 0:
+            assert cyclic_spread(seq) == 1
+
+
+class TestEvenFirstPermutation:
+    def test_finds_even_dimension(self):
+        result = even_first_permutation((3, 4, 5))
+        assert result is not None
+        reordered, perm = result
+        assert reordered[0] % 2 == 0
+        assert apply_permutation(perm, reordered) == (3, 4, 5)
+
+    def test_none_when_all_odd(self):
+        assert even_first_permutation((3, 5, 7)) is None
+
+    def test_already_even_first(self):
+        reordered, perm = even_first_permutation((4, 3))
+        assert reordered == (4, 3)
+        assert apply_permutation(perm, reordered) == (4, 3)
+
+
+class TestLineEmbeddings:
+    """Theorem 13 end to end."""
+
+    @pytest.mark.parametrize(
+        "host",
+        [Mesh((4, 2, 3)), Torus((4, 2, 3)), Mesh((5, 5)), Torus((3, 3, 3)), Line(17), Ring(16)],
+    )
+    def test_unit_dilation(self, host):
+        embedding = line_in_graph_embedding(host)
+        embedding.validate()
+        assert embedding.dilation() == 1
+        assert embedding.predicted_dilation == 1
+
+
+class TestRingEmbeddings:
+    """Theorems 17, 24 and 28 end to end."""
+
+    @pytest.mark.parametrize("host", [Torus((4, 2, 3)), Torus((3, 3, 5)), Torus((5, 7)), Ring(9)])
+    def test_ring_in_torus_unit_dilation(self, host):
+        embedding = ring_in_graph_embedding(host)
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+    @pytest.mark.parametrize("host", [Mesh((4, 2, 3)), Mesh((3, 4)), Mesh((2, 3, 3)), Mesh((2, 2, 2, 2))])
+    def test_ring_in_even_mesh_unit_dilation(self, host):
+        embedding = ring_in_graph_embedding(host)
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+    @pytest.mark.parametrize("host", [Mesh((3, 3)), Mesh((3, 5)), Mesh((3, 3, 3))])
+    def test_ring_in_odd_mesh_dilation_two(self, host):
+        embedding = ring_in_graph_embedding(host)
+        embedding.validate()
+        # Theorem 17: dilation 2, optimal because odd meshes lack Hamiltonian circuits.
+        assert embedding.dilation() == 2
+
+    def test_ring_in_line_dilation_two(self):
+        embedding = ring_in_graph_embedding(Line(8))
+        embedding.validate()
+        assert embedding.dilation() == 2
+
+    def test_predicted_ring_dilation(self):
+        assert predicted_ring_dilation(Torus((3, 3))) == 1
+        assert predicted_ring_dilation(Mesh((3, 3))) == 2
+        assert predicted_ring_dilation(Mesh((4, 3))) == 1
+        assert predicted_ring_dilation(Line(9)) == 2
+
+    @given(small_shapes(min_dim=1, max_dim=3, max_len=5), st.booleans())
+    def test_ring_embedding_property(self, shape, use_torus):
+        host = Torus(shape) if use_torus else Mesh(shape)
+        embedding = ring_in_graph_embedding(host)
+        embedding.validate()
+        assert embedding.dilation() <= embedding.predicted_dilation

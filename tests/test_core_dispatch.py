@@ -1,0 +1,100 @@
+"""Unit tests for the automatic strategy dispatcher."""
+
+import pytest
+
+from repro.core.dispatch import embed, strategy_for
+from repro.exceptions import ShapeMismatchError, UnsupportedEmbeddingError
+from repro.graphs.base import Hypercube, Line, Mesh, Ring, Torus
+
+
+class TestStrategySelection:
+    def test_same_shape(self):
+        assert strategy_for(Torus((3, 4)), Mesh((3, 4))) == "same-shape"
+
+    def test_permutation(self):
+        assert strategy_for(Mesh((3, 4)), Mesh((4, 3))) == "permute-dimensions"
+
+    def test_basic(self):
+        assert strategy_for(Ring(24), Mesh((4, 2, 3))) == "basic"
+        assert strategy_for(Line(24), Torus((4, 2, 3))) == "basic"
+
+    def test_one_dimensional_host(self):
+        assert strategy_for(Mesh((4, 6)), Line(24)) == "lowering-simple"
+
+    def test_increasing(self):
+        assert strategy_for(Torus((4, 6)), Mesh((2, 2, 2, 3))) == "increasing"
+
+    def test_lowering(self):
+        assert strategy_for(Mesh((4, 2, 3, 3)), Mesh((8, 9))) == "lowering-simple"
+        assert strategy_for(Mesh((3, 3, 4)), Mesh((6, 6))) == "lowering-general"
+
+    def test_square_fallbacks(self):
+        assert strategy_for(Mesh((8, 8)), Mesh((4, 4, 4))) == "square-increasing"
+        assert strategy_for(Mesh((4, 4, 4, 4)), Mesh((16, 16))) == "lowering-simple"
+
+    def test_unsupported(self):
+        assert strategy_for(Mesh((4, 9)), Mesh((6, 3, 2))) == "unsupported"
+        assert strategy_for(Mesh((4, 9, 5)), Mesh((6, 30))) == "unsupported"
+
+    def test_size_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            strategy_for(Mesh((2, 2)), Mesh((2, 3)))
+
+
+class TestEmbedDispatcher:
+    @pytest.mark.parametrize(
+        "guest, host, expected_max_dilation",
+        [
+            (Mesh((3, 4)), Mesh((3, 4)), 1),
+            (Torus((3, 4)), Mesh((3, 4)), 2),
+            (Mesh((3, 4)), Mesh((4, 3)), 1),
+            (Torus((3, 4)), Mesh((4, 3)), 2),
+            (Ring(24), Mesh((4, 2, 3)), 1),
+            (Line(24), Torus((4, 2, 3)), 1),
+            (Ring(15), Mesh((3, 5)), 2),
+            (Torus((4, 6)), Mesh((2, 2, 2, 3)), 1),
+            (Mesh((4, 6)), Torus((2, 2, 2, 3)), 1),
+            (Hypercube(6), Mesh((8, 8)), 4),
+            (Mesh((4, 2, 3, 3)), Mesh((8, 9)), 3),
+            (Mesh((3, 3, 4)), Mesh((6, 6)), 2),
+            (Torus((8, 8)), Ring(64), 8),
+            (Mesh((8, 8)), Mesh((4, 4, 4)), 2),
+            (Torus((4, 4, 4)), Mesh((8, 8)), 4),
+            (Mesh((4, 6)), Line(24), 6),
+        ],
+    )
+    def test_dispatch_produces_valid_embeddings(self, guest, host, expected_max_dilation):
+        embedding = embed(guest, host)
+        embedding.validate()
+        assert embedding.dilation() <= expected_max_dilation
+
+    def test_guest_object_is_preserved_for_basic(self):
+        guest = Ring(24)
+        host = Mesh((4, 2, 3))
+        embedding = embed(guest, host)
+        assert embedding.guest is guest
+        assert embedding.host is host
+
+    def test_one_dimensional_host_uses_largest_first_group(self):
+        embedding = embed(Mesh((2, 6)), Line(12))
+        # Sorted non-increasing group (6, 2): dilation 12/6 = 2.
+        assert embedding.dilation() == 2
+
+    def test_unsupported_pair_raises(self):
+        with pytest.raises(UnsupportedEmbeddingError):
+            embed(Mesh((4, 9)), Mesh((6, 3, 2)))
+        with pytest.raises(UnsupportedEmbeddingError):
+            embed(Mesh((4, 9, 5)), Mesh((6, 30)))
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ShapeMismatchError):
+            embed(Mesh((3, 3)), Mesh((3, 4)))
+
+    def test_permuted_torus_guest_into_mesh_host(self):
+        embedding = embed(Torus((3, 5)), Mesh((5, 3)))
+        embedding.validate()
+        assert embedding.dilation() == 2
+
+    def test_hypercube_permutation_identity(self):
+        embedding = embed(Torus((2, 2, 2)), Mesh((2, 2, 2)))
+        assert embedding.dilation() == 1

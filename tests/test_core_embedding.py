@@ -1,0 +1,155 @@
+"""Unit tests for the Embedding class (Definition 1)."""
+
+import pytest
+
+from repro.core.basic import line_in_graph_embedding
+from repro.core.embedding import Embedding
+from repro.exceptions import InvalidEmbeddingError, ShapeMismatchError
+from repro.graphs.base import Line, Mesh, Ring, Torus
+
+
+class TestConstruction:
+    def test_from_callable(self):
+        guest = Line(6)
+        host = Mesh((2, 3))
+        embedding = Embedding.from_callable(
+            guest, host, lambda node: host.index_node(node[0]), strategy="lex"
+        )
+        assert len(embedding) == 6
+        assert embedding[(0,)] == (0, 0)
+        assert embedding.map_index(5) == (1, 2)
+
+    def test_identity_requires_equal_shapes(self):
+        with pytest.raises(ShapeMismatchError):
+            Embedding.identity(Mesh((2, 3)), Mesh((3, 2)))
+
+    def test_identity_dilation_one(self):
+        embedding = Embedding.identity(Mesh((3, 3)), Torus((3, 3)))
+        assert embedding.dilation() == 1
+        assert embedding.is_bijective()
+
+    def test_from_permutation(self):
+        guest = Mesh((2, 3))
+        host = Mesh((3, 2))
+        embedding = Embedding.from_permutation(guest, host, (1, 0))
+        assert embedding[(1, 2)] == (2, 1)
+        assert embedding.dilation() == 1
+
+    def test_from_permutation_shape_check(self):
+        with pytest.raises(ShapeMismatchError):
+            Embedding.from_permutation(Mesh((2, 3)), Mesh((2, 3, 2)), (0, 1))
+
+    def test_from_permutation_rejects_torus_into_mesh(self):
+        with pytest.raises(InvalidEmbeddingError):
+            Embedding.from_permutation(Torus((3, 4)), Mesh((4, 3)), (1, 0))
+
+
+class TestValidity:
+    def test_valid_embedding(self):
+        embedding = line_in_graph_embedding(Mesh((2, 3)))
+        embedding.validate()
+        assert embedding.is_valid()
+
+    def test_detects_non_injective(self):
+        guest = Line(4)
+        host = Mesh((2, 2))
+        embedding = Embedding(
+            guest, host, {(0,): (0, 0), (1,): (0, 0), (2,): (1, 0), (3,): (1, 1)}
+        )
+        assert not embedding.is_valid()
+        with pytest.raises(InvalidEmbeddingError):
+            embedding.validate()
+
+    def test_detects_missing_nodes(self):
+        guest = Line(4)
+        host = Mesh((2, 2))
+        embedding = Embedding(guest, host, {(0,): (0, 0)})
+        assert not embedding.is_valid()
+
+    def test_detects_image_outside_host(self):
+        guest = Line(2)
+        host = Mesh((2, 2))
+        embedding = Embedding(guest, host, {(0,): (0, 0), (1,): (5, 5)})
+        assert not embedding.is_valid()
+
+    def test_detects_guest_larger_than_host(self):
+        guest = Line(9)
+        host = Mesh((2, 2))
+        embedding = Embedding(guest, host, {(x,): (0, 0) for x in range(9)})
+        with pytest.raises(ShapeMismatchError):
+            embedding.validate()
+
+    def test_detects_node_outside_guest(self):
+        guest = Line(2)
+        host = Mesh((2, 2))
+        embedding = Embedding(guest, host, {(0,): (0, 0), (7,): (1, 1)})
+        assert not embedding.is_valid()
+
+
+class TestCosts:
+    def test_dilation_of_lexicographic_line(self):
+        guest = Line(6)
+        host = Mesh((2, 3))
+        lex = Embedding.from_callable(guest, host, lambda node: host.index_node(node[0]))
+        # Natural order jumps from (0, 2) to (1, 0): distance 3.
+        assert lex.dilation() == 3
+
+    def test_average_dilation_at_most_max(self):
+        embedding = line_in_graph_embedding(Mesh((3, 4)))
+        assert embedding.average_dilation() <= embedding.dilation()
+
+    def test_expansion_cost_is_one_for_same_size(self):
+        embedding = line_in_graph_embedding(Mesh((3, 4)))
+        assert embedding.expansion_cost() == 1.0
+
+    def test_edge_congestion_unit_dilation_is_at_most_guest_degree(self):
+        embedding = line_in_graph_embedding(Mesh((3, 4)))
+        assert embedding.edge_congestion() >= 1
+
+    def test_dilation_of_single_node_guest(self):
+        guest = Line(2)
+        host = Mesh((2,))
+        embedding = Embedding.identity(Line(2), Line(2))
+        assert embedding.dilation() == 1
+
+    def test_matches_prediction_exact_and_upper_bound(self):
+        embedding = line_in_graph_embedding(Mesh((3, 4)))
+        assert embedding.matches_prediction()
+        embedding.predicted_dilation = 5
+        assert not embedding.matches_prediction()
+        embedding.notes["dilation_is_upper_bound"] = True
+        assert embedding.matches_prediction()
+
+    def test_inverse_mapping(self):
+        embedding = line_in_graph_embedding(Mesh((2, 3)))
+        inverse = embedding.inverse_mapping()
+        assert len(inverse) == 6
+        for node, image in embedding.mapping.items():
+            assert inverse[image] == node
+
+
+class TestComposition:
+    def test_compose_two_steps(self):
+        ring = Ring(12)
+        torus = Torus((3, 4))
+        mesh = Mesh((3, 4))
+        from repro.core.basic import ring_in_graph_embedding
+        from repro.core.same_shape import torus_in_mesh_same_shape
+
+        first = ring_in_graph_embedding(torus)
+        second = torus_in_mesh_same_shape(torus, mesh)
+        chain = first.compose(second)
+        assert chain.guest.shape == (12,)
+        assert chain.host is mesh
+        assert chain.is_valid()
+        assert chain.dilation() <= first.predicted_dilation * second.predicted_dilation
+
+    def test_compose_requires_matching_intermediate(self):
+        first = line_in_graph_embedding(Mesh((3, 4)))
+        second = Embedding.identity(Mesh((4, 3)), Mesh((4, 3)))
+        with pytest.raises(ShapeMismatchError):
+            first.compose(second)
+
+    def test_summary_contains_strategy(self):
+        embedding = line_in_graph_embedding(Mesh((2, 3)))
+        assert "line:f_L" in embedding.summary()

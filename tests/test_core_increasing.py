@@ -1,0 +1,112 @@
+"""Unit tests for increasing-dimension embeddings (Section 4.1, Theorems 32-33)."""
+
+import pytest
+
+from repro.core.expansion import ExpansionFactor, find_unit_dilation_torus_factor
+from repro.core.increasing import F_value, G_value, H_value, embed_increasing
+from repro.exceptions import NoExpansionError, ShapeMismatchError
+from repro.graphs.base import Hypercube, Mesh, Torus
+
+FIGURE11_FACTOR = ExpansionFactor(((2, 2), (2, 3)))
+
+
+class TestComponentFunctions:
+    """Definition 31, with the Figure 11 configuration L=(4,6), V=((2,2),(2,3))."""
+
+    def test_F_concatenates_f_values(self):
+        assert F_value(FIGURE11_FACTOR, (0, 0)) == (0, 0, 0, 0)
+        # f_(2,2)(3) = (1, 0); f_(2,3)(5) = (1, 0)
+        assert F_value(FIGURE11_FACTOR, (3, 5)) == (1, 0, 1, 0)
+
+    def test_G_concatenates_g_values(self):
+        assert G_value(FIGURE11_FACTOR, (0, 0)) == (0, 0, 0, 0)
+
+    def test_H_concatenates_h_values(self):
+        # h on a 2-dimensional base is r, which starts at (l1 - 1, 0).
+        assert H_value(FIGURE11_FACTOR, (0, 0)) == (1, 0, 1, 0)
+
+    def test_all_are_injective_on_the_guest(self):
+        guest = Mesh((4, 6))
+        for fn in (F_value, G_value, H_value):
+            images = {fn(FIGURE11_FACTOR, node) for node in guest.nodes()}
+            assert len(images) == 24
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            F_value(FIGURE11_FACTOR, (1, 2, 3))
+
+
+class TestTheorem32:
+    def test_mesh_guest_unit_dilation(self):
+        for host in (Mesh((2, 2, 2, 3)), Torus((2, 2, 2, 3))):
+            embedding = embed_increasing(Mesh((4, 6)), host)
+            embedding.validate()
+            assert embedding.dilation() == 1
+
+    def test_torus_guest_torus_host_unit_dilation(self):
+        embedding = embed_increasing(Torus((4, 6)), Torus((2, 2, 2, 3)))
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+    def test_odd_torus_guest_mesh_host_dilation_two(self):
+        # (3, 9)-torus in a (3, 3, 3)-mesh: odd size, dilation 2 is optimal.
+        embedding = embed_increasing(Torus((3, 9)), Mesh((3, 3, 3)))
+        embedding.validate()
+        assert embedding.dilation() == 2
+        assert embedding.predicted_dilation == 2
+
+    def test_even_torus_guest_mesh_host_unit_dilation_with_good_factor(self):
+        # The paper's (6,12)-torus in a (6,3,2,2)-mesh example.
+        embedding = embed_increasing(Torus((6, 12)), Mesh((6, 3, 2, 2)))
+        embedding.validate()
+        assert embedding.dilation() == 1
+        assert embedding.strategy == "increasing:H_V(even-first)"
+
+    def test_even_torus_guest_mesh_host_dilation_two_with_bad_factor(self):
+        # Forcing the factor ((6), (3,2,2)) reproduces the dilation-2 variant.
+        factor = ExpansionFactor(((6,), (3, 2, 2)))
+        embedding = embed_increasing(
+            Torus((6, 12)), Mesh((6, 3, 2, 2)), factor, prefer_unit_dilation=False
+        )
+        embedding.validate()
+        assert embedding.predicted_dilation == 2
+        assert 1 <= embedding.dilation() <= 2
+
+    def test_size_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            embed_increasing(Mesh((4, 6)), Mesh((2, 2, 2, 2)))
+
+    def test_dimension_checks(self):
+        with pytest.raises(NoExpansionError):
+            embed_increasing(Mesh((4, 6)), Mesh((6, 4)))
+
+    def test_no_expansion_raises(self):
+        # (6, 3, 2) cannot be partitioned into groups multiplying to 4 and 9.
+        with pytest.raises(NoExpansionError):
+            embed_increasing(Mesh((4, 9)), Mesh((6, 3, 2)))
+
+    def test_supplied_factor_validated(self):
+        with pytest.raises(NoExpansionError):
+            embed_increasing(Mesh((4, 6)), Mesh((2, 2, 2, 3)), ExpansionFactor(((2, 2), (2, 2))))
+
+
+class TestTheorem33Corollary34:
+    def test_mesh_in_hypercube_unit_dilation(self):
+        embedding = embed_increasing(Mesh((4, 8)), Torus((2,) * 5))
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+    def test_torus_in_hypercube_unit_dilation(self):
+        embedding = embed_increasing(Torus((4, 8)), Torus((2,) * 5))
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+    def test_torus_in_hypercube_as_mesh_unit_dilation(self):
+        # Even-size torus into a mesh-kind hypercube still achieves dilation 1
+        # because every factor list can be made to start with the even number 2.
+        embedding = embed_increasing(Torus((4, 8)), Mesh((2,) * 5))
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+    def test_unit_factor_exists_for_power_of_two_toruses(self):
+        assert find_unit_dilation_torus_factor((4, 8), (2,) * 5) is not None

@@ -1,0 +1,184 @@
+"""Unit tests for lowering-dimension embeddings (Section 4.2, Theorems 39 and 43)."""
+
+import pytest
+
+from repro.core.lowering import (
+    F_prime_value,
+    G_double_prime_value,
+    G_prime_value,
+    U_value,
+    embed_lowering,
+    embed_lowering_general,
+    embed_lowering_simple,
+)
+from repro.core.reduction import (
+    GeneralReductionFactor,
+    SimpleReductionFactor,
+    find_general_reduction,
+)
+from repro.exceptions import NoReductionError, ShapeMismatchError
+from repro.graphs.base import Hypercube, Line, Mesh, Ring, Torus
+
+
+class TestUValue:
+    def test_collapses_groups_by_mixed_radix_value(self):
+        factor = SimpleReductionFactor(((4, 2), (3, 3)))
+        # Group (i1, i2) with radices (4, 2) evaluates to 2*i1 + i2.
+        assert U_value(factor, (1, 0, 2, 1)) == (2, 7)
+        assert U_value(factor, (3, 1, 2, 2)) == (7, 8)
+
+    def test_dimension_check(self):
+        factor = SimpleReductionFactor(((4, 2),))
+        with pytest.raises(ValueError):
+            U_value(factor, (1, 0, 0))
+
+    def test_injective_over_guest(self):
+        factor = SimpleReductionFactor(((3, 2), (2, 2)))
+        guest = Mesh((3, 2, 2, 2))
+        images = {U_value(factor, node) for node in guest.nodes()}
+        assert len(images) == guest.size
+
+
+class TestTheorem39:
+    def test_mesh_guest_dilation_formula(self):
+        # (4,2,3,3)-mesh in an (8,9)-mesh: dilation max(8/4, 9/3) = 3.
+        embedding = embed_lowering_simple(Mesh((4, 2, 3, 3)), Mesh((8, 9)))
+        embedding.validate()
+        assert embedding.predicted_dilation == 3
+        assert embedding.dilation() == 3
+
+    def test_mesh_guest_torus_host(self):
+        embedding = embed_lowering_simple(Mesh((4, 2, 3, 3)), Torus((8, 9)))
+        embedding.validate()
+        assert embedding.dilation() == 3
+
+    def test_torus_guest_torus_host(self):
+        embedding = embed_lowering_simple(Torus((4, 2, 3, 3)), Torus((8, 9)))
+        embedding.validate()
+        assert embedding.dilation() == 3
+
+    def test_torus_guest_mesh_host_doubles(self):
+        embedding = embed_lowering_simple(Torus((4, 2, 3, 3)), Mesh((8, 9)))
+        embedding.validate()
+        assert embedding.predicted_dilation == 6
+        assert embedding.dilation() <= 6
+        # The T relabelling can only help, never hurt, relative to the base cost.
+        assert embedding.dilation() >= 3
+
+    def test_corollary40_hypercube_source(self):
+        # A hypercube embeds in an (m1, ..., mc)-mesh with dilation max(m_i)/2.
+        embedding = embed_lowering_simple(Hypercube(6), Mesh((8, 8)))
+        embedding.validate()
+        assert embedding.dilation() == 4
+        embedding = embed_lowering_simple(Hypercube(6), Mesh((4, 4, 4)))
+        embedding.validate()
+        assert embedding.dilation() == 2
+
+    def test_into_line_and_ring(self):
+        embedding = embed_lowering_simple(Mesh((4, 4)), Line(16))
+        embedding.validate()
+        assert embedding.dilation() == 4
+        embedding = embed_lowering_simple(Torus((4, 4)), Ring(16))
+        embedding.validate()
+        assert embedding.dilation() == 4
+
+    def test_ablation_bad_ordering_increases_dilation(self):
+        good = embed_lowering_simple(Mesh((4, 2)), Line(8))
+        bad_factor = SimpleReductionFactor(((2, 4),))
+        bad = embed_lowering_simple(Mesh((4, 2)), Line(8), bad_factor)
+        assert good.dilation() == 2
+        assert bad.dilation() == 4
+
+    def test_requires_lower_dimension(self):
+        with pytest.raises(NoReductionError):
+            embed_lowering_simple(Mesh((4, 4)), Mesh((4, 4)))
+
+    def test_size_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            embed_lowering_simple(Mesh((4, 4)), Line(15))
+
+    def test_invalid_supplied_factor(self):
+        with pytest.raises(NoReductionError):
+            embed_lowering_simple(Mesh((4, 4)), Line(16), SimpleReductionFactor(((2, 8),)))
+
+    def test_no_simple_reduction(self):
+        with pytest.raises(NoReductionError):
+            embed_lowering_simple(Mesh((3, 3, 4)), Mesh((6, 6)))
+
+
+class TestDefinition42Functions:
+    FACTOR = GeneralReductionFactor(multiplicant=(3, 3), multiplier=(6,), s_groups=((2, 3),))
+
+    def test_F_prime(self):
+        # Base (i1, i2) scaled by s = (2, 3) plus the offset from F_S(i3).
+        value = F_prime_value(self.FACTOR, (1, 2, 0))
+        assert value == (2 * 1 + 0, 3 * 2 + 0)
+
+    def test_G_prime_and_double_prime_shapes(self):
+        host = Mesh((6, 9))
+        guest = Torus((3, 3, 6))
+        for fn in (G_prime_value, G_double_prime_value):
+            images = {fn(self.FACTOR, node) for node in guest.nodes()}
+            assert len(images) == guest.size
+            assert all(host.contains(image) for image in images)
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            F_prime_value(self.FACTOR, (1, 2))
+
+
+class TestTheorem43:
+    def test_figure12_mesh_to_mesh(self):
+        embedding = embed_lowering_general(Mesh((3, 3, 6)), Mesh((6, 9)))
+        embedding.validate()
+        assert embedding.dilation() == embedding.predicted_dilation == 3
+
+    def test_mesh_to_torus(self):
+        embedding = embed_lowering_general(Mesh((3, 3, 6)), Torus((6, 9)))
+        embedding.validate()
+        assert embedding.dilation() == 3
+
+    def test_torus_to_torus(self):
+        embedding = embed_lowering_general(Torus((3, 3, 6)), Torus((6, 9)))
+        embedding.validate()
+        assert embedding.dilation() == 3
+
+    def test_torus_to_mesh_at_most_double(self):
+        embedding = embed_lowering_general(Torus((3, 3, 6)), Mesh((6, 9)))
+        embedding.validate()
+        assert 3 <= embedding.dilation() <= 6
+
+    def test_general_only_shapes(self):
+        embedding = embed_lowering_general(Mesh((3, 3, 4)), Mesh((6, 6)))
+        embedding.validate()
+        assert embedding.dilation() == 2
+
+    def test_dimension_constraint(self):
+        with pytest.raises(NoReductionError):
+            embed_lowering_general(Mesh((2, 2, 2, 2)), Mesh((4, 4)))
+
+    def test_invalid_supplied_factor(self):
+        bad = GeneralReductionFactor(multiplicant=(3, 3), multiplier=(6,), s_groups=((6,),))
+        with pytest.raises(NoReductionError):
+            embed_lowering_general(Mesh((3, 3, 6)), Mesh((6, 9)), bad)
+
+    def test_no_general_reduction(self):
+        with pytest.raises(NoReductionError):
+            embed_lowering_general(Mesh((3, 3, 5)), Mesh((5, 9)))
+
+
+class TestEmbedLoweringDispatcher:
+    def test_prefers_simple(self):
+        embedding = embed_lowering(Mesh((3, 3, 6)), Mesh((6, 9)))
+        assert embedding.strategy.startswith("lowering:U_V")
+
+    def test_uses_general_when_needed(self):
+        embedding = embed_lowering(Mesh((3, 3, 4)), Mesh((6, 6)))
+        assert "F'_S" in embedding.strategy
+
+    def test_raises_when_neither(self):
+        # (6, 30) is neither a simple nor a general reduction of (4, 9, 5): no
+        # subset of {4, 9, 5} multiplies to 6, and no single-length factorization
+        # produces the right products either.
+        with pytest.raises(NoReductionError):
+            embed_lowering(Mesh((4, 9, 5)), Mesh((6, 30)))

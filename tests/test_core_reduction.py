@@ -1,0 +1,147 @@
+"""Unit tests for simple and general reduction (Definitions 37 and 41)."""
+
+import pytest
+
+from repro.core.reduction import (
+    GeneralReductionFactor,
+    SimpleReductionFactor,
+    find_general_reduction,
+    find_simple_reduction,
+    is_general_reduction,
+    is_simple_reduction,
+    iter_general_reductions,
+    require_reduction,
+)
+from repro.exceptions import NoReductionError
+
+
+class TestSimpleReductionFactor:
+    def test_host_shape_and_flatten(self):
+        factor = SimpleReductionFactor(((4, 2), (3, 3)))
+        assert factor.host_shape == (8, 9)
+        assert factor.flattened == (4, 2, 3, 3)
+
+    def test_sorting(self):
+        factor = SimpleReductionFactor(((2, 4), (3, 3)))
+        assert factor.sorted_non_increasing().groups == ((4, 2), (3, 3))
+        assert factor.sorted_non_decreasing().groups == ((2, 4), (3, 3))
+
+    def test_dilation_depends_on_ordering(self):
+        # Theorem 39's dilation is m_i / (first component); sorting non-increasingly
+        # minimizes it — the ablation the benchmarks report.
+        good = SimpleReductionFactor(((4, 2),)).dilation()
+        bad = SimpleReductionFactor(((2, 4),)).dilation()
+        assert good == 2 and bad == 4
+
+    def test_reduces(self):
+        factor = SimpleReductionFactor(((4, 2), (3, 3)))
+        assert factor.reduces((4, 2, 3, 3), (8, 9))
+        assert factor.reduces((3, 4, 3, 2), (8, 9))
+        assert not factor.reduces((4, 2, 3, 3), (9, 8))
+
+
+class TestSimpleReductionSearch:
+    def test_basic(self):
+        factor = find_simple_reduction((4, 2, 3, 3), (8, 9))
+        assert factor is not None
+        assert factor.reduces((4, 2, 3, 3), (8, 9))
+        # Components are sorted in non-increasing order (Theorem 39's convention).
+        for group in factor.groups:
+            assert list(group) == sorted(group, reverse=True)
+
+    def test_figure12_shapes_are_also_simple(self):
+        # (6, 9) is a simple reduction of (3, 3, 6): 6 = 6 and 9 = 3·3.
+        assert is_simple_reduction((3, 3, 6), (6, 9))
+
+    def test_hypercube_source(self):
+        # By Theorem 33 + Definition 37 a hypercube reduces simply to anything of its size.
+        assert is_simple_reduction((2,) * 6, (8, 8))
+        assert is_simple_reduction((2,) * 6, (4, 4, 4))
+        assert is_simple_reduction((2,) * 6, (64,))
+
+    def test_not_simple(self):
+        assert is_simple_reduction((2, 3, 5), (10, 3))  # 10 = 2·5 and 3 alone
+        assert not is_simple_reduction((3, 3, 4), (6, 6))  # needs the general construction
+        assert not is_simple_reduction((3, 3, 6), (9, 7))
+        assert not is_simple_reduction((3, 3), (3, 3))  # must lower the dimension
+
+    def test_none_when_impossible(self):
+        assert find_simple_reduction((2, 3, 5), (6, 7)) is None
+
+
+class TestGeneralReductionFactor:
+    def test_paper_example(self):
+        # Definition 41's example: M = (4,3,5,28,10,18) is a general reduction of
+        # L = (2,3,2,10,6,21,5,4) with L' = (2,2,6,4,3,5), L'' = (10,21),
+        # S1 = (5,2), S2 = (3,7).
+        factor = GeneralReductionFactor(
+            multiplicant=(2, 2, 6, 4, 3, 5),
+            multiplier=(10, 21),
+            s_groups=((5, 2), (3, 7)),
+        )
+        assert factor.b == 4
+        assert factor.host_arrangement == (10, 4, 18, 28, 3, 5)
+        assert factor.reduces((2, 3, 2, 10, 6, 21, 5, 4), (4, 3, 5, 28, 10, 18))
+
+    def test_dilation(self):
+        factor = GeneralReductionFactor(
+            multiplicant=(3, 3), multiplier=(6,), s_groups=((3, 2),)
+        )
+        assert factor.dilation() == 3
+
+    def test_reduces_rejects_bad_b(self):
+        # b must satisfy d - c < b <= c.
+        factor = GeneralReductionFactor(
+            multiplicant=(3, 3), multiplier=(6,), s_groups=((6,),)
+        )
+        assert not factor.reduces((3, 3, 6), (18, 3))
+
+
+class TestGeneralReductionSearch:
+    def test_figure12_example(self):
+        # The (3,3,6)-mesh viewed as a (3,3)-mesh of 6-node lines inside a (6,9)-mesh.
+        factor = find_general_reduction((3, 3, 6), (6, 9))
+        assert factor is not None
+        assert factor.reduces((3, 3, 6), (6, 9))
+        assert factor.dilation() == 3
+
+    def test_paper_example_shapes(self):
+        factor = find_general_reduction((2, 3, 2, 10, 6, 21, 5, 4), (4, 3, 5, 28, 10, 18))
+        assert factor is not None
+        assert factor.reduces((2, 3, 2, 10, 6, 21, 5, 4), (4, 3, 5, 28, 10, 18))
+
+    def test_dimension_constraint(self):
+        # General reduction requires c < d < 2c.
+        assert find_general_reduction((2, 2, 2, 2), (4, 4)) is None  # d = 2c
+        assert find_general_reduction((4, 4), (4, 4)) is None
+
+    def test_is_general_reduction(self):
+        assert is_general_reduction((3, 3, 6), (6, 9))
+        assert not is_general_reduction((3, 3, 5), (5, 9))
+
+    def test_iter_limit(self):
+        factors = list(iter_general_reductions((3, 3, 6), (6, 9), limit=3))
+        assert 1 <= len(factors) <= 3
+        for factor in factors:
+            assert factor.reduces((3, 3, 6), (6, 9))
+
+
+class TestRequireReduction:
+    def test_prefers_simple(self):
+        factor = require_reduction((4, 2, 3, 3), (8, 9))
+        assert isinstance(factor, SimpleReductionFactor)
+
+    def test_falls_back_to_general(self):
+        # (6, 6) is not a simple reduction of (3, 3, 4) (no subset multiplies to 6
+        # alongside a complementary subset that also multiplies to 6), but it is a
+        # general reduction with L' = (3, 3), L'' = (4), S_1 = (2, 2).
+        factor = require_reduction((3, 3, 4), (6, 6))
+        assert isinstance(factor, GeneralReductionFactor)
+        assert factor.reduces((3, 3, 4), (6, 6))
+        assert factor.dilation() == 2
+
+    def test_raises_when_neither(self):
+        # No subset of {4, 9, 5} multiplies to 6 and no factorization of a single
+        # length can produce (6, 30) either.
+        with pytest.raises(NoReductionError):
+            require_reduction((4, 9, 5), (6, 30))

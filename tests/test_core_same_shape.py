@@ -1,0 +1,61 @@
+"""Unit tests for same-shape embeddings (Definition 35, Lemma 36)."""
+
+import pytest
+
+from repro.core.same_shape import same_shape_embedding, t_vector_value, torus_in_mesh_same_shape
+from repro.exceptions import ShapeMismatchError
+from repro.graphs.base import Mesh, Torus
+
+
+class TestTVector:
+    def test_componentwise_t(self):
+        assert t_vector_value((4, 3), (1, 1)) == (2, 2)
+        assert t_vector_value((4, 3), (0, 0)) == (0, 0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            t_vector_value((4, 3), (1, 1, 1))
+
+    def test_is_a_bijection_per_dimension(self):
+        shape = (5, 4)
+        images = {t_vector_value(shape, node) for node in Mesh(shape).nodes()}
+        assert len(images) == 20
+
+
+class TestTorusInMesh:
+    @pytest.mark.parametrize("shape", [(3, 3), (4, 5), (3, 4, 3), (5,)])
+    def test_dilation_two(self, shape):
+        embedding = torus_in_mesh_same_shape(Torus(shape), Mesh(shape))
+        embedding.validate()
+        assert embedding.dilation() == 2
+
+    def test_hypercube_special_case_dilation_one(self):
+        embedding = torus_in_mesh_same_shape(Torus((2, 2, 2)), Mesh((2, 2, 2)))
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            torus_in_mesh_same_shape(Torus((3, 3)), Mesh((3, 4)))
+
+
+class TestSameShapeDispatch:
+    def test_identity_cases(self):
+        for guest, host in [
+            (Mesh((3, 4)), Mesh((3, 4))),
+            (Mesh((3, 4)), Torus((3, 4))),
+            (Torus((3, 4)), Torus((3, 4))),
+            (Torus((2, 2)), Mesh((2, 2))),  # hypercube: identity suffices
+        ]:
+            embedding = same_shape_embedding(guest, host)
+            embedding.validate()
+            assert embedding.dilation() == 1
+
+    def test_torus_in_mesh_uses_t(self):
+        embedding = same_shape_embedding(Torus((3, 4)), Mesh((3, 4)))
+        assert embedding.strategy == "same-shape:T_L"
+        assert embedding.dilation() == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            same_shape_embedding(Mesh((3, 4)), Mesh((4, 3)))

@@ -1,0 +1,206 @@
+"""Unit tests for square-graph embeddings (Section 5, Theorems 48-53)."""
+
+import math
+
+import pytest
+
+from repro.core.square import (
+    embed_square,
+    embed_square_increasing,
+    embed_square_lowering,
+    predicted_square_dilation,
+    square_lowering_intermediate_shapes,
+)
+from repro.exceptions import ShapeMismatchError, UnsupportedEmbeddingError
+from repro.graphs.base import Hypercube, Line, Mesh, Ring, Torus
+from repro.types import GraphKind, ShapedGraphSpec
+
+
+def spec(kind, shape):
+    return ShapedGraphSpec(GraphKind(kind), shape)
+
+
+class TestPredictedDilation:
+    def test_lowering_divisible(self):
+        # Theorem 48: l^((d-c)/c).
+        assert predicted_square_dilation(spec("mesh", (4, 4)), spec("mesh", (16,))) == 4
+        assert predicted_square_dilation(spec("mesh", (4, 4, 4)), spec("mesh", (64,))) == 16
+        assert predicted_square_dilation(spec("torus", (4, 4)), spec("mesh", (16,))) == 8
+        assert predicted_square_dilation(spec("torus", (4, 4)), spec("torus", (16,))) == 4
+
+    def test_lowering_non_divisible(self):
+        # Theorem 51: (8,8,8) -> (l^(3/2))^2: dilation 8^(1/2) per step... overall 8^((3-2)/2) not
+        # integral for l = 8, so use l = 4: (4,4,4) -> (8,8): dilation 4^(1/2) = 2.
+        assert predicted_square_dilation(spec("mesh", (4, 4, 4)), spec("mesh", (8, 8))) == 2
+        assert predicted_square_dilation(spec("torus", (4, 4, 4)), spec("mesh", (8, 8))) == 4
+
+    def test_increasing_divisible(self):
+        assert predicted_square_dilation(spec("mesh", (16,)), spec("mesh", (4, 4))) == 1
+        assert predicted_square_dilation(spec("torus", (9, 9)), spec("mesh", (3, 3, 3, 3))) == 2
+        assert predicted_square_dilation(spec("torus", (4, 4)), spec("mesh", (2, 2, 2, 2))) == 1
+
+    def test_increasing_non_divisible(self):
+        # Theorem 53: l^((d-a)/c) with a = gcd(d, c); here (8,8) -> (4,4,4): 8^(1/3) = 2.
+        assert predicted_square_dilation(spec("mesh", (8, 8)), spec("mesh", (4, 4, 4))) == 2
+
+    def test_same_dimension(self):
+        assert predicted_square_dilation(spec("torus", (5, 5)), spec("mesh", (5, 5))) == 2
+        assert predicted_square_dilation(spec("mesh", (5, 5)), spec("mesh", (5, 5))) == 1
+
+    def test_requires_square(self):
+        with pytest.raises(UnsupportedEmbeddingError):
+            predicted_square_dilation(spec("mesh", (4, 2)), spec("mesh", (8,)))
+
+
+class TestIntermediateShapes:
+    def test_coprime_case(self):
+        # d=3, c=2, l=4: I_0=(4,4,4), I_1=(8,8).
+        shapes = square_lowering_intermediate_shapes(3, 2, 4)
+        assert shapes == [(4, 4, 4), (8, 8)]
+
+    def test_longer_chain(self):
+        # d=5, c=2, l=4: a=1, u=5, v=2, root=2; chain of length u-v+1 = 4.
+        shapes = square_lowering_intermediate_shapes(5, 2, 4)
+        assert shapes[0] == (4,) * 5
+        assert shapes[-1] == (32, 32)
+        for shape in shapes:
+            assert math.prod(shape) == 4**5
+
+    def test_non_coprime_case(self):
+        # d=6, c=4, l=4: a=2, u=3, v=2, root=2; I_0=(4,)*6, I_1=(8,8,8,8).
+        shapes = square_lowering_intermediate_shapes(6, 4, 4)
+        assert shapes == [(4,) * 6, (8,) * 4]
+
+    def test_missing_root_raises(self):
+        with pytest.raises(UnsupportedEmbeddingError):
+            square_lowering_intermediate_shapes(3, 2, 6)
+
+
+class TestTheorem48:
+    def test_square_mesh_to_line_matches_fitzgerald(self):
+        # (l, l)-mesh in a line: our dilation l equals FitzGerald's optimum.
+        for l in (3, 4, 5):
+            embedding = embed_square_lowering(Mesh((l, l)), Line(l * l))
+            embedding.validate()
+            assert embedding.dilation() == l
+
+    def test_square_torus_to_ring_matches_mn86(self):
+        for l in (3, 4, 5):
+            embedding = embed_square_lowering(Torus((l, l)), Ring(l * l))
+            embedding.validate()
+            assert embedding.dilation() == l
+
+    def test_cube_mesh_to_line(self):
+        embedding = embed_square_lowering(Mesh((3, 3, 3)), Line(27))
+        embedding.validate()
+        assert embedding.dilation() == 9  # l^((d-c)/c) = 3^2
+
+    def test_mesh_4d_to_2d(self):
+        embedding = embed_square_lowering(Mesh((3, 3, 3, 3)), Mesh((9, 9)))
+        embedding.validate()
+        assert embedding.dilation() == 3
+
+    def test_torus_to_mesh_doubles(self):
+        embedding = embed_square_lowering(Torus((3, 3)), Mesh((9,)))
+        embedding.validate()
+        assert embedding.predicted_dilation == 6
+        assert embedding.dilation() <= 6
+
+    def test_hypercube_corollary49(self):
+        # Corollary 49: hypercube -> square mesh of side m has dilation m/2.
+        embedding = embed_square_lowering(Hypercube(4), Mesh((4, 4)))
+        embedding.validate()
+        assert embedding.dilation() == 2
+        embedding = embed_square_lowering(Hypercube(6), Mesh((8, 8)))
+        assert embedding.dilation() == 4
+
+    def test_hypercube_to_line_dilation_2_pow_d_minus_1(self):
+        embedding = embed_square_lowering(Hypercube(4), Line(16))
+        embedding.validate()
+        assert embedding.dilation() == 8
+
+
+class TestTheorem51:
+    def test_mesh_chain(self):
+        embedding = embed_square_lowering(Mesh((4, 4, 4)), Mesh((8, 8)))
+        embedding.validate()
+        assert embedding.predicted_dilation == 2
+        assert embedding.dilation() <= 2
+
+    def test_torus_chain_to_torus(self):
+        embedding = embed_square_lowering(Torus((4, 4, 4)), Torus((8, 8)))
+        embedding.validate()
+        assert embedding.dilation() <= 2
+
+    def test_torus_chain_to_mesh(self):
+        embedding = embed_square_lowering(Torus((4, 4, 4)), Mesh((8, 8)))
+        embedding.validate()
+        assert embedding.predicted_dilation == 4
+        assert embedding.dilation() <= 4
+
+    def test_five_to_two_dimensions_multi_step_chain(self):
+        # d=5, c=2, l=4: the chain has three general-reduction steps, each of
+        # dilation 2, for a total predicted dilation of 4^(3/2) = 8 (Theorem 51).
+        embedding = embed_square_lowering(Mesh((4,) * 5), Mesh((32, 32)))
+        embedding.validate()
+        assert embedding.predicted_dilation == 8
+        assert embedding.dilation() <= 8
+        assert len(embedding.notes["intermediate_shapes"]) == 4
+
+
+class TestTheorem52:
+    def test_square_increasing_divisible(self):
+        embedding = embed_square_increasing(Mesh((16,)), Mesh((4, 4)))
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+    def test_odd_torus_into_mesh(self):
+        embedding = embed_square_increasing(Torus((9, 9)), Mesh((3, 3, 3, 3)))
+        embedding.validate()
+        assert embedding.dilation() == 2
+
+    def test_even_torus_into_mesh_unit(self):
+        embedding = embed_square_increasing(Torus((4, 4)), Mesh((2, 2, 2, 2)))
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+    def test_torus_into_torus_unit(self):
+        embedding = embed_square_increasing(Torus((9,)), Torus((3, 3)))
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+
+class TestTheorem53:
+    def test_mesh_non_divisible(self):
+        embedding = embed_square_increasing(Mesh((8, 8)), Mesh((4, 4, 4)))
+        embedding.validate()
+        assert embedding.predicted_dilation == 2
+        assert embedding.dilation() <= 2
+
+    def test_even_torus_non_divisible(self):
+        embedding = embed_square_increasing(Torus((8, 8)), Mesh((4, 4, 4)))
+        embedding.validate()
+        assert embedding.dilation() <= 2
+
+    def test_torus_to_torus_non_divisible(self):
+        embedding = embed_square_increasing(Torus((8, 8)), Torus((4, 4, 4)))
+        embedding.validate()
+        assert embedding.dilation() <= 2
+
+
+class TestEmbedSquareDispatcher:
+    def test_same_dimension(self):
+        embedding = embed_square(Torus((3, 3)), Mesh((3, 3)))
+        assert embedding.dilation() == 2
+
+    def test_lowering_and_increasing(self):
+        assert embed_square(Mesh((4, 4)), Line(16)).dilation() == 4
+        assert embed_square(Mesh((16,)), Mesh((4, 4))).dilation() == 1
+
+    def test_rejects_non_square(self):
+        with pytest.raises(UnsupportedEmbeddingError):
+            embed_square(Mesh((4, 2)), Mesh((8,)))
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            embed_square(Mesh((4, 4)), Mesh((5, 5)))

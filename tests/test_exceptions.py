@@ -1,0 +1,55 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    InvalidEmbeddingError,
+    InvalidRadixError,
+    InvalidShapeError,
+    NoExpansionError,
+    NoReductionError,
+    ReproError,
+    ShapeMismatchError,
+    SimulationError,
+    UnsupportedEmbeddingError,
+)
+
+
+ALL_EXCEPTIONS = [
+    InvalidShapeError,
+    InvalidRadixError,
+    InvalidEmbeddingError,
+    ShapeMismatchError,
+    NoExpansionError,
+    NoReductionError,
+    UnsupportedEmbeddingError,
+    SimulationError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exception_class", ALL_EXCEPTIONS)
+    def test_every_exception_derives_from_repro_error(self, exception_class):
+        assert issubclass(exception_class, ReproError)
+
+    def test_value_errors_are_value_errors(self):
+        for exception_class in ALL_EXCEPTIONS:
+            if exception_class is SimulationError:
+                assert issubclass(exception_class, RuntimeError)
+            else:
+                assert issubclass(exception_class, ValueError)
+
+    def test_single_except_clause_catches_library_failures(self):
+        from repro.graphs.base import Mesh
+
+        with pytest.raises(ReproError):
+            Mesh((1, 2))
+
+    def test_library_failures_are_catchable_by_builtin_categories(self):
+        from repro.graphs.base import Mesh
+        from repro.core.dispatch import embed
+
+        with pytest.raises(ValueError):
+            Mesh((0,))
+        with pytest.raises(ValueError):
+            embed(Mesh((2, 2)), Mesh((2, 3)))

@@ -1,0 +1,126 @@
+"""Unit tests for the experiment harness (repro.experiments)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, run_all, run_experiment
+from repro.experiments.registry import ExperimentResult, _ensure_loaded
+from repro.experiments import __main__ as experiments_main
+from repro.experiments.basic_tables import line_rows, ring_ablation_rows, ring_rows
+from repro.experiments.increasing_tables import factor_ablation_rows, hypercube_rows
+from repro.experiments.lowering_tables import ordering_ablation_rows, simple_rows
+from repro.experiments.optima_tables import epsilon_rows, hypercube_in_line_rows
+from repro.experiments.simulation_tables import mapping_rows, SCENARIOS
+from repro.experiments.square_tables import square_increasing_rows, square_lowering_rows
+
+
+EXPECTED_IDS = {
+    "FIG-1/2",
+    "FIG-3",
+    "FIG-4",
+    "FIG-9",
+    "FIG-10",
+    "FIG-11",
+    "FIG-12",
+    "TAB-BASIC",
+    "TAB-INC",
+    "TAB-LOW-SIMPLE",
+    "TAB-LOW-GENERAL",
+    "TAB-SQUARE-LOW",
+    "TAB-SQUARE-INC",
+    "TAB-OPTIMA",
+    "APP-EPS",
+    "SIM-MAP",
+}
+
+
+class TestRegistry:
+    def test_every_design_md_experiment_is_registered(self):
+        _ensure_loaded()
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_get_and_run_experiment(self):
+        result = run_experiment("FIG-1/2")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "FIG-1/2"
+        assert result.rows
+
+    def test_run_all_subset_preserves_order(self):
+        results = run_all(["FIG-3", "APP-EPS"])
+        assert [r.experiment_id for r in results] == ["FIG-3", "APP-EPS"]
+
+    def test_get_experiment_unknown_id(self):
+        _ensure_loaded()
+        with pytest.raises(KeyError):
+            get_experiment("TAB-DOES-NOT-EXIST")
+
+
+class TestRendering:
+    def test_render_text_contains_table_and_notes(self):
+        result = run_experiment("FIG-9")
+        text = result.render()
+        assert "FIG-9" in text
+        assert "note:" in text
+        assert "f_L" in text
+
+    def test_render_markdown_structure(self):
+        result = run_experiment("FIG-1/2")
+        markdown = result.render_markdown()
+        assert markdown.startswith("### FIG-1/2")
+        assert "|---" in markdown
+
+    def test_figure_experiments_carry_text_blocks(self):
+        for experiment_id in ("FIG-4", "FIG-9", "FIG-10", "FIG-11", "FIG-12"):
+            assert run_experiment(experiment_id).text
+
+
+class TestRowGenerators:
+    def test_basic_rows_match_predictions(self):
+        sweep = [(3, 3), (4, 2, 3), (8,)]
+        assert all(row["dilation"] == 1 for row in line_rows(sweep))
+        assert all(row["dilation"] == row["paper"] for row in ring_rows(sweep))
+        assert all(row["h_L dilation"] == 1 for row in ring_ablation_rows([(4, 2, 3)]))
+
+    def test_increasing_ablation_and_hypercubes(self):
+        rows = factor_ablation_rows()
+        assert {row["dilation"] for row in rows} == {1, 2}
+        assert all(row["dilation"] == 1 for row in hypercube_rows())
+
+    def test_lowering_rows_respect_bounds(self):
+        for row in simple_rows([((4, 2, 3, 3), (8, 9))]):
+            assert row["dilation"] <= row["paper"]
+        for row in ordering_ablation_rows():
+            assert row["non-increasing"] <= row["non-decreasing"]
+
+    def test_square_rows_respect_formula_and_bound(self):
+        for row in square_lowering_rows([(2, 1, 4), (3, 2, 4)]):
+            assert row["lower bound (Thm 47)"] <= row["dilation"] <= row["formula"]
+        for row in square_increasing_rows([(1, 2, 9), (2, 3, 8)]):
+            assert row["dilation"] <= row["formula"]
+
+    def test_optima_rows(self):
+        assert epsilon_rows(4)[3]["ε_m"] == "7/8"
+        rows = hypercube_in_line_rows((3, 4))
+        assert all(row["known optimal"] <= row["ours"] for row in rows)
+
+    def test_simulation_rows_paper_wins(self):
+        rows = mapping_rows(SCENARIOS[:1])
+        by_strategy = {row["strategy"]: row for row in rows}
+        assert by_strategy["paper"]["makespan"] <= by_strategy["random"]["makespan"]
+        assert by_strategy["paper"]["max hops"] <= by_strategy["lexicographic"]["max hops"]
+
+
+class TestMainEntryPoint:
+    def test_list_option(self, capsys):
+        assert experiments_main.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG-9" in out and "SIM-MAP" in out
+
+    def test_only_selection_text(self, capsys):
+        assert experiments_main.main(["--only", "FIG-3"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG-3" in out
+
+    def test_only_selection_markdown(self, capsys):
+        assert experiments_main.main(["--markdown", "--only", "APP-EPS"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("### APP-EPS")

@@ -1,0 +1,90 @@
+"""Unit tests for Hamiltonian paths and circuits (Corollaries 18, 25, 29)."""
+
+import pytest
+from hypothesis import given
+
+from repro.graphs.base import Line, Mesh, Ring, Torus
+from repro.graphs.hamiltonian import (
+    find_hamiltonian_circuit,
+    hamiltonian_path,
+    has_hamiltonian_circuit,
+)
+
+from .conftest import small_shapes
+
+
+def _assert_valid_circuit(graph, circuit):
+    assert circuit is not None
+    assert len(circuit) == graph.size
+    assert len(set(circuit)) == graph.size
+    for i in range(len(circuit)):
+        assert graph.distance(circuit[i], circuit[(i + 1) % len(circuit)]) == 1
+
+
+def _assert_valid_path(graph, path):
+    assert len(path) == graph.size
+    assert len(set(path)) == graph.size
+    for a, b in zip(path, path[1:]):
+        assert graph.distance(a, b) == 1
+
+
+class TestCorollary18:
+    """No mesh of odd size has a Hamiltonian circuit."""
+
+    @pytest.mark.parametrize("shape", [(3, 3), (3, 5), (3, 3, 3), (5, 3)])
+    def test_odd_meshes_have_no_circuit(self, shape):
+        mesh = Mesh(shape)
+        assert not has_hamiltonian_circuit(mesh)
+        assert find_hamiltonian_circuit(mesh) is None
+
+    def test_lines_have_no_circuit(self):
+        assert find_hamiltonian_circuit(Line(6)) is None
+
+
+class TestCorollary25:
+    """Every even-size mesh of dimension > 1 has a Hamiltonian circuit."""
+
+    @pytest.mark.parametrize("shape", [(2, 3), (4, 3), (3, 4), (4, 2, 3), (3, 3, 2), (2, 2, 2, 2)])
+    def test_even_meshes_have_circuits(self, shape):
+        mesh = Mesh(shape)
+        assert has_hamiltonian_circuit(mesh)
+        _assert_valid_circuit(mesh, find_hamiltonian_circuit(mesh))
+
+
+class TestCorollary29:
+    """Every torus has a Hamiltonian circuit."""
+
+    @pytest.mark.parametrize("shape", [(3, 3), (3, 5), (4, 2, 3), (5, 5), (2, 2, 3), (7,)])
+    def test_toruses_have_circuits(self, shape):
+        torus = Torus(shape)
+        assert has_hamiltonian_circuit(torus)
+        _assert_valid_circuit(torus, find_hamiltonian_circuit(torus))
+
+    def test_size_two_ring_is_excluded(self):
+        # A 2-node ring is a single edge; a circuit would repeat that edge.
+        assert not has_hamiltonian_circuit(Ring(2))
+
+
+class TestHamiltonianPath:
+    @pytest.mark.parametrize("shape", [(3, 3), (4, 2, 3), (5,), (2, 2, 2)])
+    def test_meshes_and_toruses_have_hamiltonian_paths(self, shape):
+        _assert_valid_path(Mesh(shape), hamiltonian_path(Mesh(shape)))
+        _assert_valid_path(Torus(shape), hamiltonian_path(Torus(shape)))
+
+    @given(small_shapes(max_dim=3, max_len=4))
+    def test_hamiltonian_path_property(self, shape):
+        mesh = Mesh(shape)
+        _assert_valid_path(mesh, hamiltonian_path(mesh))
+
+
+class TestCircuitProperty:
+    @given(small_shapes(min_dim=2, max_dim=3, max_len=4))
+    def test_circuit_exists_iff_corollaries_say_so(self, shape):
+        mesh = Mesh(shape)
+        circuit = find_hamiltonian_circuit(mesh)
+        if mesh.size % 2 == 0:
+            _assert_valid_circuit(mesh, circuit)
+        else:
+            assert circuit is None
+        torus = Torus(shape)
+        _assert_valid_circuit(torus, find_hamiltonian_circuit(torus))

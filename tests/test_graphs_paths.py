@@ -1,0 +1,64 @@
+"""Unit tests for dimension-ordered shortest paths."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidShapeError
+from repro.graphs.base import Mesh, Torus
+from repro.graphs.paths import dimension_order_path, shortest_path
+
+from .conftest import small_shapes
+
+
+class TestMeshPaths:
+    def test_straight_line(self):
+        mesh = Mesh((5, 5))
+        path = dimension_order_path(mesh, (0, 0), (3, 0))
+        assert path == [(0, 0), (1, 0), (2, 0), (3, 0)]
+
+    def test_l_shaped(self):
+        mesh = Mesh((5, 5))
+        path = dimension_order_path(mesh, (0, 0), (2, 2))
+        assert path[0] == (0, 0) and path[-1] == (2, 2)
+        assert len(path) - 1 == mesh.distance((0, 0), (2, 2))
+
+    def test_same_node(self):
+        mesh = Mesh((3, 3))
+        assert dimension_order_path(mesh, (1, 1), (1, 1)) == [(1, 1)]
+
+    def test_invalid_endpoint(self):
+        with pytest.raises(InvalidShapeError):
+            dimension_order_path(Mesh((3, 3)), (0, 0), (5, 5))
+
+
+class TestTorusPaths:
+    def test_wraparound_is_used(self):
+        torus = Torus((6, 6))
+        path = dimension_order_path(torus, (0, 0), (5, 0))
+        assert len(path) - 1 == 1
+        assert path == [(0, 0), (5, 0)]
+
+    def test_tie_breaks_forward(self):
+        torus = Torus((4, 4))
+        path = dimension_order_path(torus, (0, 0), (2, 0))
+        # Both directions are distance 2; the deterministic choice goes forward.
+        assert path == [(0, 0), (1, 0), (2, 0)]
+
+
+class TestPathProperties:
+    @given(small_shapes(max_dim=3, max_len=5), st.randoms(), st.booleans())
+    def test_path_length_equals_distance_and_steps_are_edges(self, shape, rng, use_torus):
+        graph = Torus(shape) if use_torus else Mesh(shape)
+        a = graph.index_node(rng.randrange(graph.size))
+        b = graph.index_node(rng.randrange(graph.size))
+        path = shortest_path(graph, a, b)
+        assert path[0] == a and path[-1] == b
+        assert len(path) - 1 == graph.distance(a, b)
+        for u, v in zip(path, path[1:]):
+            assert graph.distance(u, v) == 1
+
+    def test_path_visits_distinct_nodes(self):
+        mesh = Mesh((4, 4, 4))
+        path = shortest_path(mesh, (0, 0, 0), (3, 3, 3))
+        assert len(path) == len(set(path))

@@ -1,0 +1,197 @@
+"""Integration tests: the paper's headline results, measured end to end.
+
+Each test reproduces one of the claims recorded in ``EXPERIMENTS.md`` by
+building the embedding through the public API and measuring its dilation on
+the actual host graph (never trusting the predicted value).
+"""
+
+import pytest
+
+from repro.core import (
+    embed,
+    embed_square,
+    fitzgerald_cube_mesh_in_line,
+    fitzgerald_square_mesh_in_line,
+    harper_hypercube_in_line,
+    lowering_dilation_lower_bound,
+    mn86_square_torus_in_ring,
+    predicted_square_dilation,
+)
+from repro.core.dispatch import strategy_for
+from repro.graphs.base import Hypercube, Line, Mesh, Ring, Torus
+from repro.types import GraphKind, ShapedGraphSpec
+
+
+class TestSection3Summary:
+    """The three bullet results at the start of Section 3."""
+
+    @pytest.mark.parametrize("shape", [(6,), (3, 5), (4, 2, 3), (2, 2, 2, 2), (5, 5)])
+    @pytest.mark.parametrize("kind", ["mesh", "torus"])
+    def test_line_always_unit_dilation(self, shape, kind):
+        host = Mesh(shape) if kind == "mesh" else Torus(shape)
+        assert embed(Line(host.size), host).dilation() == 1
+
+    @pytest.mark.parametrize("shape", [(6,), (3, 5), (4, 2, 3), (5, 5), (3, 3, 3)])
+    def test_ring_in_torus_always_unit_dilation(self, shape):
+        host = Torus(shape)
+        assert embed(Ring(host.size), host).dilation() == 1
+
+    @pytest.mark.parametrize(
+        "shape, expected",
+        [((4, 2, 3), 1), ((2, 3), 1), ((3, 4), 1), ((3, 3), 2), ((3, 5), 2), ((7,), 2), ((8,), 2)],
+    )
+    def test_ring_in_mesh(self, shape, expected):
+        host = Mesh(shape)
+        assert embed(Ring(host.size), host).dilation() == expected
+
+
+class TestTheorem32Matrix:
+    """The four type combinations of Theorem 32 on the Figure 11 shapes."""
+
+    CASES = [
+        (GraphKind.MESH, GraphKind.MESH, 1),
+        (GraphKind.MESH, GraphKind.TORUS, 1),
+        (GraphKind.TORUS, GraphKind.TORUS, 1),
+        (GraphKind.TORUS, GraphKind.MESH, 1),  # even size, good factor exists -> dilation 1
+    ]
+
+    @pytest.mark.parametrize("guest_kind, host_kind, expected", CASES)
+    def test_4x6_into_2x2x2x3(self, guest_kind, host_kind, expected):
+        guest = Torus((4, 6)) if guest_kind.is_torus else Mesh((4, 6))
+        host = Torus((2, 2, 2, 3)) if host_kind.is_torus else Mesh((2, 2, 2, 3))
+        embedding = embed(guest, host)
+        embedding.validate()
+        assert embedding.dilation() == expected
+
+    def test_odd_torus_into_mesh_needs_dilation_two(self):
+        embedding = embed(Torus((3, 9)), Mesh((3, 3, 3)))
+        assert embedding.dilation() == 2
+
+    def test_corollary34_hypercube_targets(self):
+        for shape in [(4, 8), (8, 4), (4, 4, 2), (2, 16)]:
+            for guest in (Mesh(shape), Torus(shape)):
+                host = Hypercube(5)
+                assert embed(guest, host).dilation() == 1
+
+
+class TestTheorem39And43:
+    def test_simple_reduction_dilation_formula(self):
+        cases = [
+            (Mesh((4, 2, 3, 3)), Mesh((8, 9)), 3),
+            (Mesh((4, 4, 3)), Mesh((16, 3)), 4),
+            (Torus((4, 4, 3)), Torus((16, 3)), 4),
+            (Hypercube(6), Mesh((8, 8)), 4),
+            (Hypercube(8), Mesh((4, 4, 4, 4)), 2),
+        ]
+        for guest, host, expected in cases:
+            embedding = embed(guest, host)
+            embedding.validate()
+            assert embedding.dilation() == expected
+
+    def test_general_reduction_examples(self):
+        assert embed(Mesh((3, 3, 4)), Mesh((6, 6))).dilation() == 2
+        assert embed(Torus((3, 3, 4)), Torus((6, 6))).dilation() == 2
+
+    def test_figure12_supernode_example(self):
+        from repro.core.lowering import embed_lowering_general
+
+        embedding = embed_lowering_general(Mesh((3, 3, 6)), Mesh((6, 9)))
+        assert embedding.dilation() == 3
+
+
+class TestSection5Comparisons:
+    """The comparisons against known optimal results (Section 5)."""
+
+    @pytest.mark.parametrize("l", [3, 4, 5, 6])
+    def test_square_mesh_in_line_is_truly_optimal(self, l):
+        ours = embed(Mesh((l, l)), Line(l * l)).dilation()
+        assert ours == fitzgerald_square_mesh_in_line(l)
+
+    @pytest.mark.parametrize("l", [3, 4, 5, 6])
+    def test_square_torus_in_ring_is_truly_optimal(self, l):
+        ours = embed(Torus((l, l)), Ring(l * l)).dilation()
+        assert ours == mn86_square_torus_in_ring(l)
+
+    @pytest.mark.parametrize("l", [3, 4])
+    def test_cube_mesh_in_line_within_four_thirds(self, l):
+        ours = embed(Mesh((l, l, l)), Line(l**3)).dilation()
+        optimal = fitzgerald_cube_mesh_in_line(l)
+        assert ours == l * l
+        assert ours <= optimal * 4 / 3 + 1
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_hypercube_in_line_matches_2_power_and_harper_ratio(self, d):
+        ours = embed(Hypercube(d), Line(2**d)).dilation()
+        assert ours == 2 ** (d - 1)
+        optimal = harper_hypercube_in_line(d)
+        assert optimal <= ours
+        if d <= 3:
+            assert ours == optimal  # truly optimal for d <= 3 (Section 5)
+
+    def test_lower_bound_never_exceeds_measured_optimal_cases(self):
+        # Theorem 47 sanity: the computed lower bound never exceeds a known optimum.
+        for l in (3, 4, 5, 6, 8):
+            assert lowering_dilation_lower_bound(2, 1, l) <= fitzgerald_square_mesh_in_line(l)
+        for d in (3, 4, 5, 6):
+            assert lowering_dilation_lower_bound(d, 1, 2) <= harper_hypercube_in_line(d)
+
+
+class TestSquareTheoremSweep:
+    """Theorems 48 and 52 over a parameter sweep, measured exactly."""
+
+    @pytest.mark.parametrize(
+        "d, c, l",
+        [(2, 1, 3), (2, 1, 4), (2, 1, 5), (3, 1, 3), (4, 2, 3), (4, 2, 2), (4, 1, 2), (6, 3, 2), (6, 2, 2)],
+    )
+    def test_lowering_divisible_measured_equals_formula(self, d, c, l):
+        guest_spec = ShapedGraphSpec(GraphKind.MESH, (l,) * d)
+        host_spec = ShapedGraphSpec(GraphKind.MESH, (l ** (d // c),) * c)
+        predicted = predicted_square_dilation(guest_spec, host_spec)
+        embedding = embed_square(Mesh((l,) * d), Mesh((l ** (d // c),) * c))
+        embedding.validate()
+        assert embedding.dilation() == predicted == l ** ((d - c) // c)
+
+    @pytest.mark.parametrize("d, c, l", [(1, 2, 9), (1, 3, 8), (2, 4, 4), (1, 2, 16), (2, 4, 9)])
+    def test_increasing_divisible_measured_equals_formula(self, d, c, l):
+        m = round(l ** (d / c))
+        guest = Mesh((l,) * d)
+        host = Mesh((m,) * c)
+        embedding = embed_square(guest, host)
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+    @pytest.mark.parametrize("d, c, l", [(2, 3, 8), (3, 2, 4), (3, 2, 9), (5, 2, 4)])
+    def test_non_divisible_within_formula(self, d, c, l):
+        guest = Mesh((l,) * d)
+        host_side = round(l ** (d / c))
+        host = Mesh((host_side,) * c)
+        assert host.size == guest.size
+        predicted = predicted_square_dilation(guest.spec, host.spec)
+        embedding = embed_square(guest, host)
+        embedding.validate()
+        assert embedding.dilation() <= predicted
+
+
+class TestStrategyCoverage:
+    """The dispatcher covers every pair the paper covers."""
+
+    def test_every_supported_strategy_is_reachable(self):
+        observed = {
+            strategy_for(Mesh((3, 4)), Mesh((3, 4))),
+            strategy_for(Mesh((3, 4)), Mesh((4, 3))),
+            strategy_for(Ring(12), Mesh((3, 4))),
+            strategy_for(Mesh((3, 4)), Line(12)),
+            strategy_for(Mesh((4, 6)), Mesh((2, 2, 2, 3))),
+            strategy_for(Mesh((4, 2, 3, 3)), Mesh((8, 9))),
+            strategy_for(Mesh((3, 3, 4)), Mesh((6, 6))),
+            strategy_for(Mesh((8, 8)), Mesh((4, 4, 4))),
+        }
+        assert observed == {
+            "same-shape",
+            "permute-dimensions",
+            "basic",
+            "lowering-simple",
+            "increasing",
+            "lowering-general",
+            "square-increasing",
+        }

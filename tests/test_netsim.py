@@ -1,0 +1,155 @@
+"""Unit tests for the interconnection-network simulation substrate."""
+
+import pytest
+
+from repro.baselines import lexicographic_embedding, random_embedding
+from repro.core.dispatch import embed
+from repro.exceptions import SimulationError
+from repro.graphs.base import Mesh, Ring, Torus
+from repro.netsim import (
+    CostModel,
+    HostNetwork,
+    Message,
+    TrafficPattern,
+    neighbor_exchange_traffic,
+    route_message,
+    simulate_phase,
+)
+from repro.netsim.simulator import analytic_phase_estimate
+from repro.netsim.traffic import transpose_traffic
+
+
+class TestCostModel:
+    def test_occupancy_and_uncontended_time(self):
+        model = CostModel(alpha=2.0, bandwidth=4.0)
+        assert model.link_occupancy(8.0) == 4.0
+        assert model.uncontended_time(8.0, 3) == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(alpha=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            model = CostModel()
+            model.uncontended_time(1.0, -1)
+
+
+class TestHostNetwork:
+    def test_links_are_directed(self):
+        network = HostNetwork(Mesh((2, 3)))
+        links = list(network.links())
+        assert network.num_links() == len(links) == 2 * Mesh((2, 3)).num_edges()
+        assert (((0, 0), (0, 1)) in links) and (((0, 1), (0, 0)) in links)
+
+    def test_processor_validation(self):
+        network = HostNetwork(Mesh((2, 2)))
+        with pytest.raises(SimulationError):
+            network.validate_processor((5, 5))
+
+    def test_link_exists(self):
+        network = HostNetwork(Torus((3, 3)))
+        assert network.link_exists(((0, 0), (2, 0)))
+        assert not network.link_exists(((0, 0), (1, 1)))
+
+    def test_empty_link_loads(self):
+        network = HostNetwork(Mesh((2, 2)))
+        loads = network.empty_link_loads()
+        assert set(loads.values()) == {0.0}
+        assert len(loads) == network.num_links()
+
+
+class TestRouting:
+    def test_route_length_equals_distance(self):
+        network = HostNetwork(Torus((4, 4)))
+        route = route_message(network, (0, 0), (3, 2))
+        assert len(route) == Torus((4, 4)).distance((0, 0), (3, 2))
+
+    def test_route_links_are_adjacent(self):
+        network = HostNetwork(Mesh((3, 3)))
+        for u, v in route_message(network, (0, 0), (2, 2)):
+            assert network.link_exists((u, v))
+
+    def test_self_route_is_empty(self):
+        network = HostNetwork(Mesh((3, 3)))
+        assert route_message(network, (1, 1), (1, 1)) == []
+
+
+class TestTraffic:
+    def test_message_validation(self):
+        with pytest.raises(SimulationError):
+            Message((0,), (1,), size=0)
+
+    def test_neighbor_exchange_counts(self):
+        guest = Torus((3, 3))
+        pattern = neighbor_exchange_traffic(guest)
+        # One message per directed edge: 2 * |E|.
+        assert len(pattern) == 2 * guest.num_edges()
+        assert pattern.total_volume() == float(len(pattern))
+
+    def test_transpose_traffic(self):
+        pattern = transpose_traffic(Mesh((3, 3)))
+        # The three diagonal nodes are their own transpose and send nothing.
+        assert len(pattern) == 6
+        assert all(m.source != m.destination for m in pattern)
+
+    def test_placed_uses_embedding(self):
+        guest, host = Ring(6), Mesh((2, 3))
+        embedding = embed(guest, host)
+        pattern = neighbor_exchange_traffic(guest)
+        placed = pattern.placed(embedding)
+        assert len(placed) == len(pattern)
+        for source, destination, size in placed:
+            assert host.contains(source) and host.contains(destination)
+
+
+class TestSimulation:
+    def test_analytic_estimate_reflects_dilation(self):
+        guest, host = Torus((4, 4)), Mesh((4, 4))
+        network = HostNetwork(host)
+        traffic = neighbor_exchange_traffic(guest)
+        good = analytic_phase_estimate(network, embed(guest, host), traffic)
+        bad = analytic_phase_estimate(network, random_embedding(guest, host), traffic)
+        assert good.max_hops == embed(guest, host).dilation()
+        assert good.max_hops <= bad.max_hops
+        assert good.estimated_completion_time <= bad.estimated_completion_time
+
+    def test_simulation_makespan_at_least_estimate(self):
+        guest, host = Torus((4, 4)), Mesh((4, 4))
+        network = HostNetwork(host)
+        traffic = neighbor_exchange_traffic(guest)
+        embedding = embed(guest, host)
+        result = simulate_phase(network, embedding, traffic)
+        assert result.makespan >= result.statistics.estimated_completion_time - 1e-9
+        assert len(result.per_message_completion) == len(traffic)
+
+    def test_paper_embedding_beats_baselines_in_simulation(self):
+        guest, host = Torus((4, 4)), Mesh((2, 2, 2, 2))
+        network = HostNetwork(host)
+        traffic = neighbor_exchange_traffic(guest)
+        paper = simulate_phase(network, embed(guest, host), traffic).makespan
+        lex = simulate_phase(network, lexicographic_embedding(guest, host), traffic).makespan
+        rnd = simulate_phase(network, random_embedding(guest, host), traffic).makespan
+        assert paper <= lex
+        assert paper <= rnd
+
+    def test_mismatched_topology_rejected(self):
+        guest, host = Torus((4, 4)), Mesh((4, 4))
+        network = HostNetwork(Mesh((2, 8)))
+        with pytest.raises(SimulationError):
+            simulate_phase(network, embed(guest, host), neighbor_exchange_traffic(guest))
+
+    def test_result_rows_have_expected_keys(self):
+        guest, host = Ring(8), Mesh((2, 4))
+        network = HostNetwork(host)
+        result = simulate_phase(network, embed(guest, host), neighbor_exchange_traffic(guest))
+        row = result.as_row()
+        assert {"messages", "max hops", "makespan"} <= set(row)
+
+    def test_event_limit(self):
+        guest, host = Ring(8), Mesh((2, 4))
+        network = HostNetwork(host)
+        with pytest.raises(SimulationError):
+            simulate_phase(
+                network, embed(guest, host), neighbor_exchange_traffic(guest), max_events=1
+            )

@@ -1,0 +1,67 @@
+"""Unit tests for the δm and δt distance measures (Lemmas 5 and 6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.numbering.distance import chebyshev_mesh_distance, mesh_distance, torus_distance
+from repro.numbering.radix import RadixBase
+
+from .conftest import small_shapes
+
+
+class TestMeshDistance:
+    def test_paper_example(self):
+        # Figure 2: distance between (0,0,1) and (3,0,0) in the (4,2,3)-mesh is 4.
+        assert mesh_distance((0, 0, 1), (3, 0, 0)) == 4
+
+    def test_zero_for_equal(self):
+        assert mesh_distance((1, 2, 3), (1, 2, 3)) == 0
+
+    def test_symmetry(self):
+        assert mesh_distance((0, 5), (3, 1)) == mesh_distance((3, 1), (0, 5))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            mesh_distance((1, 2), (1, 2, 3))
+
+
+class TestTorusDistance:
+    def test_paper_example(self):
+        # Figure 1: distance between (0,0,1) and (3,0,0) in the (4,2,3)-torus is 2.
+        assert torus_distance((0, 0, 1), (3, 0, 0), (4, 2, 3)) == 2
+
+    def test_wraparound(self):
+        assert torus_distance((0,), (5,), (6,)) == 1
+        assert torus_distance((0,), (3,), (6,)) == 3
+
+    def test_never_exceeds_mesh_distance(self):
+        a, b, shape = (0, 1, 2), (3, 0, 0), (4, 2, 3)
+        assert torus_distance(a, b, shape) <= mesh_distance(a, b)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            torus_distance((1, 2), (1, 2), (4, 2, 3))
+
+    @given(small_shapes(max_dim=3, max_len=5), st.randoms())
+    def test_torus_at_most_mesh_property(self, shape, rng):
+        base = RadixBase(shape)
+        a = base.to_digits(rng.randrange(base.size))
+        b = base.to_digits(rng.randrange(base.size))
+        assert torus_distance(a, b, shape) <= mesh_distance(a, b)
+
+    @given(small_shapes(max_dim=3, max_len=5), st.randoms())
+    def test_triangle_inequality(self, shape, rng):
+        base = RadixBase(shape)
+        a, b, c = (base.to_digits(rng.randrange(base.size)) for _ in range(3))
+        assert torus_distance(a, c, shape) <= torus_distance(a, b, shape) + torus_distance(b, c, shape)
+        assert mesh_distance(a, c) <= mesh_distance(a, b) + mesh_distance(b, c)
+
+
+class TestChebyshev:
+    def test_value(self):
+        assert chebyshev_mesh_distance((0, 0, 1), (3, 0, 0)) == 3
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            chebyshev_mesh_distance((0,), (1, 2))

@@ -1,0 +1,75 @@
+"""Unit tests for Gray codes and the reflected mixed-radix sequence (Section 3.1)."""
+
+from hypothesis import given
+
+from repro.numbering.graycode import (
+    binary_reflected_gray_code,
+    binary_reflected_gray_value,
+    gray_to_binary_value,
+    natural_sequence,
+    reflected_mixed_radix_sequence,
+)
+from repro.numbering.radix import RadixBase
+from repro.numbering.sequences import is_gray_sequence, sequence_spread
+
+from .conftest import small_shapes
+
+
+class TestNaturalSequence:
+    def test_natural_sequence_is_lexicographic(self):
+        assert natural_sequence((2, 2)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_natural_sequence_spread_exceeds_one_for_higher_dims(self):
+        # Section 3.1: the sequence P has δm-spread greater than 1 for all d > 1.
+        for shape in [(2, 2), (4, 2, 3), (3, 3)]:
+            assert sequence_spread(natural_sequence(shape)) > 1
+
+    def test_natural_sequence_spread_is_one_for_lines(self):
+        assert sequence_spread(natural_sequence((7,))) == 1
+
+
+class TestReflectedSequence:
+    def test_figure4_prefix(self):
+        # The first segment of P' for L = (4, 2, 3) walks the last digit up,
+        # then reflects it while the middle digit advances.
+        seq = reflected_mixed_radix_sequence((4, 2, 3))
+        assert seq[:6] == [(0, 0, 0), (0, 0, 1), (0, 0, 2), (0, 1, 2), (0, 1, 1), (0, 1, 0)]
+
+    def test_unit_spread_for_figure_shape(self):
+        seq = reflected_mixed_radix_sequence((4, 2, 3))
+        assert sequence_spread(seq) == 1
+        assert sequence_spread(seq, metric="torus", shape=(4, 2, 3)) == 1
+
+    def test_is_bijection(self):
+        seq = reflected_mixed_radix_sequence((3, 2, 2))
+        assert len(set(seq)) == 12
+
+    @given(small_shapes(max_dim=3, max_len=5))
+    def test_unit_spread_property(self, shape):
+        # Lemma 11: the reflected sequence always has unit δm-spread.
+        seq = reflected_mixed_radix_sequence(shape)
+        assert is_gray_sequence(seq)
+        assert len(set(seq)) == RadixBase(shape).size
+
+
+class TestBinaryGray:
+    def test_gray_values(self):
+        assert [binary_reflected_gray_value(x) for x in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_gray_inverse(self):
+        for x in range(64):
+            assert gray_to_binary_value(binary_reflected_gray_value(x)) == x
+
+    def test_gray_code_tuples(self):
+        assert binary_reflected_gray_code(2) == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_matches_mixed_radix_special_case(self):
+        # The paper's generalization reduces to the classic binary reflected
+        # Gray code when every radix is 2.
+        for bits in (1, 2, 3, 4, 5):
+            assert binary_reflected_gray_code(bits) == reflected_mixed_radix_sequence((2,) * bits)
+
+    def test_gray_code_is_cyclic_gray(self):
+        from repro.numbering.sequences import is_cyclic_gray_sequence
+
+        assert is_cyclic_gray_sequence(binary_reflected_gray_code(4))

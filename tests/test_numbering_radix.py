@@ -1,0 +1,94 @@
+"""Unit tests for the mixed-radix numbering system (Definition 7)."""
+
+import pytest
+from hypothesis import given
+
+from repro.exceptions import InvalidRadixError
+from repro.numbering.radix import RadixBase
+
+from .conftest import small_shapes
+
+
+class TestConstruction:
+    def test_weights_match_paper_example(self):
+        # The paper's radix-(4, 2, 3) example: w1 = 6, w2 = 3, w3 = 1, w0 = 24.
+        base = RadixBase((4, 2, 3))
+        assert base.weights == (24, 6, 3, 1)
+        assert base.size == 24
+        assert base.dimension == 3
+
+    def test_rejects_radix_below_two(self):
+        with pytest.raises(InvalidRadixError):
+            RadixBase((4, 1))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidRadixError):
+            RadixBase(())
+
+    def test_equality_and_hash(self):
+        assert RadixBase((4, 2, 3)) == RadixBase([4, 2, 3])
+        assert hash(RadixBase((4, 2, 3))) == hash(RadixBase((4, 2, 3)))
+        assert RadixBase((4, 2, 3)) != RadixBase((3, 2, 4))
+
+
+class TestConversions:
+    def test_to_digits_examples(self):
+        base = RadixBase((4, 2, 3))
+        assert base.to_digits(0) == (0, 0, 0)
+        assert base.to_digits(1) == (0, 0, 1)
+        assert base.to_digits(5) == (0, 1, 2)
+        assert base.to_digits(23) == (3, 1, 2)
+
+    def test_from_digits_inverse(self):
+        base = RadixBase((4, 2, 3))
+        for x in range(base.size):
+            assert base.from_digits(base.to_digits(x)) == x
+
+    def test_out_of_range_value(self):
+        base = RadixBase((4, 2, 3))
+        with pytest.raises(InvalidRadixError):
+            base.to_digits(24)
+        with pytest.raises(InvalidRadixError):
+            base.to_digits(-1)
+
+    def test_bad_digits(self):
+        base = RadixBase((4, 2, 3))
+        with pytest.raises(InvalidRadixError):
+            base.from_digits((0, 2, 0))
+        with pytest.raises(InvalidRadixError):
+            base.from_digits((0, 0))
+
+    def test_contains_digits(self):
+        base = RadixBase((4, 2, 3))
+        assert base.contains_digits((3, 1, 2))
+        assert not base.contains_digits((4, 0, 0))
+        assert not base.contains_digits((0, 0))
+
+    def test_iteration_is_lexicographic(self):
+        base = RadixBase((2, 3))
+        assert list(base) == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_all_digits_unique(self):
+        base = RadixBase((3, 2, 2))
+        digits = base.all_digits()
+        assert len(digits) == len(set(digits)) == base.size
+
+    @given(small_shapes())
+    def test_roundtrip_property(self, shape):
+        base = RadixBase(shape)
+        for x in range(base.size):
+            assert base.from_digits(base.to_digits(x)) == x
+
+    def test_single_radix_shortcut(self):
+        base = RadixBase((7,))
+        assert base.to_digits(5) == (5,)
+        assert base.from_digits((5,)) == 5
+
+
+class TestDerivedBases:
+    def test_take(self):
+        base = RadixBase((4, 2, 3))
+        assert base.take(1, 3) == RadixBase((2, 3))
+
+    def test_concat(self):
+        assert RadixBase((4,)).concat(RadixBase((2, 3))) == RadixBase((4, 2, 3))

@@ -1,0 +1,81 @@
+"""Unit tests for sequences and spreads (Definition 8, Figure 3)."""
+
+import pytest
+
+from repro.numbering.sequences import (
+    cyclic_pairs,
+    cyclic_spread,
+    is_bijective_sequence,
+    is_cyclic_gray_sequence,
+    is_gray_sequence,
+    pairwise_distances,
+    sequence_pairs,
+    sequence_spread,
+)
+
+# A Figure-3-style function f : [9] -> Ω_(3,3): a column-major snake whose
+# acyclic and cyclic spreads differ, illustrating Definition 8 exactly as the
+# paper's worked example does.
+FIGURE3_SEQUENCE = [
+    (0, 0),
+    (1, 0),
+    (2, 0),
+    (2, 1),
+    (1, 1),
+    (0, 1),
+    (0, 2),
+    (1, 2),
+    (2, 2),
+]
+
+
+class TestFigure3Style:
+    def test_acyclic_spreads(self):
+        # Successive snake elements are always adjacent, so both spreads are 1.
+        assert sequence_spread(FIGURE3_SEQUENCE, metric="mesh") == 1
+        assert sequence_spread(FIGURE3_SEQUENCE, metric="torus", shape=(3, 3)) == 1
+
+    def test_cyclic_spreads(self):
+        # Viewing the same function cyclically adds the wrap pair (2,2)->(0,0),
+        # which dominates: δm-spread 4 but δt-spread only 2 (wrap-around helps).
+        assert cyclic_spread(FIGURE3_SEQUENCE, metric="torus", shape=(3, 3)) == 2
+        assert cyclic_spread(FIGURE3_SEQUENCE, metric="mesh") == 4
+
+    def test_pairwise_distance_lengths(self):
+        assert len(pairwise_distances(FIGURE3_SEQUENCE, cyclic=False)) == 8
+        assert len(pairwise_distances(FIGURE3_SEQUENCE, cyclic=True)) == 9
+
+
+class TestPairs:
+    def test_sequence_pairs(self):
+        assert list(sequence_pairs([(0,), (1,), (2,)])) == [((0,), (1,)), ((1,), (2,))]
+
+    def test_cyclic_pairs_include_wraparound(self):
+        pairs = list(cyclic_pairs([(0,), (1,), (2,)]))
+        assert pairs[-1] == ((2,), (0,))
+        assert len(pairs) == 3
+
+
+class TestSpreads:
+    def test_empty_sequence(self):
+        assert sequence_spread([]) == 0
+        assert cyclic_spread([]) == 0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            sequence_spread([(0,), (1,)], metric="euclidean")
+
+    def test_torus_metric_requires_shape(self):
+        with pytest.raises(ValueError):
+            sequence_spread([(0,), (1,)], metric="torus")
+
+    def test_gray_predicates(self):
+        seq = [(0, 0), (0, 1), (1, 1), (1, 0)]
+        assert is_gray_sequence(seq)
+        assert is_cyclic_gray_sequence(seq)
+        assert not is_gray_sequence([(0, 0), (1, 1)])
+
+    def test_bijective_sequence(self):
+        assert is_bijective_sequence([(0,), (1,)], 2)
+        assert not is_bijective_sequence([(0,), (0,)], 2)
+        assert not is_bijective_sequence([(0,)], 2)

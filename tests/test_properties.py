@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) of the library's core invariants.
+
+Each property corresponds to a lemma or theorem of the paper, exercised over
+randomly drawn shapes rather than the fixed examples used by the unit tests.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic import (
+    f_sequence,
+    g_sequence,
+    h_sequence,
+    line_in_graph_embedding,
+    ring_in_graph_embedding,
+)
+from repro.core.dispatch import embed, strategy_for
+from repro.core.expansion import find_expansion_factor, iter_expansion_factors
+from repro.core.increasing import embed_increasing
+from repro.core.lowering import embed_lowering_simple
+from repro.core.reduction import find_simple_reduction
+from repro.core.same_shape import same_shape_embedding
+from repro.graphs.base import Mesh, Torus
+from repro.numbering.radix import RadixBase
+from repro.numbering.sequences import cyclic_spread, sequence_spread
+from repro.utils.listops import product
+
+from .conftest import small_shapes
+
+relaxed = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+# --------------------------------------------------------------------------- #
+# Section 3: the basic sequences
+# --------------------------------------------------------------------------- #
+class TestBasicSequenceProperties:
+    @relaxed
+    @given(small_shapes(max_dim=4, max_len=5))
+    def test_f_is_a_unit_spread_bijection(self, shape):
+        """Lemmas 10-12 for arbitrary radix bases."""
+        seq = f_sequence(shape)
+        assert len(set(seq)) == RadixBase(shape).size
+        assert sequence_spread(seq) == 1
+        assert sequence_spread(seq, metric="torus", shape=shape) == 1
+
+    @relaxed
+    @given(small_shapes(max_dim=4, max_len=5))
+    def test_g_is_a_cyclic_spread_two_bijection(self, shape):
+        """Lemma 16 for arbitrary radix bases."""
+        seq = g_sequence(shape)
+        assert len(set(seq)) == RadixBase(shape).size
+        assert cyclic_spread(seq) <= 2
+
+    @relaxed
+    @given(small_shapes(max_dim=4, max_len=5))
+    def test_h_has_unit_cyclic_torus_spread(self, shape):
+        """Lemma 27 for arbitrary radix bases."""
+        seq = h_sequence(shape)
+        assert len(set(seq)) == RadixBase(shape).size
+        assert cyclic_spread(seq, metric="torus", shape=shape) == 1
+
+    @relaxed
+    @given(small_shapes(min_dim=2, max_dim=4, max_len=5))
+    def test_h_has_unit_cyclic_mesh_spread_when_first_length_even(self, shape):
+        """Lemma 23: the δm statement needs d >= 2 and an even first dimension."""
+        shape = (shape[0] + shape[0] % 2,) + shape[1:]
+        seq = h_sequence(shape)
+        assert cyclic_spread(seq) == 1
+
+
+# --------------------------------------------------------------------------- #
+# Section 3: the basic embeddings as embeddings
+# --------------------------------------------------------------------------- #
+class TestBasicEmbeddingProperties:
+    @relaxed
+    @given(small_shapes(max_dim=3, max_len=5), st.booleans())
+    def test_line_embedding_dilation_one(self, shape, use_torus):
+        """Theorem 13."""
+        host = Torus(shape) if use_torus else Mesh(shape)
+        embedding = line_in_graph_embedding(host)
+        embedding.validate()
+        assert embedding.dilation() == 1
+
+    @relaxed
+    @given(small_shapes(max_dim=3, max_len=5), st.booleans())
+    def test_ring_embedding_matches_section3(self, shape, use_torus):
+        """Theorems 17, 24 and 28."""
+        host = Torus(shape) if use_torus else Mesh(shape)
+        embedding = ring_in_graph_embedding(host)
+        embedding.validate()
+        size = host.size
+        if use_torus:
+            assert embedding.dilation() == 1
+        elif size % 2 == 0 and host.dimension >= 2:
+            assert embedding.dilation() == 1
+        elif size > 2:
+            assert embedding.dilation() == 2
+
+
+# --------------------------------------------------------------------------- #
+# Section 4: generalized embeddings
+# --------------------------------------------------------------------------- #
+class TestGeneralizedEmbeddingProperties:
+    @relaxed
+    @given(small_shapes(min_dim=2, max_dim=3, max_len=4), st.booleans(), st.booleans())
+    def test_same_shape_embedding(self, shape, guest_torus, host_torus):
+        """Lemma 36 over random shapes and kinds."""
+        guest = Torus(shape) if guest_torus else Mesh(shape)
+        host = Torus(shape) if host_torus else Mesh(shape)
+        embedding = same_shape_embedding(guest, host)
+        embedding.validate()
+        limit = 2 if (guest.is_torus and host.is_mesh and not guest.is_hypercube) else 1
+        assert embedding.dilation() <= limit
+
+    @relaxed
+    @given(small_shapes(min_dim=2, max_dim=3, max_len=4), st.booleans(), st.booleans())
+    def test_increasing_dimension_into_full_factorization(self, shape, guest_torus, host_torus):
+        """Theorem 32: expand every length into its prime factorization."""
+        from repro.utils.intmath import prime_factorization
+
+        target = []
+        for length in shape:
+            for prime, exponent in prime_factorization(length):
+                target.extend([prime] * exponent)
+        target = tuple(target)
+        if len(target) <= len(shape):
+            return
+        guest = Torus(shape) if guest_torus else Mesh(shape)
+        host = Torus(target) if host_torus else Mesh(target)
+        embedding = embed_increasing(guest, host)
+        embedding.validate()
+        if guest.is_mesh or guest.is_hypercube or host.is_torus:
+            assert embedding.dilation() == 1
+        else:
+            assert embedding.dilation() <= 2
+
+    @relaxed
+    @given(small_shapes(min_dim=3, max_dim=4, max_len=4), st.booleans(), st.booleans())
+    def test_lowering_dimension_by_pairing(self, shape, guest_torus, host_torus):
+        """Theorem 39: collapse the first two dimensions into one."""
+        target = (shape[0] * shape[1],) + shape[2:]
+        guest = Torus(shape) if guest_torus else Mesh(shape)
+        host = Torus(target) if host_torus else Mesh(target)
+        factor = find_simple_reduction(shape, target)
+        assert factor is not None
+        embedding = embed_lowering_simple(guest, host, factor)
+        embedding.validate()
+        predicted = factor.dilation()
+        if guest.is_torus and host.is_mesh and not guest.is_hypercube:
+            assert embedding.dilation() <= 2 * predicted
+        else:
+            assert embedding.dilation() == predicted
+
+
+# --------------------------------------------------------------------------- #
+# Shape-analysis invariants
+# --------------------------------------------------------------------------- #
+class TestFactorSearchProperties:
+    @relaxed
+    @given(small_shapes(max_dim=3, max_len=6))
+    def test_expansion_factors_are_always_valid_witnesses(self, shape):
+        from repro.utils.intmath import prime_factorization
+
+        target = []
+        for length in shape:
+            for prime, exponent in prime_factorization(length):
+                target.extend([prime] * exponent)
+        target = tuple(target)
+        if len(target) <= len(shape):
+            return
+        for factor in iter_expansion_factors(shape, target, limit=5):
+            assert factor.expands(shape, target)
+            assert product(factor.flattened) == product(shape)
+
+    @relaxed
+    @given(small_shapes(min_dim=2, max_dim=4, max_len=5))
+    def test_simple_reduction_factor_round_trip(self, shape):
+        target = (product(shape),)
+        factor = find_simple_reduction(shape, target)
+        assert factor is not None
+        assert factor.reduces(shape, target)
+        assert factor.dilation() == product(shape) // max(shape)
+
+
+# --------------------------------------------------------------------------- #
+# Dispatcher-level invariant: whatever strategy is chosen, the embedding is valid
+# and never exceeds its predicted dilation.
+# --------------------------------------------------------------------------- #
+class TestDispatchProperties:
+    @relaxed
+    @given(
+        small_shapes(max_dim=3, max_len=5),
+        st.booleans(),
+        st.booleans(),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_embed_is_valid_and_within_prediction(self, shape, guest_torus, host_torus, variant):
+        guest = Torus(shape) if guest_torus else Mesh(shape)
+        size = guest.size
+        # Pick a host shape of the same size: the shape itself, its reversal,
+        # the fully factored shape, or the single-dimension collapse.
+        from repro.utils.intmath import prime_factorization
+
+        if variant == 0:
+            host_shape = shape
+        elif variant == 1:
+            host_shape = tuple(reversed(shape))
+        elif variant == 2:
+            host_shape = tuple(
+                prime
+                for length in shape
+                for prime, exponent in prime_factorization(length)
+                for _ in range(exponent)
+            )
+        else:
+            host_shape = (size,)
+        if size < 2 or math.prod(host_shape) != size:
+            return
+        host = Torus(host_shape) if host_torus else Mesh(host_shape)
+        if strategy_for(guest, host) == "unsupported":
+            return
+        embedding = embed(guest, host)
+        embedding.validate()
+        if embedding.predicted_dilation is not None:
+            assert embedding.dilation() <= embedding.predicted_dilation

@@ -1,0 +1,78 @@
+"""Unit tests for shared value types."""
+
+import pytest
+
+from repro.exceptions import InvalidShapeError
+from repro.types import (
+    GraphKind,
+    ShapedGraphSpec,
+    as_shape,
+    is_hypercube_shape,
+    is_square_shape,
+    shape_size,
+)
+
+
+class TestAsShape:
+    def test_valid_shape(self):
+        assert as_shape([4, 2, 3]) == (4, 2, 3)
+
+    def test_rejects_length_one(self):
+        with pytest.raises(InvalidShapeError):
+            as_shape((4, 1, 3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidShapeError):
+            as_shape(())
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(InvalidShapeError):
+            as_shape((4, 2.5))
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidShapeError):
+            as_shape((True, 2))
+
+
+class TestShapePredicates:
+    def test_shape_size(self):
+        assert shape_size((4, 2, 3)) == 24
+
+    def test_is_square(self):
+        assert is_square_shape((5, 5, 5))
+        assert not is_square_shape((5, 5, 4))
+
+    def test_is_hypercube(self):
+        assert is_hypercube_shape((2, 2, 2))
+        assert not is_hypercube_shape((2, 4))
+
+
+class TestGraphKind:
+    def test_values(self):
+        assert GraphKind("torus").is_torus
+        assert GraphKind("mesh").is_mesh
+        assert not GraphKind.TORUS.is_mesh
+
+
+class TestShapedGraphSpec:
+    def test_properties(self):
+        spec = ShapedGraphSpec(GraphKind.TORUS, (4, 2, 3))
+        assert spec.dimension == 3
+        assert spec.size == 24
+        assert spec.is_torus and not spec.is_mesh
+        assert not spec.is_square
+        assert not spec.is_hypercube
+
+    def test_hypercube_spec(self):
+        spec = ShapedGraphSpec("mesh", (2, 2, 2, 2))
+        assert spec.is_hypercube and spec.is_square
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(InvalidShapeError):
+            ShapedGraphSpec(GraphKind.MESH, (1, 2))
+
+    def test_equality_and_hash(self):
+        a = ShapedGraphSpec(GraphKind.MESH, (3, 3))
+        b = ShapedGraphSpec("mesh", [3, 3])
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,138 @@
+"""Unit tests for integer arithmetic helpers, including Lemma 50."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.intmath import (
+    divisors,
+    exact_nth_root,
+    factorizations_into_parts,
+    gcd,
+    integer_nth_root,
+    is_perfect_power,
+    is_power_of,
+    lemma50_root,
+    prime_factorization,
+)
+
+
+class TestPrimeFactorization:
+    def test_small_values(self):
+        assert prime_factorization(1) == ()
+        assert prime_factorization(2) == ((2, 1),)
+        assert prime_factorization(12) == ((2, 2), (3, 1))
+        assert prime_factorization(97) == ((97, 1),)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            prime_factorization(0)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_product_of_factors_reconstructs(self, n):
+        total = 1
+        for prime, exponent in prime_factorization(n):
+            total *= prime**exponent
+        assert total == n
+
+
+class TestDivisors:
+    def test_divisors_of_24(self):
+        assert divisors(24) == [1, 2, 3, 4, 6, 8, 12, 24]
+
+    def test_proper_and_exclude_one(self):
+        assert divisors(24, proper=True, exclude_one=True) == [2, 3, 4, 6, 8, 12]
+
+    def test_divisors_of_prime(self):
+        assert divisors(13, exclude_one=True) == [13]
+
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_every_divisor_divides(self, n):
+        for d in divisors(n):
+            assert n % d == 0
+
+
+class TestRoots:
+    def test_integer_nth_root(self):
+        assert integer_nth_root(26, 3) == 2
+        assert integer_nth_root(27, 3) == 3
+        assert integer_nth_root(28, 3) == 3
+
+    def test_exact_nth_root(self):
+        assert exact_nth_root(64, 3) == 4
+        assert exact_nth_root(64, 2) == 8
+        assert exact_nth_root(65, 2) is None
+
+    def test_is_perfect_power(self):
+        assert is_perfect_power(1024, 10)
+        assert not is_perfect_power(1000, 10)
+
+    def test_is_power_of(self):
+        assert is_power_of(8, 2) == 3
+        assert is_power_of(1, 2) == 0
+        assert is_power_of(12, 2) is None
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=1, max_value=10))
+    def test_floor_root_property(self, value, n):
+        root = integer_nth_root(value, n)
+        assert root**n <= value < (root + 1) ** n
+
+
+class TestLemma50:
+    def test_statement_of_lemma(self):
+        # 12^(2/3) is not an integer so the premise fails.
+        assert lemma50_root(12, 2, 3) is None
+        # 64^(2/3) = 16 is an integer, u=2 and v=3 are coprime, so 64^(1/3) = 4.
+        assert lemma50_root(64, 2, 3) == 4
+        # 8^(2/3) = 4 is an integer, so 8^(1/3) = 2 must be one as well.
+        assert lemma50_root(8, 2, 3) == 2
+
+    def test_requires_coprime(self):
+        with pytest.raises(ValueError):
+            lemma50_root(64, 2, 4)
+
+    def test_requires_x_greater_than_one(self):
+        with pytest.raises(ValueError):
+            lemma50_root(1, 2, 3)
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_lemma_holds_for_constructed_instances(self, base, u, v):
+        # Build x = base**v so that x**(u/v) = base**u is an integer.
+        if math.gcd(u, v) != 1:
+            return
+        x = base**v
+        root = lemma50_root(x, u, v)
+        assert root == base
+
+
+class TestFactorizations:
+    def test_factorizations_of_12_two_parts(self):
+        parts = set(factorizations_into_parts(12, num_parts=2))
+        assert parts == {(2, 6), (6, 2), (3, 4), (4, 3), (12,)} - {(12,)}
+
+    def test_factorizations_all(self):
+        parts = set(factorizations_into_parts(8))
+        assert (8,) in parts
+        assert (2, 4) in parts and (4, 2) in parts
+        assert (2, 2, 2) in parts
+
+    def test_every_factorization_multiplies_back(self):
+        for parts in factorizations_into_parts(36, max_parts=3):
+            assert math.prod(parts) == 36
+            assert all(p >= 2 for p in parts)
+
+    def test_num_parts_filter(self):
+        assert set(factorizations_into_parts(6, num_parts=1)) == {(6,)}
+        assert set(factorizations_into_parts(7, num_parts=2)) == set()
+
+    def test_one_yields_empty_tuple(self):
+        assert list(factorizations_into_parts(1)) == [()]
+
+    def test_gcd_wrapper(self):
+        assert gcd(12, 18) == 6

@@ -1,0 +1,140 @@
+"""Unit tests for list and permutation operations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.listops import (
+    apply_permutation,
+    compose_permutations,
+    concat,
+    find_permutation,
+    identity_permutation,
+    invert_permutation,
+    is_permutation_of,
+    product,
+)
+
+
+class TestConcat:
+    def test_concat_two_lists(self):
+        assert concat((1, 2), (3,)) == (1, 2, 3)
+
+    def test_concat_empty(self):
+        assert concat((), ()) == ()
+
+    def test_concat_many(self):
+        assert concat((1,), (2,), (3, 4)) == (1, 2, 3, 4)
+
+    def test_concat_preserves_order(self):
+        assert concat("ab", "cd") == ("a", "b", "c", "d")
+
+
+class TestProduct:
+    def test_product_basic(self):
+        assert product((4, 2, 3)) == 24
+
+    def test_product_empty_is_one(self):
+        assert product(()) == 1
+
+    def test_product_single(self):
+        assert product((7,)) == 7
+
+
+class TestApplyPermutation:
+    def test_identity(self):
+        assert apply_permutation((0, 1, 2), ("a", "b", "c")) == ("a", "b", "c")
+
+    def test_reverse(self):
+        assert apply_permutation((2, 1, 0), ("a", "b", "c")) == ("c", "b", "a")
+
+    def test_paper_convention(self):
+        # result[j] = values[perm[j]]
+        assert apply_permutation((1, 2, 0), (10, 20, 30)) == (20, 30, 10)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            apply_permutation((0, 1), (1, 2, 3))
+
+    def test_invalid_permutation_raises(self):
+        with pytest.raises(ValueError):
+            apply_permutation((0, 0, 1), (1, 2, 3))
+
+
+class TestInvertPermutation:
+    def test_invert_roundtrip(self):
+        perm = (2, 0, 1)
+        values = ("x", "y", "z")
+        assert apply_permutation(invert_permutation(perm), apply_permutation(perm, values)) == values
+
+    def test_invert_identity(self):
+        assert invert_permutation((0, 1, 2, 3)) == (0, 1, 2, 3)
+
+    @given(st.permutations(list(range(6))))
+    def test_invert_is_involution(self, perm):
+        perm = tuple(perm)
+        assert invert_permutation(invert_permutation(perm)) == perm
+
+
+class TestComposePermutations:
+    def test_compose_matches_sequential_application(self):
+        outer, inner = (1, 2, 0), (2, 0, 1)
+        values = ("a", "b", "c")
+        composed = compose_permutations(outer, inner)
+        assert apply_permutation(composed, values) == apply_permutation(
+            outer, apply_permutation(inner, values)
+        )
+
+    @given(st.permutations(list(range(5))), st.permutations(list(range(5))))
+    def test_compose_property(self, outer, inner):
+        outer, inner = tuple(outer), tuple(inner)
+        values = tuple(range(100, 105))
+        assert apply_permutation(compose_permutations(outer, inner), values) == apply_permutation(
+            outer, apply_permutation(inner, values)
+        )
+
+    def test_identity_permutation(self):
+        assert identity_permutation(4) == (0, 1, 2, 3)
+
+
+class TestFindPermutation:
+    def test_finds_valid_permutation(self):
+        source, target = (6, 8, 80), (80, 6, 8)
+        perm = find_permutation(source, target)
+        assert perm is not None
+        assert apply_permutation(perm, source) == target
+
+    def test_with_repeated_values(self):
+        source, target = (2, 2, 3), (3, 2, 2)
+        perm = find_permutation(source, target)
+        assert apply_permutation(perm, source) == target
+
+    def test_none_when_not_permutation(self):
+        assert find_permutation((1, 2), (2, 3)) is None
+
+    def test_none_when_lengths_differ(self):
+        assert find_permutation((1, 2), (1, 2, 3)) is None
+
+    @given(st.lists(st.integers(min_value=2, max_value=9), min_size=1, max_size=6), st.randoms())
+    def test_found_permutation_is_correct(self, values, rng):
+        source = tuple(values)
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        target = tuple(shuffled)
+        perm = find_permutation(source, target)
+        assert perm is not None
+        assert apply_permutation(perm, source) == target
+
+
+class TestIsPermutationOf:
+    def test_true_for_multiset_equal(self):
+        assert is_permutation_of((2, 3, 2), (3, 2, 2))
+
+    def test_false_for_different_counts(self):
+        assert not is_permutation_of((2, 2, 3), (2, 3, 3))
+
+    def test_false_for_different_lengths(self):
+        assert not is_permutation_of((2, 3), (2, 3, 3))
+
+    def test_empty(self):
+        assert is_permutation_of((), ())

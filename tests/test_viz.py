@@ -1,0 +1,69 @@
+"""Unit tests for the ASCII figure renderers."""
+
+from repro.core.basic import f_value, g_value, h_value, line_in_graph_embedding, ring_in_graph_embedding
+from repro.core.dispatch import embed
+from repro.graphs.base import Line, Mesh, Ring
+from repro.viz.ascii import render_distance_table, render_embedding_grid, render_sequence_table
+
+
+class TestSequenceTable:
+    def test_figure9_table_contains_all_rows(self):
+        base = (4, 2, 3)
+        text = render_sequence_table(
+            24,
+            {
+                "f_L": lambda x: f_value(base, x),
+                "g_L": lambda x: g_value(base, x),
+                "h_L": lambda x: h_value(base, x),
+            },
+            title="Figure 9",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure 9"
+        assert len(lines) == 2 + 1 + 24  # title + header + separator + 24 rows
+        assert "(0,0,0)" in lines[3]
+        assert "f_L" in lines[1] and "h_L" in lines[1]
+
+    def test_single_function(self):
+        text = render_sequence_table(4, {"f": lambda x: (x,)})
+        assert "(3)" in text
+
+
+class TestDistanceTable:
+    def test_contains_both_metrics(self):
+        sequence = [(0, 0), (0, 1), (1, 1), (1, 0)]
+        text = render_distance_table(sequence, (2, 2), title="distances")
+        assert "δm" in text and "δt" in text
+        assert len(text.splitlines()) == 3 + 4  # title + header + rule + 4 cyclic pairs
+
+    def test_acyclic_has_one_fewer_row(self):
+        sequence = [(0, 0), (0, 1), (1, 1)]
+        text = render_distance_table(sequence, (2, 2), cyclic=False)
+        assert len(text.splitlines()) == 2 + 2
+
+
+class TestEmbeddingGrid:
+    def test_one_dimensional_host(self):
+        embedding = embed(Ring(6), Line(6))
+        text = render_embedding_grid(embedding)
+        assert len(text.splitlines()) == 1
+
+    def test_two_dimensional_host_shows_all_ranks(self):
+        embedding = line_in_graph_embedding(Mesh((3, 4)))
+        text = render_embedding_grid(embedding, title="grid")
+        assert text.splitlines()[0] == "grid"
+        for rank in range(12):
+            assert f"{rank}" in text
+
+    def test_three_dimensional_host_has_planes(self):
+        embedding = ring_in_graph_embedding(Mesh((4, 2, 3)))
+        text = render_embedding_grid(embedding)
+        assert text.count("plane") == 3
+
+    def test_figure10_first_column_of_f_embedding(self):
+        # Figure 5/10: f fills the first column of the first plane bottom-up with 0..l1-1
+        # reflected; the grid renderer prints the first dimension upward.
+        embedding = line_in_graph_embedding(Mesh((4, 3)))
+        lines = render_embedding_grid(embedding).splitlines()
+        first_column = [line.split()[0] for line in lines]
+        assert first_column == ["11", "6", "5", "0"] or first_column[-1] == "0"
