@@ -14,7 +14,7 @@ Quickstart
 >>> host = Mesh((2, 2, 2, 3))
 >>> embedding = embed(guest, host)
 >>> embedding.dilation()
-2
+1
 
 See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 harnesses that regenerate every figure and result table of the paper.

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..core.embedding import Embedding
+from ..core.embedding import CostMethod, Embedding
 
 __all__ = [
     "dilation_cost",
@@ -24,19 +24,24 @@ __all__ = [
 ]
 
 
-def dilation_cost(embedding: Embedding) -> int:
-    """The measured dilation cost (maximum host distance over guest edges)."""
-    return embedding.dilation()
+def dilation_cost(embedding: Embedding, *, method: CostMethod = "auto") -> int:
+    """The measured dilation cost (maximum host distance over guest edges).
+
+    ``method`` selects the implementation: ``"auto"`` uses the vectorized
+    array path when NumPy is available, ``"array"`` forces it, ``"loop"``
+    forces the historical per-edge Python loop (the cross-checked fallback).
+    """
+    return embedding.dilation(method=method)
 
 
-def average_dilation_cost(embedding: Embedding) -> float:
+def average_dilation_cost(embedding: Embedding, *, method: CostMethod = "auto") -> float:
     """The mean host distance over guest edges."""
-    return embedding.average_dilation()
+    return embedding.average_dilation(method=method)
 
 
-def edge_congestion_cost(embedding: Embedding) -> int:
+def edge_congestion_cost(embedding: Embedding, *, method: CostMethod = "auto") -> int:
     """Maximum number of guest edges routed through one host edge."""
-    return embedding.edge_congestion()
+    return embedding.edge_congestion(method=method)
 
 
 def expansion_cost(embedding: Embedding) -> float:
@@ -71,19 +76,25 @@ class EmbeddingReport:
         }
 
 
-def evaluate_embedding(embedding: Embedding, *, with_congestion: bool = False) -> EmbeddingReport:
+def evaluate_embedding(
+    embedding: Embedding,
+    *,
+    with_congestion: bool = False,
+    method: CostMethod = "auto",
+) -> EmbeddingReport:
     """Measure an embedding and package the results.
 
-    Congestion requires routing every guest edge and is therefore optional
-    (it is quadratic-ish in practice for large hosts).
+    Congestion routes every guest edge and is therefore optional; with the
+    vectorized path it is an O(E + |V_H|)-per-dimension difference-array
+    computation rather than an explicit walk of every routed path.
     """
     return EmbeddingReport(
         guest=repr(embedding.guest),
         host=repr(embedding.host),
         strategy=embedding.strategy,
         predicted_dilation=embedding.predicted_dilation,
-        dilation=embedding.dilation(),
-        average_dilation=embedding.average_dilation(),
-        congestion=embedding.edge_congestion() if with_congestion else None,
+        dilation=embedding.dilation(method=method),
+        average_dilation=embedding.average_dilation(method=method),
+        congestion=embedding.edge_congestion(method=method) if with_congestion else None,
         valid=embedding.is_valid(),
     )

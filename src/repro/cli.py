@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands:
+Four subcommands:
 
 ``embed``
     Build an embedding between two graphs given as ``kind:shape`` strings
@@ -15,6 +15,11 @@ Three subcommands:
     Map a guest task graph onto a host network with the paper's embedding
     and with the baselines, and report the simulated communication time of a
     neighbour-exchange phase.
+
+``survey``
+    Run a parallel embedding survey — every same-size guest/host shape pair
+    up to a node budget (or a named suite mirroring the paper's tables) —
+    and write the measured costs to a JSON/CSV results file.
 """
 
 from __future__ import annotations
@@ -39,6 +44,13 @@ from .core.basic import f_sequence
 from .graphs.base import CartesianGraph, Mesh, Torus, make_graph
 from .netsim import CostModel, HostNetwork, neighbor_exchange_traffic, simulate_phase
 from .numbering.graycode import natural_sequence
+from .survey import (
+    SurveyOptions,
+    run_survey,
+    scenarios_for_suite,
+    suite_names,
+    write_records,
+)
 from .types import GraphKind
 from .viz.ascii import render_embedding_grid, render_sequence_table
 
@@ -166,6 +178,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_survey(args: argparse.Namespace) -> int:
+    if args.smoke:
+        suite = "smoke"
+        workers: Optional[int] = 1
+    else:
+        suite = args.suite
+        workers = args.workers
+    scenarios = scenarios_for_suite(suite, max_nodes=args.max_nodes)
+    if args.limit is not None:
+        scenarios = scenarios[: args.limit]
+    if not scenarios:
+        print("no scenarios selected (raise --max-nodes?)", file=sys.stderr)
+        return 2
+    options = SurveyOptions(
+        workers=workers,
+        shard_size=args.shard_size,
+        shard_dir=args.shard_dir,
+        with_congestion=args.congestion,
+        method=args.method,
+    )
+    report = run_survey(scenarios, options)
+    if args.output:
+        path = write_records(report.records, args.output)
+        print(f"wrote {len(report.records)} records to {path}")
+    rows = report.summary_rows()
+    if rows:
+        print(format_table(rows, title=f"Survey '{suite}': measured strategies"))
+    print(
+        f"{len(report.records)} pairs "
+        f"({len(report.ok)} measured, {len(report.unsupported)} unsupported, "
+        f"{len(report.failed)} failed) in {report.elapsed_seconds:.2f}s "
+        f"on {report.workers} worker(s)"
+    )
+    if report.failed:
+        for record in report.failed[:5]:
+            print(f"  FAILED {record.scenario_id}: {record.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="torus-mesh-embed",
@@ -192,6 +244,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--message-size", type=float, default=1.0, help="message size")
     p_sim.add_argument("--seed", type=int, default=0, help="seed for the random baseline")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_survey = subparsers.add_parser(
+        "survey", help="run a parallel embedding survey over many shape pairs"
+    )
+    p_survey.add_argument(
+        "--suite",
+        default="exhaustive",
+        choices=suite_names(),
+        help="scenario suite (default: exhaustive same-size sweep)",
+    )
+    p_survey.add_argument(
+        "--max-nodes",
+        type=int,
+        default=48,
+        help="node budget for shape enumeration (default 48)",
+    )
+    p_survey.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: cpu count; 1 = sequential)",
+    )
+    p_survey.add_argument(
+        "--shard-size", type=int, default=64, help="scenarios per worker shard"
+    )
+    p_survey.add_argument(
+        "--shard-dir", default=None, help="also write per-shard JSON files here"
+    )
+    p_survey.add_argument(
+        "--output",
+        default="survey_results.json",
+        help="results file (.json or .csv); empty string disables writing",
+    )
+    p_survey.add_argument(
+        "--limit", type=int, default=None, help="evaluate only the first N scenarios"
+    )
+    p_survey.add_argument(
+        "--congestion", action="store_true", help="also measure edge congestion"
+    )
+    p_survey.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto", "array", "loop"),
+        help="cost implementation (vectorized array path vs per-edge loop)",
+    )
+    p_survey.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny deterministic run (suite 'smoke', sequential) for CI",
+    )
+    p_survey.set_defaults(func=_cmd_survey)
     return parser
 
 

@@ -4,8 +4,7 @@ Definition 1 of the paper: an embedding ``f`` of ``G = (V_G, E_G)`` in
 ``H = (V_H, E_H)`` is an injection ``f : V_G -> V_H``; its *dilation cost* is
 the maximum distance in ``H`` between the images of adjacent nodes of ``G``.
 
-The class stores the guest graph, the host graph and the explicit mapping,
-and offers:
+The class stores the guest graph, the host graph and the mapping, and offers:
 
 * validity checking (:meth:`Embedding.is_valid`, :meth:`Embedding.validate`)
   — the mapping must be total on the guest nodes, land inside the host node
@@ -15,24 +14,56 @@ and offers:
 * composition (:meth:`compose`) used by the paper's multi-step constructions
   ``G -> G' -> H' -> H``; and
 * convenient constructors (:meth:`from_callable`, :meth:`identity`,
-  :meth:`from_permutation`).
+  :meth:`from_permutation`, :meth:`from_index_array`).
+
+Array-backed representation
+---------------------------
+An embedding has two equivalent representations and converts between them
+lazily:
+
+* ``mapping`` — the historical dict from guest node tuple to host node
+  tuple, convenient for construction and inspection;
+* :meth:`host_index_array` — a flat NumPy ``int64`` array ``h`` with
+  ``h[i]`` the natural-order rank (``u_L^{-1}``) in the host of the image of
+  the guest node of rank ``i``.
+
+The array form is the hot path: all cost measures are computed over it with
+vectorized mixed-radix arithmetic (:mod:`repro.numbering.arrays`), and
+:meth:`compose` reduces to a single gather.  The pure-Python per-edge loops
+are retained (``method="loop"``) as a cross-checked fallback and for
+environments without NumPy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..exceptions import InvalidEmbeddingError, ShapeMismatchError
+from ..exceptions import InvalidEmbeddingError, InvalidRadixError, ShapeMismatchError
 from ..graphs.base import CartesianGraph
 from ..graphs.paths import dimension_order_path
+from ..numbering.arrays import HAVE_NUMPY, digit_weights, indices_to_digits, require_numpy
 from ..types import Node
 from ..utils.listops import apply_permutation
 
-__all__ = ["Embedding"]
+__all__ = ["Embedding", "CostMethod"]
+
+#: Allowed values for the ``method`` parameter of the cost measures:
+#: ``"auto"`` (vectorized when NumPy is available), ``"array"`` (force the
+#: vectorized path), ``"loop"`` (force the historical per-edge Python loop).
+CostMethod = str
+
+_COST_METHODS = ("auto", "array", "loop")
 
 
-@dataclass
+def _use_array(method: CostMethod) -> bool:
+    if method not in _COST_METHODS:
+        raise ValueError(f"unknown cost method {method!r}; expected one of {_COST_METHODS}")
+    if method == "array":
+        require_numpy()
+        return True
+    return method == "auto" and HAVE_NUMPY
+
+
 class Embedding:
     """An injection of the nodes of ``guest`` into the nodes of ``host``.
 
@@ -44,7 +75,8 @@ class Embedding:
         also be represented, but the constructors used by the paper's
         strategies always produce same-size (bijective) embeddings.
     mapping:
-        Dict from guest node tuple to host node tuple.
+        Dict from guest node tuple to host node tuple.  Materialized lazily
+        when the embedding was built from a host-index array.
     strategy:
         Human-readable name of the construction that produced the embedding.
     predicted_dilation:
@@ -56,12 +88,50 @@ class Embedding:
         Free-form metadata (expansion factors used, chain steps, ...).
     """
 
-    guest: CartesianGraph
-    host: CartesianGraph
-    mapping: Dict[Node, Node]
-    strategy: str = "custom"
-    predicted_dilation: Optional[int] = None
-    notes: Dict[str, object] = field(default_factory=dict)
+    __slots__ = (
+        "guest",
+        "host",
+        "strategy",
+        "predicted_dilation",
+        "notes",
+        "_mapping",
+        "_host_indices",
+        "_edge_dilations",
+    )
+
+    def __init__(
+        self,
+        guest: CartesianGraph,
+        host: CartesianGraph,
+        mapping: Optional[Mapping[Node, Node]] = None,
+        strategy: str = "custom",
+        predicted_dilation: Optional[int] = None,
+        notes: Optional[Dict[str, object]] = None,
+        *,
+        host_index_array=None,
+    ):
+        if mapping is None and host_index_array is None:
+            raise InvalidEmbeddingError(
+                "an Embedding needs a mapping dict or a host_index_array"
+            )
+        self.guest = guest
+        self.host = host
+        self.strategy = strategy
+        self.predicted_dilation = predicted_dilation
+        self.notes: Dict[str, object] = notes if notes is not None else {}
+        self._mapping: Optional[Dict[Node, Node]] = (
+            dict(mapping) if mapping is not None else None
+        )
+        self._host_indices = None
+        self._edge_dilations = None
+        if host_index_array is not None:
+            np = require_numpy()
+            array = np.ascontiguousarray(host_index_array, dtype=np.int64)
+            if array.ndim != 1:
+                raise InvalidEmbeddingError(
+                    f"host_index_array must be 1-D, got shape {array.shape}"
+                )
+            self._host_indices = array
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -87,6 +157,39 @@ class Embedding:
             predicted_dilation=predicted_dilation,
             notes=dict(notes or {}),
         )
+
+    @classmethod
+    def from_index_array(
+        cls,
+        guest: CartesianGraph,
+        host: CartesianGraph,
+        host_indices,
+        *,
+        strategy: str = "custom",
+        predicted_dilation: Optional[int] = None,
+        notes: Optional[Dict[str, object]] = None,
+    ) -> "Embedding":
+        """Build an embedding from a flat host-index array.
+
+        ``host_indices[i]`` is the natural-order rank in the host of the
+        image of the guest node of rank ``i``.  The tuple ``mapping`` is
+        materialized lazily on first access, so survey-scale pipelines that
+        only measure costs never pay for it.
+        """
+        embedding = cls(
+            guest=guest,
+            host=host,
+            strategy=strategy,
+            predicted_dilation=predicted_dilation,
+            notes=dict(notes or {}),
+            host_index_array=host_indices,
+        )
+        if len(embedding._host_indices) != guest.size:
+            raise InvalidEmbeddingError(
+                f"host_index_array covers {len(embedding._host_indices)} of "
+                f"{guest.size} guest nodes"
+            )
+        return embedding
 
     @classmethod
     def identity(cls, guest: CartesianGraph, host: CartesianGraph) -> "Embedding":
@@ -143,6 +246,47 @@ class Embedding:
         )
 
     # ------------------------------------------------------------------ #
+    # Representations
+    # ------------------------------------------------------------------ #
+    @property
+    def mapping(self) -> Dict[Node, Node]:
+        """Dict from guest node tuple to host node tuple (lazily materialized)."""
+        if self._mapping is None:
+            guest_base = self.guest.radix_base
+            host_base = self.host.radix_base
+            self._mapping = {
+                guest_base.to_digits(rank): host_base.to_digits(int(image))
+                for rank, image in enumerate(self._host_indices)
+            }
+        return self._mapping
+
+    def host_index_array(self):
+        """The flat array form: host rank of the image of guest rank ``i``.
+
+        Cached after the first call; building it from a dict ``mapping`` is a
+        one-off O(n·d) conversion.  Requires NumPy.
+        """
+        if self._host_indices is None:
+            np = require_numpy()
+            guest_base = self.guest.radix_base
+            host_base = self.host.radix_base
+            mapping = self._mapping
+            self._host_indices = np.fromiter(
+                (
+                    host_base.from_digits(mapping[guest_base.to_digits(rank)])
+                    for rank in range(self.guest.size)
+                ),
+                dtype=np.int64,
+                count=self.guest.size,
+            )
+        return self._host_indices
+
+    def guest_index_array(self):
+        """The guest ranks ``0..|V_G|-1`` (trivially ``arange``; for symmetry)."""
+        np = require_numpy()
+        return np.arange(self.guest.size, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #
     def __getitem__(self, node: Sequence[int]) -> Node:
@@ -152,7 +296,21 @@ class Embedding:
         return tuple(node) in self.mapping
 
     def __len__(self) -> int:
-        return len(self.mapping)
+        if self._mapping is not None:
+            return len(self._mapping)
+        return len(self._host_indices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Embedding):
+            return NotImplemented
+        return (
+            self.guest == other.guest
+            and self.host == other.host
+            and self.strategy == other.strategy
+            and self.predicted_dilation == other.predicted_dilation
+            and self.notes == other.notes
+            and self.mapping == other.mapping
+        )
 
     def map_index(self, index: int) -> Node:
         """Image of the guest node with natural-order rank ``index``.
@@ -160,7 +318,17 @@ class Embedding:
         For 1-dimensional guests this is the paper's integer-node shorthand:
         ``map_index(x)`` is the image of node ``x`` of the line/ring.
         """
-        return self.mapping[self.guest.index_node(index)]
+        if self._mapping is None:
+            if not 0 <= index < len(self._host_indices):
+                # Mirror the dict-backed path, where guest.index_node raises;
+                # otherwise NumPy's negative indexing would return a
+                # plausible-but-wrong node.
+                raise InvalidRadixError(
+                    f"value {index} is out of range for radix-base "
+                    f"{self.guest.shape} (size {self.guest.size})"
+                )
+            return self.host.index_node(int(self._host_indices[index]))
+        return self._mapping[self.guest.index_node(index)]
 
     def image(self) -> List[Node]:
         """All host nodes used by the embedding, in guest natural order."""
@@ -179,6 +347,9 @@ class Embedding:
             raise ShapeMismatchError(
                 f"guest has {self.guest.size} nodes but host only {self.host.size}"
             )
+        if self._mapping is None and HAVE_NUMPY:
+            self._validate_array()
+            return
         if len(self.mapping) != self.guest.size:
             raise InvalidEmbeddingError(
                 f"mapping covers {len(self.mapping)} of {self.guest.size} guest nodes"
@@ -192,6 +363,24 @@ class Embedding:
             if image in images:
                 raise InvalidEmbeddingError(f"image {image!r} is used more than once")
             images.add(image)
+
+    def _validate_array(self) -> None:
+        """Vectorized validity check for array-backed embeddings."""
+        np = require_numpy()
+        indices = self._host_indices
+        if len(indices) != self.guest.size:
+            raise InvalidEmbeddingError(
+                f"mapping covers {len(indices)} of {self.guest.size} guest nodes"
+            )
+        if indices.size and (indices.min() < 0 or indices.max() >= self.host.size):
+            bad = int(indices[(indices < 0) | (indices >= self.host.size)][0])
+            raise InvalidEmbeddingError(
+                f"image rank {bad} is not a node of the host graph"
+            )
+        if np.unique(indices).size != indices.size:
+            values, counts = np.unique(indices, return_counts=True)
+            duplicate = self.host.index_node(int(values[counts > 1][0]))
+            raise InvalidEmbeddingError(f"image {duplicate!r} is used more than once")
 
     def is_valid(self) -> bool:
         """True when :meth:`validate` does not raise."""
@@ -209,19 +398,45 @@ class Embedding:
     # Costs
     # ------------------------------------------------------------------ #
     def edge_dilations(self) -> List[int]:
-        """Distance in the host between the images of every guest edge."""
+        """Distance in the host between the images of every guest edge.
+
+        The historical per-edge Python loop, in :meth:`CartesianGraph.edges`
+        order.  Kept as the cross-checked reference implementation of the
+        vectorized :meth:`edge_dilation_array`.
+        """
         return [
             self.host.distance(self.mapping[a], self.mapping[b])
             for a, b in self.guest.edges()
         ]
 
-    def dilation(self) -> int:
+    def edge_dilation_array(self):
+        """Vectorized per-edge host distances (``int64`` array).
+
+        Edge order follows :meth:`CartesianGraph.edge_index_arrays` (grouped
+        by dimension), so the array is a permutation of
+        :meth:`edge_dilations`; the max/mean used by the cost measures are
+        unaffected.  Cached — dilation, average dilation and the prediction
+        check share one computation.  Requires NumPy.
+        """
+        if self._edge_dilations is None:
+            u, v = self.guest.edge_index_arrays()
+            images = self.host_index_array()
+            self._edge_dilations = self.host.distance_indices(images[u], images[v])
+        return self._edge_dilations
+
+    def dilation(self, *, method: CostMethod = "auto") -> int:
         """The measured dilation cost (Definition 1)."""
+        if _use_array(method):
+            dilations = self.edge_dilation_array()
+            return int(dilations.max()) if dilations.size else 0
         dilations = self.edge_dilations()
         return max(dilations) if dilations else 0
 
-    def average_dilation(self) -> float:
+    def average_dilation(self, *, method: CostMethod = "auto") -> float:
         """Mean distance in the host over all guest edges."""
+        if _use_array(method):
+            dilations = self.edge_dilation_array()
+            return float(dilations.mean()) if dilations.size else 0.0
         dilations = self.edge_dilations()
         return sum(dilations) / len(dilations) if dilations else 0.0
 
@@ -229,15 +444,19 @@ class Embedding:
         """``|V_H| / |V_G|`` — always 1 for the paper's same-size embeddings."""
         return self.host.size / self.guest.size
 
-    def edge_congestion(self) -> int:
+    def edge_congestion(self, *, method: CostMethod = "auto") -> int:
         """Maximum number of guest edges routed over a single host edge.
 
         Each guest edge is routed along the dimension-ordered shortest path
         between its endpoint images; the congestion of a host edge is the
         number of such paths that traverse it.  (Congestion is not analysed
         by the paper but is a standard companion cost and is reported in the
-        experiment harness.)
+        experiment harness.)  The vectorized path reproduces the per-edge
+        loop exactly, including the torus tie-break towards increasing
+        coordinates.
         """
+        if _use_array(method):
+            return self._edge_congestion_array()
         load: Dict[Tuple[Node, Node], int] = {}
         for a, b in self.guest.edges():
             path = dimension_order_path(self.host, self.mapping[a], self.mapping[b])
@@ -246,7 +465,67 @@ class Embedding:
                 load[key] = load.get(key, 0) + 1
         return max(load.values()) if load else 0
 
-    def matches_prediction(self) -> bool:
+    def _edge_congestion_array(self) -> int:
+        """Vectorized congestion via per-dimension difference arrays.
+
+        Dimension-ordered routing corrects host dimension ``j`` while
+        dimensions ``< j`` already sit at the target coordinates and
+        dimensions ``> j`` still sit at the source coordinates, so each guest
+        edge loads a contiguous (possibly wrapping) run of dimension-``j``
+        host edges along one axis line.  Interval adds over a
+        ``(lines, coords)`` difference buffer followed by a cumulative sum
+        yield every host edge's load in O(E + |V_H|) per dimension.
+        """
+        np = require_numpy()
+        u, v = self.guest.edge_index_arrays()
+        if u.size == 0:
+            return 0
+        images = self.host_index_array()
+        shape = self.host.shape
+        weights = digit_weights(shape)
+        source = indices_to_digits(images[u], shape)  # path source A (lower guest rank)
+        target = indices_to_digits(images[v], shape)  # path target B
+        is_torus = self.host.is_torus
+        worst = 0
+        for j, length in enumerate(shape):
+            a = source[:, j]
+            b = target[:, j]
+            # Host position while correcting dimension j: dims < j are
+            # already at the target, dims >= j still at the source.
+            position = np.concatenate([target[:, :j], source[:, j:]], axis=1)
+            flat = position @ weights
+            period = int(weights[j]) * length
+            line = (flat // period) * int(weights[j]) + (flat % int(weights[j]))
+            lines = self.host.size // length
+            if is_torus and length > 2:
+                forward = (b - a) % length
+                backward = (a - b) % length
+                go_forward = forward <= backward
+                start = np.where(go_forward, a, b)
+                run = np.where(go_forward, forward, backward)
+                end = start + run
+                delta = np.zeros((lines, length + 1), dtype=np.int64)
+                wraps = end > length
+                np.add.at(delta, (line, start), 1)
+                np.add.at(delta, (line, np.minimum(end, length)), -1)
+                if wraps.any():
+                    np.add.at(delta, (line[wraps], 0), 1)
+                    np.add.at(delta, (line[wraps], end[wraps] - length), -1)
+                counts = np.cumsum(delta[:, :-1], axis=1)  # edge at coord c: (c, c+1 mod l)
+            else:
+                lo = np.minimum(a, b)
+                hi = np.maximum(a, b)
+                delta = np.zeros((lines, length), dtype=np.int64)
+                np.add.at(delta, (line, lo), 1)
+                np.add.at(delta, (line, hi), -1)
+                counts = np.cumsum(delta[:, :-1], axis=1)
+            if counts.size:
+                worst = max(worst, int(counts.max()))
+        return worst
+
+    def matches_prediction(
+        self, *, measured: Optional[int] = None, method: CostMethod = "auto"
+    ) -> bool:
         """True when the measured dilation equals the theorem's prediction.
 
         If no prediction was recorded the check is vacuously true.  Note that
@@ -254,10 +533,15 @@ class Embedding:
         square chains only promise an *upper bound*; for those strategies the
         constructors record the bound under ``notes['dilation_is_upper_bound']``
         and this method checks ``measured <= predicted`` instead.
+
+        Callers that already measured the dilation can pass it via
+        ``measured`` to avoid recomputation (and to keep a forced ``method``
+        consistent across all reported numbers).
         """
         if self.predicted_dilation is None:
             return True
-        measured = self.dilation()
+        if measured is None:
+            measured = self.dilation(method=method)
         if self.notes.get("dilation_is_upper_bound"):
             return measured <= self.predicted_dilation
         return measured == self.predicted_dilation
@@ -274,12 +558,15 @@ class Embedding:
         predictions when both are present (dilation costs compose at most
         multiplicatively); the flag ``dilation_is_upper_bound`` is propagated
         if either step only promises an upper bound.
+
+        In the array representation composition is a single gather:
+        ``composed[i] = outer_h[self_h[i]]`` (the inner image rank in
+        ``self.host`` *is* the rank in ``outer.guest``).
         """
         if (self.host.kind, self.host.shape) != (outer.guest.kind, outer.guest.shape):
             raise ShapeMismatchError(
                 f"cannot compose: inner host is {self.host!r} but outer guest is {outer.guest!r}"
             )
-        mapping = {node: outer.mapping[image] for node, image in self.mapping.items()}
         predicted: Optional[int] = None
         if self.predicted_dilation is not None and outer.predicted_dilation is not None:
             predicted = self.predicted_dilation * outer.predicted_dilation
@@ -296,11 +583,22 @@ class Embedding:
             # Products of exact dilations are still only upper bounds for the
             # composite (a shorter route may exist in the final host).
             notes["dilation_is_upper_bound"] = True
+        name = strategy or f"{self.strategy} ∘ {outer.strategy}"
+        if HAVE_NUMPY:
+            return Embedding.from_index_array(
+                self.guest,
+                outer.host,
+                outer.host_index_array()[self.host_index_array()],
+                strategy=name,
+                predicted_dilation=predicted,
+                notes=notes,
+            )
+        mapping = {node: outer.mapping[image] for node, image in self.mapping.items()}
         return Embedding(
             guest=self.guest,
             host=outer.host,
             mapping=mapping,
-            strategy=strategy or f"{self.strategy} ∘ {outer.strategy}",
+            strategy=name,
             predicted_dilation=predicted,
             notes=notes,
         )

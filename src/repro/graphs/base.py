@@ -24,7 +24,8 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import InvalidShapeError
-from ..numbering.distance import mesh_distance, torus_distance
+from ..numbering.arrays import digit_weights, indices_to_digits, require_numpy
+from ..numbering.distance import graph_distance_indices, mesh_distance, torus_distance
 from ..numbering.radix import RadixBase
 from ..types import GraphKind, Node, Shape, ShapedGraphSpec, as_shape, shape_size
 
@@ -185,8 +186,50 @@ class CartesianGraph:
                     yield node, neighbor
 
     def num_edges(self) -> int:
-        """Total number of edges (computed by enumeration)."""
-        return sum(1 for _ in self.edges())
+        """Total number of edges (closed form).
+
+        Dimension ``j`` contributes one edge per node in a torus with
+        ``l_j > 2`` and ``n - n / l_j`` edges otherwise (a length-2 torus
+        dimension's wrap edge coincides with its mesh edge).
+        """
+        n = self.size
+        total = 0
+        for length in self._shape:
+            if self.kind.is_torus and length > 2:
+                total += n
+            else:
+                total += n - n // length
+        return total
+
+    def edge_index_arrays(self):
+        """All edges as a pair of flat ``int64`` rank arrays ``(u, v)``.
+
+        The vectorized counterpart of :meth:`edges`: each edge appears
+        exactly once with ``u < v`` (natural-order ranks).  The edges are
+        grouped by dimension rather than by node, so the *order* differs from
+        :meth:`edges`; the multiset of edges is identical, which is what the
+        vectorized cost computations need.  Requires NumPy.
+        """
+        np = require_numpy()
+        n = self.size
+        weights = digit_weights(self._shape)
+        digits = indices_to_digits(np.arange(n, dtype=np.int64), self._shape)
+        sources: List = []
+        targets: List = []
+        for j, length in enumerate(self._shape):
+            weight = int(weights[j])
+            column = digits[:, j]
+            if self.kind.is_torus and length > 2:
+                u = np.arange(n, dtype=np.int64)
+                v = u + np.where(column < length - 1, weight, -(length - 1) * weight)
+            else:
+                u = np.flatnonzero(column < length - 1).astype(np.int64)
+                v = u + weight
+            sources.append(u)
+            targets.append(v)
+        u = np.concatenate(sources)
+        v = np.concatenate(targets)
+        return np.minimum(u, v), np.maximum(u, v)
 
     # ------------------------------------------------------------------ #
     # Distance
@@ -200,6 +243,16 @@ class CartesianGraph:
         if self.kind.is_torus:
             return torus_distance(a, b, self._shape)
         return mesh_distance(a, b)
+
+    def distance_indices(self, a_indices, b_indices):
+        """Vectorized :meth:`distance` over batches of natural-order ranks.
+
+        Both arguments are array-likes of flat node indices; the result is an
+        ``int64`` array of pairwise δt/δm distances.  Requires NumPy.
+        """
+        return graph_distance_indices(
+            a_indices, b_indices, self._shape, torus=self.kind.is_torus
+        )
 
     def diameter(self) -> int:
         """The graph diameter, computed from the closed-form per-dimension maxima."""

@@ -17,10 +17,21 @@ here provide:
 ``graycode``
     The natural sequence ``P``, the reflected sequence ``P'`` (which is the
     paper's ``f_L``), and the classic binary reflected Gray code.
+``arrays``
+    Vectorized (NumPy ``int64``) versions of the ``u_L`` / ``u_L^{-1}``
+    bijections over flat index batches — the backbone of the array-backed
+    embedding hot path.
 """
 
 from .radix import RadixBase
-from .distance import mesh_distance, torus_distance
+from .arrays import HAVE_NUMPY, digit_weights, digits_to_indices, indices_to_digits
+from .distance import (
+    graph_distance_indices,
+    mesh_distance,
+    mesh_distance_array,
+    torus_distance,
+    torus_distance_array,
+)
 from .sequences import (
     cyclic_pairs,
     cyclic_spread,
@@ -37,8 +48,15 @@ from .graycode import (
 
 __all__ = [
     "RadixBase",
+    "HAVE_NUMPY",
+    "digit_weights",
+    "digits_to_indices",
+    "indices_to_digits",
     "mesh_distance",
     "torus_distance",
+    "mesh_distance_array",
+    "torus_distance_array",
+    "graph_distance_indices",
     "sequence_pairs",
     "cyclic_pairs",
     "sequence_spread",

@@ -1,0 +1,88 @@
+"""Vectorized mixed-radix numbering — the array backbone of the hot path.
+
+The scalar bijections ``u_L`` / ``u_L^{-1}`` of :class:`~repro.numbering.radix.
+RadixBase` convert one number at a time; surveying thousands of embeddings
+needs the same conversions over *batches* of nodes at hardware speed.  This
+module provides them on flat NumPy ``int64`` arrays:
+
+* :func:`indices_to_digits` — ``u_L`` applied to an ``(n,)`` array of flat
+  indices, producing an ``(n, d)`` array of radix-L digit rows;
+* :func:`digits_to_indices` — the inverse ``u_L^{-1}`` on an ``(n, d)`` array;
+* :func:`digit_weights` — the per-digit weights ``(w_1, ..., w_d)``.
+
+NumPy is an optional dependency of the package core (the pure-Python path
+remains fully functional without it); every entry point is gated through
+:func:`require_numpy` so that environments without NumPy get a clear error
+only when the vectorized path is actually requested.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+try:  # pragma: no cover - exercised implicitly by every array test
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "require_numpy",
+    "digit_weights",
+    "indices_to_digits",
+    "digits_to_indices",
+]
+
+HAVE_NUMPY = _np is not None
+
+
+def require_numpy():
+    """Return the :mod:`numpy` module or raise a helpful ImportError."""
+    if _np is None:  # pragma: no cover - the CI image always has numpy
+        raise ImportError(
+            "the vectorized embedding path requires numpy; install it or use "
+            "the pure-Python methods (method='loop')"
+        )
+    return _np
+
+
+def digit_weights(shape: Sequence[int]):
+    """The per-digit weights ``(w_1, ..., w_d)`` of the radix-base ``shape``.
+
+    ``w_d = 1`` and ``w_{j-1} = l_j * w_j``, matching
+    :attr:`repro.numbering.radix.RadixBase.weights` without its leading
+    ``w_0 = n`` entry.
+    """
+    np = require_numpy()
+    radices = np.asarray(tuple(shape), dtype=np.int64)
+    if radices.ndim != 1 or radices.size == 0:
+        raise ValueError("shape must be a non-empty 1-D sequence of radices")
+    weights = np.ones(radices.size, dtype=np.int64)
+    if radices.size > 1:
+        weights[:-1] = np.cumprod(radices[::-1][:-1])[::-1]
+    return weights
+
+
+def indices_to_digits(indices, shape: Sequence[int]):
+    """Vectorized ``u_L``: flat indices ``(n,)`` -> digit rows ``(n, d)``.
+
+    ``x̂_j = ⌊x / w_j⌋ mod l_j`` applied column-wise; the most significant
+    digit is the first column, matching the paper's convention.
+    """
+    np = require_numpy()
+    indices = np.asarray(indices, dtype=np.int64)
+    radices = np.asarray(tuple(shape), dtype=np.int64)
+    weights = digit_weights(shape)
+    return (indices[..., None] // weights) % radices
+
+
+def digits_to_indices(digits, shape: Sequence[int]):
+    """Vectorized ``u_L^{-1}``: digit rows ``(n, d)`` -> flat indices ``(n,)``."""
+    np = require_numpy()
+    digits = np.asarray(digits, dtype=np.int64)
+    weights = digit_weights(shape)
+    if digits.shape[-1] != weights.size:
+        raise ValueError(
+            f"digit rows have {digits.shape[-1]} columns but the base has {weights.size} radices"
+        )
+    return digits @ weights

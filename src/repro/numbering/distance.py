@@ -15,7 +15,16 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["mesh_distance", "torus_distance", "chebyshev_mesh_distance"]
+from .arrays import digit_weights, indices_to_digits, require_numpy
+
+__all__ = [
+    "mesh_distance",
+    "torus_distance",
+    "chebyshev_mesh_distance",
+    "mesh_distance_array",
+    "torus_distance_array",
+    "graph_distance_indices",
+]
 
 
 def mesh_distance(a: Sequence[int], b: Sequence[int]) -> int:
@@ -42,6 +51,45 @@ def torus_distance(a: Sequence[int], b: Sequence[int], shape: Sequence[int]) -> 
         diff = abs(x - y)
         total += min(diff, length - diff)
     return total
+
+
+def mesh_distance_array(a_digits, b_digits):
+    """Vectorized δm over ``(n, d)`` digit arrays -> ``(n,)`` distances (Lemma 6)."""
+    np = require_numpy()
+    a_digits = np.asarray(a_digits, dtype=np.int64)
+    b_digits = np.asarray(b_digits, dtype=np.int64)
+    if a_digits.shape != b_digits.shape:
+        raise ValueError("digit arrays must have the same shape")
+    return np.abs(a_digits - b_digits).sum(axis=-1)
+
+
+def torus_distance_array(a_digits, b_digits, shape: Sequence[int]):
+    """Vectorized δt over ``(n, d)`` digit arrays -> ``(n,)`` distances (Lemma 5)."""
+    np = require_numpy()
+    a_digits = np.asarray(a_digits, dtype=np.int64)
+    b_digits = np.asarray(b_digits, dtype=np.int64)
+    if a_digits.shape != b_digits.shape:
+        raise ValueError("digit arrays must have the same shape")
+    lengths = np.asarray(tuple(shape), dtype=np.int64)
+    if a_digits.shape[-1] != lengths.size:
+        raise ValueError("digit arrays and shape must have the same dimension")
+    diff = np.abs(a_digits - b_digits)
+    return np.minimum(diff, lengths - diff).sum(axis=-1)
+
+
+def graph_distance_indices(a_indices, b_indices, shape: Sequence[int], *, torus: bool):
+    """Distances between flat-index batches of nodes of an ``shape``-mesh/torus.
+
+    The array-backed analogue of :meth:`repro.graphs.base.CartesianGraph.
+    distance`: both arguments are ``(n,)`` ``int64`` arrays of natural-order
+    node ranks; the result is the ``(n,)`` array of δt (``torus=True``) or δm
+    distances.
+    """
+    a_digits = indices_to_digits(a_indices, shape)
+    b_digits = indices_to_digits(b_indices, shape)
+    if torus:
+        return torus_distance_array(a_digits, b_digits, shape)
+    return mesh_distance_array(a_digits, b_digits)
 
 
 def chebyshev_mesh_distance(a: Sequence[int], b: Sequence[int]) -> int:

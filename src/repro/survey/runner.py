@@ -1,0 +1,210 @@
+"""The parallel survey engine.
+
+:func:`run_survey` evaluates a list of scenarios — embed with the paper's
+dispatcher, measure the vectorized costs — across a pool of worker
+processes.  The scenario list is split into contiguous *shards*; each worker
+evaluates one shard at a time and (optionally) spills it to a JSON shard
+file, so long sweeps survive a crash and the result merge is deterministic
+regardless of scheduling order.
+
+``workers <= 1`` (or a single shard) runs inline in the calling process —
+the mode used by tests and ``repro survey --smoke``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import evaluate_embedding
+from ..core.dispatch import embed
+from ..exceptions import UnsupportedEmbeddingError
+from .scenarios import Scenario
+from .store import SurveyRecord, write_json
+
+__all__ = ["SurveyOptions", "SurveyReport", "run_survey", "evaluate_scenario"]
+
+
+@dataclass(frozen=True)
+class SurveyOptions:
+    """Knobs of a survey run.
+
+    Attributes
+    ----------
+    workers:
+        Worker process count; ``None`` uses ``os.cpu_count()``, ``0``/``1``
+        runs sequentially in-process.
+    shard_size:
+        Scenarios per shard (the unit of work handed to a worker).
+    shard_dir:
+        When set, each finished shard is written there as
+        ``shard-<k>.json`` before the merged result is assembled.
+    with_congestion:
+        Also measure edge congestion (vectorized; moderately more work).
+    method:
+        Cost implementation: ``"auto"`` (vectorized when NumPy is present),
+        ``"array"`` or ``"loop"`` — see :class:`repro.core.embedding.Embedding`.
+    """
+
+    workers: Optional[int] = None
+    shard_size: int = 64
+    shard_dir: Optional[str] = None
+    with_congestion: bool = False
+    method: str = "auto"
+
+
+@dataclass
+class SurveyReport:
+    """Outcome of :func:`run_survey`: merged records plus run metadata."""
+
+    records: List[SurveyRecord]
+    elapsed_seconds: float
+    workers: int
+    shard_paths: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> List[SurveyRecord]:
+        return [record for record in self.records if record.status == "ok"]
+
+    @property
+    def unsupported(self) -> List[SurveyRecord]:
+        return [record for record in self.records if record.status == "unsupported"]
+
+    @property
+    def failed(self) -> List[SurveyRecord]:
+        return [record for record in self.records if record.status == "error"]
+
+    def strategy_histogram(self) -> Dict[str, int]:
+        """Measured-record count per strategy name, alphabetically."""
+        histogram: Dict[str, int] = {}
+        for record in self.ok:
+            histogram[record.strategy or "?"] = histogram.get(record.strategy or "?", 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Tabular summary used by the CLI (one row per strategy)."""
+        rows: List[Dict[str, object]] = []
+        for strategy, count in self.strategy_histogram().items():
+            group = [r for r in self.ok if r.strategy == strategy]
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "pairs": count,
+                    "max dilation": max(r.dilation for r in group),
+                    "mean avg-dilation": round(
+                        sum(r.average_dilation for r in group) / count, 3
+                    ),
+                    "prediction holds": sum(1 for r in group if r.matches_prediction),
+                }
+            )
+        return rows
+
+
+def evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecord:
+    """Embed and measure one scenario, capturing failures as record status."""
+    guest = scenario.guest_graph()
+    host = scenario.host_graph()
+    base = dict(
+        scenario_id=scenario.scenario_id,
+        guest=repr(guest),
+        host=repr(host),
+        nodes=guest.size,
+        guest_edges=guest.num_edges(),
+    )
+    started = time.perf_counter()
+    try:
+        embedding = embed(guest, host)
+        report = evaluate_embedding(
+            embedding, with_congestion=options.with_congestion, method=options.method
+        )
+        return SurveyRecord(
+            status="ok",
+            strategy=embedding.strategy,
+            predicted_dilation=embedding.predicted_dilation,
+            dilation=report.dilation,
+            average_dilation=report.average_dilation,
+            congestion=report.congestion,
+            matches_prediction=embedding.matches_prediction(measured=report.dilation),
+            elapsed_seconds=time.perf_counter() - started,
+            **base,
+        )
+    except UnsupportedEmbeddingError as error:
+        return SurveyRecord(
+            status="unsupported",
+            error=str(error),
+            elapsed_seconds=time.perf_counter() - started,
+            **base,
+        )
+    except Exception as error:  # noqa: BLE001 - one bad pair must not kill a sweep
+        return SurveyRecord(
+            status="error",
+            error=f"{type(error).__name__}: {error}",
+            elapsed_seconds=time.perf_counter() - started,
+            **base,
+        )
+
+
+def _run_shard(
+    shard_index: int, scenarios: Sequence[Scenario], options: SurveyOptions
+) -> Tuple[int, List[SurveyRecord]]:
+    """Worker entry point: evaluate one shard, optionally spill it to disk."""
+    records = [evaluate_scenario(scenario, options) for scenario in scenarios]
+    if options.shard_dir is not None:
+        shard_path = Path(options.shard_dir) / f"shard-{shard_index:04d}.json"
+        write_json(records, shard_path)
+    return shard_index, records
+
+
+def _shards(scenarios: Sequence[Scenario], shard_size: int) -> List[Sequence[Scenario]]:
+    size = max(1, shard_size)
+    return [scenarios[start : start + size] for start in range(0, len(scenarios), size)]
+
+
+def run_survey(
+    scenarios: Sequence[Scenario], options: Optional[SurveyOptions] = None
+) -> SurveyReport:
+    """Evaluate every scenario and return the merged, deterministic report.
+
+    Records are returned in the input scenario order whatever the worker
+    scheduling; two runs over the same scenario list produce identical
+    records (modulo the ``elapsed_seconds`` timings).
+    """
+    options = options or SurveyOptions()
+    scenarios = list(scenarios)
+    workers = options.workers if options.workers is not None else (os.cpu_count() or 1)
+    started = time.perf_counter()
+    shards = _shards(scenarios, options.shard_size)
+    results: Dict[int, List[SurveyRecord]] = {}
+    shard_paths: List[str] = []
+    if workers <= 1 or len(shards) <= 1:
+        workers = 1
+        for index, shard in enumerate(shards):
+            results[index] = _run_shard(index, shard, options)[1]
+    else:
+        workers = min(workers, len(shards))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_shard, index, shard, options)
+                for index, shard in enumerate(shards)
+            ]
+            for future in as_completed(futures):
+                index, records = future.result()
+                results[index] = records
+    if options.shard_dir is not None:
+        shard_paths = [
+            str(Path(options.shard_dir) / f"shard-{index:04d}.json")
+            for index in sorted(results)
+        ]
+    merged: List[SurveyRecord] = []
+    for index in sorted(results):
+        merged.extend(results[index])
+    return SurveyReport(
+        records=merged,
+        elapsed_seconds=time.perf_counter() - started,
+        workers=workers,
+        shard_paths=shard_paths,
+    )

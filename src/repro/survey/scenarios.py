@@ -1,0 +1,227 @@
+"""Scenario generation for embedding surveys.
+
+A :class:`Scenario` names one guest/host pair by kind and shape — plain
+strings and integer tuples so that scenarios pickle cheaply across worker
+processes and serialize to JSON/CSV without adapters.
+
+Two generation modes:
+
+* :func:`all_pairs` — the exhaustive sweep: every ordered pair of shapes
+  with the same node count up to a budget, crossed with every
+  (guest kind, host kind) combination.  The paper studies same-size
+  embeddings only (Definition 1 plus the bijectivity of ``u_L``), so pairs
+  are grouped by node count.
+* :func:`scenarios_for_suite` — named suites mirroring the paper's result
+  tables (Section 3 basic embeddings, the Section 5 square chains, the
+  worked figures) plus a tiny deterministic ``smoke`` suite for CI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..graphs.base import CartesianGraph, make_graph
+from ..types import GraphKind, Shape
+
+__all__ = ["Scenario", "shapes_up_to", "all_pairs", "scenarios_for_suite", "suite_names"]
+
+_KIND_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("torus", "torus"),
+    ("torus", "mesh"),
+    ("mesh", "torus"),
+    ("mesh", "mesh"),
+)
+
+
+@dataclass(frozen=True, order=True)
+class Scenario:
+    """One guest/host pair of a survey, identified by kinds and shapes."""
+
+    guest_kind: str
+    guest_shape: Shape
+    host_kind: str
+    host_shape: Shape
+
+    @property
+    def scenario_id(self) -> str:
+        """Canonical id, e.g. ``torus:4,6->mesh:2,2,2,3`` (stable sort key)."""
+        guest = ",".join(str(l) for l in self.guest_shape)
+        host = ",".join(str(l) for l in self.host_shape)
+        return f"{self.guest_kind}:{guest}->{self.host_kind}:{host}"
+
+    @property
+    def nodes(self) -> int:
+        """Node count of the guest (== host for same-size pairs)."""
+        return math.prod(self.guest_shape)
+
+    def guest_graph(self) -> CartesianGraph:
+        return make_graph(GraphKind(self.guest_kind), self.guest_shape)
+
+    def host_graph(self) -> CartesianGraph:
+        return make_graph(GraphKind(self.host_kind), self.host_shape)
+
+    @classmethod
+    def from_id(cls, scenario_id: str) -> "Scenario":
+        """Parse the :attr:`scenario_id` format back into a Scenario."""
+        guest_text, host_text = scenario_id.split("->", 1)
+        guest_kind, guest_shape = guest_text.split(":", 1)
+        host_kind, host_shape = host_text.split(":", 1)
+        return cls(
+            guest_kind=guest_kind,
+            guest_shape=tuple(int(p) for p in guest_shape.split(",")),
+            host_kind=host_kind,
+            host_shape=tuple(int(p) for p in host_shape.split(",")),
+        )
+
+
+def shapes_up_to(
+    max_nodes: int, *, min_len: int = 2, max_dim: int = 4, min_nodes: int = 4
+) -> List[Shape]:
+    """All shapes with ``min_nodes <= Π l_i <= max_nodes`` in deterministic order.
+
+    Every dimension length is at least ``min_len`` (the radix-base
+    requirement ``l_j > 1``) and at most ``max_dim`` dimensions are used.
+    Shapes are ordered by node count, then dimension, then lexicographically,
+    so two runs over the same budget enumerate identical scenario lists.
+    """
+    if max_nodes < min_nodes:
+        return []
+    found: List[Shape] = []
+
+    def extend(prefix: Tuple[int, ...], product: int) -> None:
+        if prefix and product >= min_nodes:
+            found.append(prefix)
+        if len(prefix) == max_dim:
+            return
+        length = min_len
+        while product * length <= max_nodes:
+            extend(prefix + (length,), product * length)
+            length += 1
+
+    extend((), 1)
+    found.sort(key=lambda shape: (math.prod(shape), len(shape), shape))
+    return found
+
+
+def all_pairs(
+    max_nodes: int,
+    *,
+    min_len: int = 2,
+    max_dim: int = 4,
+    min_nodes: int = 4,
+    include_identical: bool = False,
+) -> List[Scenario]:
+    """The exhaustive same-size sweep up to a node budget.
+
+    Every ordered pair of same-product shapes is crossed with the four
+    (guest kind, host kind) combinations.  ``include_identical`` keeps the
+    pairs where guest and host are the same kind *and* shape (the identity
+    embedding); they are excluded by default as trivial.
+    """
+    by_size: Dict[int, List[Shape]] = {}
+    for shape in shapes_up_to(max_nodes, min_len=min_len, max_dim=max_dim, min_nodes=min_nodes):
+        by_size.setdefault(math.prod(shape), []).append(shape)
+    scenarios: List[Scenario] = []
+    for size in sorted(by_size):
+        group = by_size[size]
+        for guest_shape in group:
+            for host_shape in group:
+                for guest_kind, host_kind in _KIND_PAIRS:
+                    if (
+                        not include_identical
+                        and guest_kind == host_kind
+                        and guest_shape == host_shape
+                    ):
+                        continue
+                    scenarios.append(
+                        Scenario(guest_kind, guest_shape, host_kind, host_shape)
+                    )
+    return scenarios
+
+
+# --------------------------------------------------------------------- #
+# Named suites
+# --------------------------------------------------------------------- #
+def _suite_smoke() -> List[Scenario]:
+    """A tiny deterministic suite for CI: a few pairs per strategy family."""
+    pairs = [
+        ("torus", (4, 6), "mesh", (2, 2, 2, 3)),      # increasing (Theorem 32)
+        ("mesh", (4, 6), "torus", (24,)),             # lowering to a ring
+        ("torus", (3, 4), "mesh", (3, 4)),            # same-shape T_L (Lemma 36)
+        ("mesh", (2, 3, 4), "mesh", (4, 3, 2)),       # permute dimensions
+        ("mesh", (24,), "torus", (2, 3, 4)),          # line via f_L (Section 3)
+        ("torus", (24,), "mesh", (4, 6)),             # ring via h_L (Section 3)
+        ("mesh", (3, 3, 6), "mesh", (6, 9)),          # lowering-general (Figure 12)
+        ("torus", (4, 4), "torus", (2, 2, 2, 2)),     # square chain / expansion
+    ]
+    return [Scenario(gk, gs, hk, hs) for gk, gs, hk, hs in pairs]
+
+
+def _suite_basic(max_nodes: int) -> List[Scenario]:
+    """Section 3's table: lines and rings into every shape up to the budget."""
+    scenarios: List[Scenario] = []
+    for shape in shapes_up_to(max_nodes, min_nodes=4):
+        if len(shape) == 1:
+            continue
+        size = math.prod(shape)
+        for host_kind in ("mesh", "torus"):
+            scenarios.append(Scenario("mesh", (size,), host_kind, shape))
+            scenarios.append(Scenario("torus", (size,), host_kind, shape))
+    return scenarios
+
+
+def _suite_squares(max_nodes: int) -> List[Scenario]:
+    """The Section 5 square chains: ``l^k`` guests into ``m^j`` hosts."""
+    squares: List[Shape] = []
+    for length in range(2, max_nodes + 1):
+        for dim in range(1, 13):
+            if length**dim > max_nodes:
+                break
+            squares.append((length,) * dim)
+    scenarios: List[Scenario] = []
+    for guest_shape in squares:
+        for host_shape in squares:
+            if guest_shape == host_shape:
+                continue
+            if math.prod(guest_shape) != math.prod(host_shape):
+                continue
+            for guest_kind, host_kind in _KIND_PAIRS:
+                scenarios.append(Scenario(guest_kind, guest_shape, host_kind, host_shape))
+    return scenarios
+
+
+def _suite_figures() -> List[Scenario]:
+    """The worked figures of the paper (Figures 10-12 plus the abstract pair)."""
+    pairs = [
+        ("mesh", (24,), "mesh", (4, 2, 3)),
+        ("torus", (24,), "mesh", (4, 2, 3)),
+        ("torus", (4, 6), "mesh", (2, 2, 2, 3)),
+        ("mesh", (3, 3, 6), "mesh", (6, 9)),
+    ]
+    return [Scenario(gk, gs, hk, hs) for gk, gs, hk, hs in pairs]
+
+
+def scenarios_for_suite(suite: str, *, max_nodes: int = 64) -> List[Scenario]:
+    """Scenarios of a named suite (see :func:`suite_names`).
+
+    ``exhaustive`` is the :func:`all_pairs` sweep over ``max_nodes``; the
+    other suites mirror the paper's tables and figures.
+    """
+    if suite == "exhaustive":
+        return all_pairs(max_nodes)
+    if suite == "smoke":
+        return _suite_smoke()
+    if suite == "basic":
+        return _suite_basic(max_nodes)
+    if suite == "squares":
+        return _suite_squares(max_nodes)
+    if suite == "figures":
+        return _suite_figures()
+    raise ValueError(f"unknown suite {suite!r}; choose from {', '.join(suite_names())}")
+
+
+def suite_names() -> List[str]:
+    """The named suites accepted by :func:`scenarios_for_suite`."""
+    return ["exhaustive", "smoke", "basic", "squares", "figures"]

@@ -1,0 +1,188 @@
+"""Result store for embedding surveys: records, JSON/CSV persistence, shards.
+
+A :class:`SurveyRecord` is one measured guest/host pair, flat enough to be a
+CSV row and loss-free as JSON.  The two formats round-trip through
+:func:`write_records` / :func:`read_records` (dispatched on file extension);
+:func:`merge_shards` combines the per-worker shard files written by the
+parallel runner into one deterministic record list.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = [
+    "SurveyRecord",
+    "write_json",
+    "read_json",
+    "write_csv",
+    "read_csv",
+    "write_records",
+    "read_records",
+    "merge_shards",
+]
+
+PathLike = Union[str, Path]
+
+#: Column order of the CSV format (also the canonical JSON key order).
+FIELDS = (
+    "scenario_id",
+    "guest",
+    "host",
+    "nodes",
+    "guest_edges",
+    "status",
+    "strategy",
+    "predicted_dilation",
+    "dilation",
+    "average_dilation",
+    "congestion",
+    "matches_prediction",
+    "elapsed_seconds",
+    "error",
+)
+
+
+@dataclass(frozen=True)
+class SurveyRecord:
+    """One measured guest/host pair of a survey.
+
+    ``status`` is ``"ok"`` for measured embeddings, ``"unsupported"`` when
+    the paper offers no construction for the pair (the dispatcher raised
+    :class:`~repro.exceptions.UnsupportedEmbeddingError`) and ``"error"``
+    for unexpected failures; the cost columns are ``None`` in the latter two
+    cases and ``error`` carries the message.
+    """
+
+    scenario_id: str
+    guest: str
+    host: str
+    nodes: int
+    guest_edges: int
+    status: str
+    strategy: Optional[str] = None
+    predicted_dilation: Optional[int] = None
+    dilation: Optional[int] = None
+    average_dilation: Optional[float] = None
+    congestion: Optional[int] = None
+    matches_prediction: Optional[bool] = None
+    elapsed_seconds: float = 0.0
+    error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form in canonical key order (JSON object / CSV row)."""
+        data = asdict(self)
+        return {key: data[key] for key in FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SurveyRecord":
+        return cls(**{key: data.get(key) for key in FIELDS})  # type: ignore[arg-type]
+
+
+def write_json(records: Sequence[SurveyRecord], path: PathLike) -> Path:
+    """Write records as a JSON document (list of objects plus a count header)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": "repro-survey/1",
+        "count": len(records),
+        "records": [record.as_dict() for record in records],
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def read_json(path: PathLike) -> List[SurveyRecord]:
+    """Read records written by :func:`write_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    rows = payload["records"] if isinstance(payload, dict) else payload
+    return [SurveyRecord.from_dict(row) for row in rows]
+
+
+def _csv_cell(value: object) -> object:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return value
+
+
+_CSV_PARSERS = {
+    "nodes": int,
+    "guest_edges": int,
+    "predicted_dilation": int,
+    "dilation": int,
+    "congestion": int,
+    "average_dilation": float,
+    "elapsed_seconds": float,
+    "matches_prediction": lambda text: text == "true",
+}
+
+
+def write_csv(records: Sequence[SurveyRecord], path: PathLike) -> Path:
+    """Write records as a CSV table with the :data:`FIELDS` columns."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(FIELDS))
+        writer.writeheader()
+        for record in records:
+            writer.writerow({key: _csv_cell(value) for key, value in record.as_dict().items()})
+    return path
+
+
+def read_csv(path: PathLike) -> List[SurveyRecord]:
+    """Read records written by :func:`write_csv` (inverse, None <-> empty cell)."""
+    records: List[SurveyRecord] = []
+    with Path(path).open("r", encoding="utf-8", newline="") as handle:
+        for row in csv.DictReader(handle):
+            data: Dict[str, object] = {}
+            for key in FIELDS:
+                text = row.get(key)
+                if text is None or text == "":
+                    data[key] = None
+                elif key in _CSV_PARSERS:
+                    data[key] = _CSV_PARSERS[key](text)
+                else:
+                    data[key] = text
+            if data["elapsed_seconds"] is None:
+                data["elapsed_seconds"] = 0.0
+            records.append(SurveyRecord.from_dict(data))
+    return records
+
+
+def write_records(records: Sequence[SurveyRecord], path: PathLike) -> Path:
+    """Write records in the format implied by the file extension (.json/.csv)."""
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        return write_csv(records, path)
+    return write_json(records, path)
+
+
+def read_records(path: PathLike) -> List[SurveyRecord]:
+    """Read records in the format implied by the file extension (.json/.csv)."""
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        return read_csv(path)
+    return read_json(path)
+
+
+def merge_shards(paths: Iterable[PathLike]) -> List[SurveyRecord]:
+    """Merge per-worker shard files into one deterministic record list.
+
+    Records are de-duplicated by ``scenario_id`` (last shard wins, which only
+    matters when a shard was retried) and sorted by id, so the merge result
+    is independent of worker scheduling order.
+    """
+    by_id: Dict[str, SurveyRecord] = {}
+    for path in paths:
+        for record in read_records(path):
+            by_id[record.scenario_id] = record
+    return [by_id[key] for key in sorted(by_id)]

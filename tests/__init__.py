@@ -1,0 +1,8 @@
+"""Test package marker.
+
+Making ``tests`` a package lets the test modules' ``from .conftest import
+small_shapes`` imports resolve under a plain ``pytest`` invocation (pytest
+then imports them as ``tests.<module>`` instead of top-level modules with no
+parent package).  The shared hypothesis strategies themselves live in
+:mod:`tests.strategies`; ``conftest`` re-exports them for compatibility.
+"""

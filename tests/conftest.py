@@ -1,42 +1,22 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+The hypothesis strategies live in :mod:`tests.strategies`; they are
+re-exported here so that both ``from .conftest import small_shapes`` and
+``from .strategies import small_shapes`` work.
+"""
 
 from __future__ import annotations
 
-import math
-
 import pytest
-from hypothesis import strategies as st
 
 from repro.graphs.base import Mesh, Torus
-from repro.types import GraphKind
 
-
-MAX_PROPERTY_SIZE = 600
-
-
-@st.composite
-def small_shapes(draw, min_dim: int = 1, max_dim: int = 4, min_len: int = 2, max_len: int = 6):
-    """Random shapes with a bounded node count, suitable for exhaustive checks."""
-    dimension = draw(st.integers(min_value=min_dim, max_value=max_dim))
-    shape = []
-    for _ in range(dimension):
-        shape.append(draw(st.integers(min_value=min_len, max_value=max_len)))
-        if math.prod(shape) > MAX_PROPERTY_SIZE:
-            # Keep sizes small enough for exhaustive verification.
-            shape[-1] = min_len
-    return tuple(shape)
-
-
-@st.composite
-def small_even_shapes(draw, **kwargs):
-    """Random shapes of even size (at least one even length)."""
-    shape = draw(small_shapes(**kwargs))
-    if math.prod(shape) % 2 == 1:
-        shape = (2,) + shape[1:]
-    return shape
-
-
-graph_kinds = st.sampled_from([GraphKind.TORUS, GraphKind.MESH])
+from .strategies import (  # noqa: F401  (re-exported for the test modules)
+    MAX_PROPERTY_SIZE,
+    graph_kinds,
+    small_even_shapes,
+    small_shapes,
+)
 
 
 @pytest.fixture

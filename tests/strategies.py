@@ -1,0 +1,44 @@
+"""Shared hypothesis strategies for the test suite.
+
+Kept separate from ``conftest.py`` so they are importable both as
+``tests.strategies`` and via the historical ``from .conftest import
+small_shapes`` spelling (``conftest`` re-exports everything defined here).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import strategies as st
+
+from repro.types import GraphKind
+
+__all__ = ["MAX_PROPERTY_SIZE", "small_shapes", "small_even_shapes", "graph_kinds"]
+
+
+MAX_PROPERTY_SIZE = 600
+
+
+@st.composite
+def small_shapes(draw, min_dim: int = 1, max_dim: int = 4, min_len: int = 2, max_len: int = 6):
+    """Random shapes with a bounded node count, suitable for exhaustive checks."""
+    dimension = draw(st.integers(min_value=min_dim, max_value=max_dim))
+    shape = []
+    for _ in range(dimension):
+        shape.append(draw(st.integers(min_value=min_len, max_value=max_len)))
+        if math.prod(shape) > MAX_PROPERTY_SIZE:
+            # Keep sizes small enough for exhaustive verification.
+            shape[-1] = min_len
+    return tuple(shape)
+
+
+@st.composite
+def small_even_shapes(draw, **kwargs):
+    """Random shapes of even size (at least one even length)."""
+    shape = draw(small_shapes(**kwargs))
+    if math.prod(shape) % 2 == 1:
+        shape = (2,) + shape[1:]
+    return shape
+
+
+graph_kinds = st.sampled_from([GraphKind.TORUS, GraphKind.MESH])

@@ -1,0 +1,189 @@
+"""Tests for the parallel survey subsystem (scenarios, runner, store, CLI)."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.survey import (
+    Scenario,
+    SurveyOptions,
+    SurveyRecord,
+    all_pairs,
+    merge_shards,
+    read_csv,
+    read_json,
+    read_records,
+    run_survey,
+    scenarios_for_suite,
+    shapes_up_to,
+    suite_names,
+    write_csv,
+    write_json,
+    write_records,
+)
+from repro.survey.runner import evaluate_scenario
+
+
+class TestScenarios:
+    def test_shapes_up_to_is_deterministic_and_bounded(self):
+        shapes = shapes_up_to(24)
+        assert shapes == shapes_up_to(24)
+        assert all(4 <= math.prod(shape) <= 24 for shape in shapes)
+        assert all(all(length >= 2 for length in shape) for shape in shapes)
+        assert (2, 2, 3) in shapes and (12,) in shapes
+
+    def test_all_pairs_same_size_and_unique(self):
+        scenarios = all_pairs(16)
+        assert len(scenarios) == len(set(scenarios))
+        for scenario in scenarios:
+            assert math.prod(scenario.guest_shape) == math.prod(scenario.host_shape)
+        # Identical (kind, shape) pairs are excluded by default.
+        assert all(
+            (s.guest_kind, s.guest_shape) != (s.host_kind, s.host_shape)
+            for s in scenarios
+        )
+
+    def test_all_pairs_reaches_survey_scale(self):
+        assert len(all_pairs(48)) >= 200  # the acceptance-criteria sweep size
+
+    def test_scenario_id_round_trip(self):
+        scenario = Scenario("torus", (4, 6), "mesh", (2, 2, 2, 3))
+        assert scenario.scenario_id == "torus:4,6->mesh:2,2,2,3"
+        assert Scenario.from_id(scenario.scenario_id) == scenario
+
+    def test_suites_exist_and_are_nonempty(self):
+        for name in suite_names():
+            assert scenarios_for_suite(name, max_nodes=24)
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ValueError):
+            scenarios_for_suite("nope")
+
+
+class TestRunner:
+    def test_evaluate_scenario_measures_paper_pair(self):
+        record = evaluate_scenario(
+            Scenario("torus", (4, 6), "mesh", (2, 2, 2, 3)), SurveyOptions()
+        )
+        assert record.status == "ok"
+        assert record.dilation == record.predicted_dilation == 1
+        assert record.matches_prediction
+        assert record.nodes == 24
+
+    def test_evaluate_scenario_flags_unsupported(self):
+        record = evaluate_scenario(
+            Scenario("torus", (2, 3, 5), "torus", (5, 6)), SurveyOptions()
+        )
+        assert record.status in ("ok", "unsupported")
+        if record.status == "unsupported":
+            assert record.dilation is None and record.error
+
+    def test_run_survey_sequential_is_deterministic(self):
+        scenarios = scenarios_for_suite("smoke")
+        first = run_survey(scenarios, SurveyOptions(workers=1))
+        second = run_survey(scenarios, SurveyOptions(workers=1))
+        strip = lambda r: {**r.as_dict(), "elapsed_seconds": None}
+        assert [strip(r) for r in first.records] == [strip(r) for r in second.records]
+        assert [r.scenario_id for r in first.records] == [
+            s.scenario_id for s in scenarios
+        ]
+
+    def test_run_survey_parallel_matches_sequential(self):
+        scenarios = all_pairs(12)
+        sequential = run_survey(scenarios, SurveyOptions(workers=1))
+        parallel = run_survey(scenarios, SurveyOptions(workers=2, shard_size=4))
+        strip = lambda r: {**r.as_dict(), "elapsed_seconds": None}
+        assert [strip(r) for r in sequential.records] == [
+            strip(r) for r in parallel.records
+        ]
+        assert not sequential.failed
+
+    def test_run_survey_writes_and_merges_shards(self, tmp_path):
+        scenarios = all_pairs(12)
+        report = run_survey(
+            scenarios,
+            SurveyOptions(workers=2, shard_size=5, shard_dir=str(tmp_path)),
+        )
+        assert len(report.shard_paths) == math.ceil(len(scenarios) / 5)
+        merged = merge_shards(report.shard_paths)
+        assert sorted(r.scenario_id for r in merged) == sorted(
+            r.scenario_id for r in report.records
+        )
+        # Merging a shard twice must not duplicate records.
+        assert len(merge_shards(report.shard_paths + report.shard_paths[:1])) == len(
+            merged
+        )
+
+    def test_summary_rows_cover_measured_strategies(self):
+        report = run_survey(scenarios_for_suite("smoke"), SurveyOptions(workers=1))
+        rows = report.summary_rows()
+        assert sum(row["pairs"] for row in rows) == len(report.ok)
+
+
+class TestStore:
+    def _records(self):
+        report = run_survey(scenarios_for_suite("smoke"), SurveyOptions(workers=1))
+        assert report.records
+        return report.records
+
+    def test_json_round_trip(self, tmp_path):
+        records = self._records()
+        path = write_json(records, tmp_path / "out.json")
+        assert read_json(path) == records
+        payload = json.loads(path.read_text())
+        assert payload["count"] == len(records)
+
+    def test_csv_round_trip(self, tmp_path):
+        records = self._records()
+        path = write_csv(records, tmp_path / "out.csv")
+        assert read_csv(path) == records
+
+    def test_write_records_dispatches_on_extension(self, tmp_path):
+        records = self._records()
+        assert read_records(write_records(records, tmp_path / "a.csv")) == records
+        assert read_records(write_records(records, tmp_path / "a.json")) == records
+
+    def test_none_fields_survive_csv(self, tmp_path):
+        record = SurveyRecord(
+            scenario_id="torus:2,3->torus:6",
+            guest="Torus((2, 3))",
+            host="Torus((6,))",
+            nodes=6,
+            guest_edges=9,
+            status="unsupported",
+            error="no construction",
+        )
+        path = write_csv([record], tmp_path / "none.csv")
+        assert read_csv(path) == [record]
+
+
+class TestCli:
+    def test_survey_smoke_writes_results_file(self, tmp_path, capsys):
+        output = tmp_path / "smoke.json"
+        assert main(["survey", "--smoke", "--output", str(output)]) == 0
+        records = read_records(output)
+        assert len(records) == len(scenarios_for_suite("smoke"))
+        assert all(record.status == "ok" for record in records)
+        assert "measured" in capsys.readouterr().out
+
+    def test_survey_limit_and_csv(self, tmp_path, capsys):
+        output = tmp_path / "mini.csv"
+        code = main(
+            [
+                "survey",
+                "--suite",
+                "exhaustive",
+                "--max-nodes",
+                "12",
+                "--workers",
+                "1",
+                "--limit",
+                "10",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert len(read_records(output)) == 10
