@@ -31,6 +31,7 @@ setup(
         "dev": [
             "pytest",
             "pytest-benchmark",
+            "pytest-cov",
             "hypothesis",
             "networkx",
         ],

@@ -87,8 +87,10 @@ def parse_graph(spec: str) -> CartesianGraph:
 def _cmd_embed(args: argparse.Namespace) -> int:
     guest = parse_graph(args.guest)
     host = parse_graph(args.host)
-    embedding = embed(guest, host)
-    report = evaluate_embedding(embedding, with_congestion=args.congestion)
+    embedding = embed(guest, host, method=args.method)
+    report = evaluate_embedding(
+        embedding, with_congestion=args.congestion, method=args.method
+    )
     print(format_table([report.as_row()], title="Embedding report"))
     if args.grid and host.dimension <= 3:
         print()
@@ -197,8 +199,14 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         shard_dir=args.shard_dir,
         with_congestion=args.congestion,
         method=args.method,
+        resume=not args.no_resume,
     )
     report = run_survey(scenarios, options)
+    if report.reused_shard_indices:
+        print(
+            f"resumed {len(report.reused_shard_indices)} finished shard(s) "
+            f"from {args.shard_dir}"
+        )
     if args.output:
         path = write_records(report.records, args.output)
         print(f"wrote {len(report.records)} records to {path}")
@@ -230,6 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_embed.add_argument("--host", required=True, help="host graph, e.g. mesh:2,2,2,3")
     p_embed.add_argument("--congestion", action="store_true", help="also measure edge congestion")
     p_embed.add_argument("--grid", action="store_true", help="print the mapping as a grid")
+    p_embed.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto", "array", "loop"),
+        help="construction/cost implementation (array kernels vs per-node loop)",
+    )
     p_embed.set_defaults(func=_cmd_embed)
 
     p_figure = subparsers.add_parser("figure", help="regenerate one of the paper's figures")
@@ -270,7 +284,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-size", type=int, default=64, help="scenarios per worker shard"
     )
     p_survey.add_argument(
-        "--shard-dir", default=None, help="also write per-shard JSON files here"
+        "--shard-dir",
+        default=None,
+        help="write per-shard JSON files here (finished shards are reused on rerun)",
+    )
+    p_survey.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="recompute every shard even when --shard-dir holds finished shard files",
     )
     p_survey.add_argument(
         "--output",
@@ -287,7 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         default="auto",
         choices=("auto", "array", "loop"),
-        help="cost implementation (vectorized array path vs per-edge loop)",
+        help="construction/cost implementation (vectorized array path vs per-node loop)",
     )
     p_survey.add_argument(
         "--smoke",

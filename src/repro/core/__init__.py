@@ -16,7 +16,7 @@ Submodules map one-to-one onto the paper's sections:
 * :mod:`~repro.core.dispatch` — automatic strategy selection.
 """
 
-from .embedding import Embedding
+from .embedding import CostMethod, Embedding, use_array_path
 from .basic import (
     f_sequence,
     f_value,
@@ -70,11 +70,13 @@ from .bounds import (
     lowering_dilation_lower_bound,
     mn86_square_torus_in_ring,
 )
-from .dispatch import embed, strategy_for
+from .dispatch import embed, strategy_family, strategy_for
 from .functional import FunctionalEmbedding, functional_embed
 
 __all__ = [
     "Embedding",
+    "CostMethod",
+    "use_array_path",
     "FunctionalEmbedding",
     "functional_embed",
     "t_value",
@@ -125,4 +127,5 @@ __all__ = [
     "epsilon_sequence",
     "embed",
     "strategy_for",
+    "strategy_family",
 ]

@@ -26,11 +26,13 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..exceptions import InvalidRadixError, UnsupportedEmbeddingError
 from ..graphs.base import CartesianGraph, Line, Ring
+from ..numbering.arrays import digits_to_indices, require_numpy
+from ..numbering.batch import f_flat, g_flat, h_digits, h_flat
 from ..numbering.graycode import reflected_digit
 from ..numbering.radix import RadixBase
 from ..types import Node
 from ..utils.listops import apply_permutation, concat, invert_permutation
-from .embedding import Embedding
+from .embedding import CostMethod, Embedding, use_array_path
 
 __all__ = [
     "t_value",
@@ -217,10 +219,23 @@ def even_first_permutation(shape: Sequence[int]) -> Optional[Tuple[Tuple[int, ..
     return reordered, perm
 
 
-def line_in_graph_embedding(host: CartesianGraph) -> Embedding:
-    """Embed a line of the host's size in the host with dilation 1 (Theorem 13)."""
+def line_in_graph_embedding(host: CartesianGraph, *, method: CostMethod = "auto") -> Embedding:
+    """Embed a line of the host's size in the host with dilation 1 (Theorem 13).
+
+    The array path computes the whole reflected sequence ``f_L`` as one batch
+    kernel call; the per-node loop is the retained reference implementation.
+    """
     base = RadixBase(host.shape)
     guest = Line(host.size)
+    if use_array_path(method):
+        np = require_numpy()
+        return Embedding.from_index_array(
+            guest,
+            host,
+            f_flat(host.shape, np.arange(host.size, dtype=np.int64)),
+            strategy="line:f_L",
+            predicted_dilation=1,
+        )
     return Embedding.from_callable(
         guest,
         host,
@@ -241,7 +256,7 @@ def predicted_ring_dilation(host: CartesianGraph) -> int:
     return 2
 
 
-def ring_in_graph_embedding(host: CartesianGraph) -> Embedding:
+def ring_in_graph_embedding(host: CartesianGraph, *, method: CostMethod = "auto") -> Embedding:
     """Embed a ring of the host's size in the host with the optimal Section-3 strategy.
 
     * host torus → ``h_L`` (dilation 1, Theorem 28);
@@ -249,10 +264,23 @@ def ring_in_graph_embedding(host: CartesianGraph) -> Embedding:
       dimension permuted to the front (dilation 1, Theorem 24);
     * otherwise (odd-size mesh or a line) → ``g_L`` (dilation 2, Theorem 17,
       optimal in these cases).
+
+    ``method`` selects the batch-kernel array path or the per-node loop
+    reference, as for :func:`line_in_graph_embedding`.
     """
     guest = Ring(host.size)
     shape = host.shape
+    array = use_array_path(method)
     if host.is_torus:
+        if array:
+            np = require_numpy()
+            return Embedding.from_index_array(
+                guest,
+                host,
+                h_flat(shape, np.arange(host.size, dtype=np.int64)),
+                strategy="ring:h_L",
+                predicted_dilation=1,
+            )
         base = RadixBase(shape)
         return Embedding.from_callable(
             guest,
@@ -269,6 +297,17 @@ def ring_in_graph_embedding(host: CartesianGraph) -> Embedding:
                 f"mesh {shape} has even size but no even dimension length"
             )
         reordered_shape, perm = reordering
+        if array:
+            np = require_numpy()
+            digits = h_digits(reordered_shape, np.arange(host.size, dtype=np.int64))
+            return Embedding.from_index_array(
+                guest,
+                host,
+                digits_to_indices(digits[:, list(perm)], shape),
+                strategy="ring:π∘h_L*",
+                predicted_dilation=1,
+                notes={"reordered_shape": reordered_shape, "permutation": perm},
+            )
         base = RadixBase(reordered_shape)
         return Embedding.from_callable(
             guest,
@@ -278,13 +317,24 @@ def ring_in_graph_embedding(host: CartesianGraph) -> Embedding:
             predicted_dilation=1,
             notes={"reordered_shape": reordered_shape, "permutation": perm},
         )
-    base = RadixBase(shape)
     predicted = predicted_ring_dilation(host)
+    notes = {"dilation_is_upper_bound": host.size <= 2}
+    if array:
+        np = require_numpy()
+        return Embedding.from_index_array(
+            guest,
+            host,
+            g_flat(shape, np.arange(host.size, dtype=np.int64)),
+            strategy="ring:g_L",
+            predicted_dilation=predicted,
+            notes=notes,
+        )
+    base = RadixBase(shape)
     return Embedding.from_callable(
         guest,
         host,
         lambda node: g_value(base, node[0]),
         strategy="ring:g_L",
         predicted_dilation=predicted,
-        notes={"dilation_is_upper_bound": host.size <= 2},
+        notes=notes,
     )

@@ -28,9 +28,11 @@ from ..exceptions import (
     UnsupportedEmbeddingError,
 )
 from ..graphs.base import CartesianGraph
+from ..numbering.arrays import digits_to_indices, indices_to_digits, require_numpy
+from ..numbering.batch import t_columns
 from ..utils.listops import apply_permutation, find_permutation, is_permutation_of
 from .basic import line_in_graph_embedding, ring_in_graph_embedding
-from .embedding import Embedding
+from .embedding import CostMethod, Embedding, use_array_path
 from .expansion import find_expansion_factor
 from .increasing import embed_increasing
 from .lowering import embed_lowering_simple, embed_lowering
@@ -38,24 +40,39 @@ from .reduction import SimpleReductionFactor, find_general_reduction, find_simpl
 from .same_shape import same_shape_embedding, t_vector_value
 from .square import embed_square
 
-__all__ = ["embed", "strategy_for"]
+__all__ = ["embed", "strategy_for", "strategy_family"]
 
 
-def _permuted_shape_embedding(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
+def _permuted_shape_embedding(
+    guest: CartesianGraph, host: CartesianGraph, *, method: CostMethod = "auto"
+) -> Embedding:
     """Shapes are permutations of each other: permute coordinates (plus ``T`` if needed)."""
     permutation = find_permutation(guest.shape, host.shape)
     assert permutation is not None
     if guest.is_torus and host.is_mesh and not guest.is_hypercube:
         shape = guest.shape
+        notes = {"permutation": permutation, "dilation_is_upper_bound": min(shape) <= 2}
+        if use_array_path(method):
+            np = require_numpy()
+            digits = indices_to_digits(np.arange(guest.size, dtype=np.int64), shape)
+            relabelled = t_columns(shape, digits)
+            return Embedding.from_index_array(
+                guest,
+                host,
+                digits_to_indices(relabelled[:, list(permutation)], host.shape),
+                strategy="permute-dimensions∘T_L",
+                predicted_dilation=2,
+                notes=notes,
+            )
         return Embedding.from_callable(
             guest,
             host,
             lambda node: apply_permutation(permutation, t_vector_value(shape, node)),
             strategy="permute-dimensions∘T_L",
             predicted_dilation=2,
-            notes={"permutation": permutation, "dilation_is_upper_bound": min(shape) <= 2},
+            notes=notes,
         )
-    return Embedding.from_permutation(guest, host, permutation)
+    return Embedding.from_permutation(guest, host, permutation, method=method)
 
 
 def strategy_for(guest: CartesianGraph, host: CartesianGraph) -> str:
@@ -91,8 +108,52 @@ def strategy_for(guest: CartesianGraph, host: CartesianGraph) -> str:
     return "unsupported"
 
 
-def embed(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
+#: Ordered (prefix, family) pairs mapping an ``Embedding.strategy`` name to
+#: the :func:`strategy_for` family that produces it.  Order matters: the
+#: simple-reduction prefix must be tried before the general ``lowering:``
+#: one, and the ``square-*`` prefixes before the plain ones they extend.
+_STRATEGY_FAMILIES = (
+    ("identity", "same-shape"),
+    ("same-shape", "same-shape"),
+    ("permute-dimensions", "permute-dimensions"),
+    ("line:", "basic"),
+    ("ring:", "basic"),
+    ("square-lowering:", "square-lowering"),
+    ("square-increasing:", "square-increasing"),
+    ("lowering:U_V", "lowering-simple"),
+    ("lowering:", "lowering-general"),
+    ("increasing:", "increasing"),
+)
+
+
+def strategy_family(strategy: str) -> str:
+    """The :func:`strategy_for` family that produces a given strategy name.
+
+    ``embed`` labels embeddings with the concrete construction
+    (``"increasing:H_V"``, ``"lowering:U_V∘T∘τ"``, ...) while
+    :func:`strategy_for` predicts only the family (``"increasing"``,
+    ``"lowering-simple"``, ...); this maps the former onto the latter so the
+    two code paths can be cross-checked.  Unrecognized names (custom or
+    composed strategies) map to ``"custom"``.
+    """
+    for prefix, family in _STRATEGY_FAMILIES:
+        if strategy.startswith(prefix):
+            return family
+    return "custom"
+
+
+def embed(
+    guest: CartesianGraph, host: CartesianGraph, *, method: CostMethod = "auto"
+) -> Embedding:
     """Embed ``guest`` in ``host`` using the paper's best applicable construction.
+
+    ``method`` selects the construction implementation: ``"array"`` builds
+    the flat host-index array with the batch kernels of
+    :mod:`repro.numbering.batch` (never touching per-node Python),
+    ``"loop"`` forces the retained per-node reference builders, and
+    ``"auto"`` (default) prefers the array path when NumPy is available.
+    Both paths produce node-for-node identical embeddings — the differential
+    test harness asserts this for every strategy this dispatcher can select.
 
     Raises
     ------
@@ -109,18 +170,27 @@ def embed(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
         )
 
     if guest.shape == host.shape:
-        return same_shape_embedding(guest, host)
+        return same_shape_embedding(guest, host, method=method)
 
     if is_permutation_of(guest.shape, host.shape):
-        return _permuted_shape_embedding(guest, host)
+        return _permuted_shape_embedding(guest, host, method=method)
 
     if guest.dimension == 1:
         if guest.is_mesh:
-            embedding = line_in_graph_embedding(host)
+            embedding = line_in_graph_embedding(host, method=method)
         else:
-            embedding = ring_in_graph_embedding(host)
+            embedding = ring_in_graph_embedding(host, method=method)
         # The builders create their own 1-D guest; rebuild with the caller's
         # guest object so identities (kind/shape) are preserved exactly.
+        if use_array_path(method):
+            return Embedding.from_index_array(
+                guest,
+                host,
+                embedding.host_index_array(),
+                strategy=embedding.strategy,
+                predicted_dilation=embedding.predicted_dilation,
+                notes=embedding.notes,
+            )
         return Embedding(
             guest=guest,
             host=host,
@@ -135,24 +205,24 @@ def embed(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
         # containing every guest dimension, largest length first.
         group = tuple(sorted(guest.shape, reverse=True))
         factor = SimpleReductionFactor((group,))
-        return embed_lowering_simple(guest, host, factor)
+        return embed_lowering_simple(guest, host, factor, method=method)
 
     if guest.dimension < host.dimension:
         try:
-            return embed_increasing(guest, host)
+            return embed_increasing(guest, host, method=method)
         except NoExpansionError:
             if guest.is_square and host.is_square:
-                return embed_square(guest, host)
+                return embed_square(guest, host, method=method)
             raise UnsupportedEmbeddingError(
                 f"{host.shape} is not an expansion of {guest.shape} and the graphs are "
                 "not both square; the paper does not provide an embedding for this pair"
             ) from None
 
     try:
-        return embed_lowering(guest, host)
+        return embed_lowering(guest, host, method=method)
     except NoReductionError:
         if guest.is_square and host.is_square:
-            return embed_square(guest, host)
+            return embed_square(guest, host, method=method)
         raise UnsupportedEmbeddingError(
             f"{host.shape} is not a reduction of {guest.shape} and the graphs are "
             "not both square; the paper does not provide an embedding for this pair"

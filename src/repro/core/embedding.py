@@ -41,27 +41,41 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..exceptions import InvalidEmbeddingError, InvalidRadixError, ShapeMismatchError
 from ..graphs.base import CartesianGraph
 from ..graphs.paths import dimension_order_path
-from ..numbering.arrays import HAVE_NUMPY, digit_weights, indices_to_digits, require_numpy
+from ..numbering.arrays import (
+    HAVE_NUMPY,
+    digit_weights,
+    digits_to_indices,
+    indices_to_digits,
+    require_numpy,
+)
 from ..types import Node
 from ..utils.listops import apply_permutation
 
-__all__ = ["Embedding", "CostMethod"]
+__all__ = ["Embedding", "CostMethod", "use_array_path"]
 
-#: Allowed values for the ``method`` parameter of the cost measures:
-#: ``"auto"`` (vectorized when NumPy is available), ``"array"`` (force the
-#: vectorized path), ``"loop"`` (force the historical per-edge Python loop).
+#: Allowed values for the ``method`` parameter of the cost measures and the
+#: strategy builders: ``"auto"`` (vectorized when NumPy is available),
+#: ``"array"`` (force the vectorized path), ``"loop"`` (force the historical
+#: per-node/per-edge Python loop, the cross-checked reference).
 CostMethod = str
 
 _COST_METHODS = ("auto", "array", "loop")
 
 
-def _use_array(method: CostMethod) -> bool:
+def use_array_path(method: CostMethod) -> bool:
+    """Resolve a ``method`` value to "should the vectorized path run?".
+
+    Shared by the cost measures and the array-first construction builders in
+    :mod:`repro.core`: ``"array"`` requires NumPy, ``"auto"`` uses it when
+    available, ``"loop"`` always takes the pure-Python reference path.
+    """
     if method not in _COST_METHODS:
         raise ValueError(f"unknown cost method {method!r}; expected one of {_COST_METHODS}")
     if method == "array":
         require_numpy()
         return True
     return method == "auto" and HAVE_NUMPY
+
 
 
 class Embedding:
@@ -192,7 +206,13 @@ class Embedding:
         return embedding
 
     @classmethod
-    def identity(cls, guest: CartesianGraph, host: CartesianGraph) -> "Embedding":
+    def identity(
+        cls,
+        guest: CartesianGraph,
+        host: CartesianGraph,
+        *,
+        method: CostMethod = "auto",
+    ) -> "Embedding":
         """The identity embedding between two graphs of the same shape.
 
         Used by Lemma 36 for same-shape pairs (except torus -> non-hypercube
@@ -201,6 +221,15 @@ class Embedding:
         if guest.shape != host.shape:
             raise ShapeMismatchError(
                 f"identity embedding requires equal shapes, got {guest.shape} and {host.shape}"
+            )
+        if use_array_path(method):
+            np = require_numpy()
+            return cls.from_index_array(
+                guest,
+                host,
+                np.arange(guest.size, dtype=np.int64),
+                strategy="identity",
+                predicted_dilation=1,
             )
         return cls.from_callable(
             guest, host, lambda node: node, strategy="identity", predicted_dilation=1
@@ -214,6 +243,7 @@ class Embedding:
         permutation: Sequence[int],
         *,
         strategy: str = "permute-dimensions",
+        method: CostMethod = "auto",
     ) -> "Embedding":
         """Embed by permuting coordinate positions.
 
@@ -235,6 +265,17 @@ class Embedding:
             raise InvalidEmbeddingError(
                 "a permutation embedding of a (non-hypercube) torus in a mesh does not "
                 "preserve adjacency; use the same-shape T_L embedding instead"
+            )
+        if use_array_path(method):
+            np = require_numpy()
+            digits = indices_to_digits(np.arange(guest.size, dtype=np.int64), guest.shape)
+            return cls.from_index_array(
+                guest,
+                host,
+                digits_to_indices(digits[:, list(permutation)], host.shape),
+                strategy=strategy,
+                predicted_dilation=1,
+                notes={"permutation": tuple(permutation)},
             )
         return cls.from_callable(
             guest,
@@ -426,7 +467,7 @@ class Embedding:
 
     def dilation(self, *, method: CostMethod = "auto") -> int:
         """The measured dilation cost (Definition 1)."""
-        if _use_array(method):
+        if use_array_path(method):
             dilations = self.edge_dilation_array()
             return int(dilations.max()) if dilations.size else 0
         dilations = self.edge_dilations()
@@ -434,7 +475,7 @@ class Embedding:
 
     def average_dilation(self, *, method: CostMethod = "auto") -> float:
         """Mean distance in the host over all guest edges."""
-        if _use_array(method):
+        if use_array_path(method):
             dilations = self.edge_dilation_array()
             return float(dilations.mean()) if dilations.size else 0.0
         dilations = self.edge_dilations()
@@ -455,7 +496,7 @@ class Embedding:
         loop exactly, including the torus tie-break towards increasing
         coordinates.
         """
-        if _use_array(method):
+        if use_array_path(method):
             return self._edge_congestion_array()
         load: Dict[Tuple[Node, Node], int] = {}
         for a, b in self.guest.edges():
@@ -549,7 +590,13 @@ class Embedding:
     # ------------------------------------------------------------------ #
     # Composition
     # ------------------------------------------------------------------ #
-    def compose(self, outer: "Embedding", *, strategy: Optional[str] = None) -> "Embedding":
+    def compose(
+        self,
+        outer: "Embedding",
+        *,
+        strategy: Optional[str] = None,
+        method: CostMethod = "auto",
+    ) -> "Embedding":
         """The embedding ``outer ∘ self`` of ``self.guest`` in ``outer.host``.
 
         ``outer.guest`` must have the same kind and shape as ``self.host``
@@ -584,7 +631,7 @@ class Embedding:
             # composite (a shorter route may exist in the final host).
             notes["dilation_is_upper_bound"] = True
         name = strategy or f"{self.strategy} ∘ {outer.strategy}"
-        if HAVE_NUMPY:
+        if use_array_path(method):
             return Embedding.from_index_array(
                 self.guest,
                 outer.host,

@@ -28,11 +28,13 @@ from typing import Callable, Optional, Sequence, Tuple
 
 from ..exceptions import NoExpansionError, ShapeMismatchError
 from ..graphs.base import CartesianGraph
+from ..numbering.arrays import digits_to_indices, indices_to_digits, require_numpy
+from ..numbering.batch import f_digits, g_digits, h_digits
 from ..numbering.radix import RadixBase
 from ..types import Node
 from ..utils.listops import apply_permutation, concat, find_permutation
 from .basic import f_value, g_value, h_value
-from .embedding import Embedding
+from .embedding import CostMethod, Embedding, use_array_path
 from .expansion import (
     ExpansionFactor,
     find_expansion_factor,
@@ -95,6 +97,7 @@ def embed_increasing(
     factor: Optional[ExpansionFactor] = None,
     *,
     prefer_unit_dilation: bool = True,
+    method: CostMethod = "auto",
 ) -> Embedding:
     """Embed ``guest`` in the higher-dimensional ``host`` under the expansion condition.
 
@@ -109,6 +112,11 @@ def embed_increasing(
         Controls the factor search as above.  Setting it to ``False``
         reproduces the "plain" dilation-2 construction, which the ablation
         benchmark compares against.
+    method:
+        ``"array"`` builds the host-index array with the batch kernels of
+        :mod:`repro.numbering.batch` (one φ call per guest dimension),
+        ``"loop"`` is the retained per-node reference, ``"auto"`` prefers
+        the array path when NumPy is available.
 
     Raises
     ------
@@ -162,19 +170,19 @@ def embed_increasing(
             and all(v[0] % 2 == 0 for v in factor.lists)
         )
 
-    # Choose the per-coordinate map.
+    # Choose the per-coordinate map (scalar and batch forms of the same φ).
     value_fn: Callable[[ExpansionFactor, Sequence[int]], Node]
     if guest_is_effectively_mesh:
-        value_fn = F_value
+        value_fn, batch_fn = F_value, f_digits
         strategy = "increasing:F_V"
     elif host.is_torus:
-        value_fn = H_value
+        value_fn, batch_fn = H_value, h_digits
         strategy = "increasing:H_V"
     elif unit_torus_factor:
-        value_fn = H_value
+        value_fn, batch_fn = H_value, h_digits
         strategy = "increasing:H_V(even-first)"
     else:
-        value_fn = G_value
+        value_fn, batch_fn = G_value, g_digits
         strategy = "increasing:G_V"
 
     flattened = factor.flattened
@@ -198,6 +206,26 @@ def embed_increasing(
         # Dilation 2 is exact for odd-size toruses (Theorem 32(iii)); for
         # even-size toruses with an unfavourable factor it is an upper bound.
         notes["dilation_is_upper_bound"] = guest.size % 2 == 0
+
+    if use_array_path(method):
+        np = require_numpy()
+        guest_digits = indices_to_digits(
+            np.arange(guest.size, dtype=np.int64), source_shape
+        )
+        # φ_{V_k} expands guest column k into len(V_k) host digit columns.
+        blocks = [
+            batch_fn(component, guest_digits[:, k])
+            for k, component in enumerate(factor.lists)
+        ]
+        combined = np.concatenate(blocks, axis=1)
+        return Embedding.from_index_array(
+            guest,
+            host,
+            digits_to_indices(combined[:, list(permutation)], target_shape),
+            strategy=strategy,
+            predicted_dilation=predicted,
+            notes=notes,
+        )
 
     return Embedding.from_callable(
         guest,

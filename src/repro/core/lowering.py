@@ -25,11 +25,13 @@ from typing import Callable, Optional, Sequence, Tuple
 
 from ..exceptions import NoReductionError, ShapeMismatchError
 from ..graphs.base import CartesianGraph
+from ..numbering.arrays import digits_to_indices, indices_to_digits, require_numpy
+from ..numbering.batch import f_digits, g_digits, group_collapse, t_columns
 from ..numbering.radix import RadixBase
 from ..types import Node
 from ..utils.listops import apply_permutation, concat, find_permutation
 from .basic import t_value
-from .embedding import Embedding
+from .embedding import CostMethod, Embedding, use_array_path
 from .expansion import ExpansionFactor
 from .increasing import F_value, G_value
 from .reduction import (
@@ -80,6 +82,8 @@ def embed_lowering_simple(
     guest: CartesianGraph,
     host: CartesianGraph,
     factor: Optional[SimpleReductionFactor] = None,
+    *,
+    method: CostMethod = "auto",
 ) -> Embedding:
     """Theorem 39: embed under the simple-reduction condition.
 
@@ -90,6 +94,10 @@ def embed_lowering_simple(
         ordering, for the ablation benchmark).  When omitted, a factor is
         searched for and sorted non-increasingly, which is the ordering the
         theorem assumes and the one minimizing the dilation.
+    method:
+        ``"array"`` permutes/relabels/collapses all node rows at once with
+        the batch kernels, ``"loop"`` is the retained per-node reference,
+        ``"auto"`` prefers the array path when NumPy is available.
     """
     if guest.size != host.size:
         raise ShapeMismatchError(
@@ -140,6 +148,21 @@ def embed_lowering_simple(
         predicted = base_dilation
         strategy = "lowering:U_V∘τ"
         notes = {"reduction_factor": factor.groups, "permutation": tau}
+
+    if use_array_path(method):
+        np = require_numpy()
+        digits = indices_to_digits(np.arange(guest.size, dtype=np.int64), guest.shape)
+        rearranged = digits[:, list(tau)]
+        if torus_into_mesh:
+            rearranged = t_columns(flattened, rearranged)
+        return Embedding.from_index_array(
+            guest,
+            host,
+            digits_to_indices(group_collapse(rearranged, factor.groups), host.shape),
+            strategy=strategy,
+            predicted_dilation=predicted,
+            notes=notes,
+        )
 
     return Embedding.from_callable(
         guest,
@@ -202,8 +225,14 @@ def embed_lowering_general(
     guest: CartesianGraph,
     host: CartesianGraph,
     factor: Optional[GeneralReductionFactor] = None,
+    *,
+    method: CostMethod = "auto",
 ) -> Embedding:
-    """Theorem 43: embed under the general-reduction condition (c < d < 2c)."""
+    """Theorem 43: embed under the general-reduction condition (c < d < 2c).
+
+    ``method`` selects the batch-kernel array path or the per-node loop
+    reference, as for :func:`embed_lowering_simple`.
+    """
     if guest.size != host.size:
         raise ShapeMismatchError(
             f"guest has {guest.size} nodes but host has {host.size}"
@@ -231,18 +260,23 @@ def embed_lowering_general(
         raise NoReductionError("internal error: invalid general-reduction decomposition")
 
     guest_is_effectively_mesh = guest.is_mesh or guest.is_hypercube
+    relabel_supernodes = False  # G''_S: t applied to the supernode coordinates
     if guest_is_effectively_mesh:
         value_fn: Callable[[GeneralReductionFactor, Sequence[int]], Node] = F_prime_value
+        offset_batch_fn = f_digits
         strategy = "lowering:β∘F'_S∘α"
         predicted = factor.dilation()
         upper_bound = False
     elif host.is_torus:
         value_fn = G_prime_value
+        offset_batch_fn = g_digits
         strategy = "lowering:β∘G'_S∘α"
         predicted = factor.dilation()
         upper_bound = False
     else:
         value_fn = G_double_prime_value
+        offset_batch_fn = g_digits
+        relabel_supernodes = True
         strategy = "lowering:β∘G''_S∘α"
         predicted = 2 * factor.dilation()
         upper_bound = True
@@ -257,6 +291,33 @@ def embed_lowering_general(
     if upper_bound:
         notes["dilation_is_upper_bound"] = True
 
+    if use_array_path(method):
+        np = require_numpy()
+        digits = indices_to_digits(np.arange(guest.size, dtype=np.int64), guest.shape)
+        rearranged = digits[:, list(alpha)]
+        prefix = rearranged[:, : factor.c]  # supernode coordinates L'
+        suffix = rearranged[:, factor.c :]  # supernode contents L''
+        offset = np.concatenate(
+            [
+                offset_batch_fn(group, suffix[:, i])
+                for i, group in enumerate(factor.s_groups)
+            ],
+            axis=1,
+        )
+        if relabel_supernodes:
+            prefix = t_columns(factor.multiplicant, prefix)
+        b = factor.b
+        s = np.asarray(factor.s_flat, dtype=np.int64)
+        arranged = np.concatenate([s * prefix[:, :b] + offset, prefix[:, b:]], axis=1)
+        return Embedding.from_index_array(
+            guest,
+            host,
+            digits_to_indices(arranged[:, list(beta)], host.shape),
+            strategy=strategy,
+            predicted_dilation=predicted,
+            notes=notes,
+        )
+
     return Embedding.from_callable(
         guest,
         host,
@@ -267,7 +328,9 @@ def embed_lowering_general(
     )
 
 
-def embed_lowering(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
+def embed_lowering(
+    guest: CartesianGraph, host: CartesianGraph, *, method: CostMethod = "auto"
+) -> Embedding:
     """Embed with whichever reduction condition the shapes satisfy.
 
     Simple reduction is preferred when both apply (it is never worse here and
@@ -278,10 +341,10 @@ def embed_lowering(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
     """
     simple = find_simple_reduction(guest.shape, host.shape)
     if simple is not None:
-        return embed_lowering_simple(guest, host, simple)
+        return embed_lowering_simple(guest, host, simple, method=method)
     general = find_general_reduction(guest.shape, host.shape)
     if general is not None:
-        return embed_lowering_general(guest, host, general)
+        return embed_lowering_general(guest, host, general, method=method)
     raise NoReductionError(
         f"shape {host.shape} is neither a simple nor a general reduction of {guest.shape}"
     )

@@ -16,6 +16,7 @@ from typing import Iterator, List, Sequence
 from ..core.embedding import Embedding
 from ..exceptions import SimulationError
 from ..graphs.base import CartesianGraph
+from ..numbering.arrays import HAVE_NUMPY, digits_to_indices, indices_to_digits, require_numpy
 from ..types import Node
 
 __all__ = ["Message", "TrafficPattern", "neighbor_exchange_traffic", "transpose_traffic"]
@@ -56,13 +57,54 @@ class TrafficPattern:
         return sum(message.size for message in self.messages)
 
     def placed(self, embedding: Embedding) -> List[tuple[Node, Node, float]]:
-        """Translate task endpoints to processors via the embedding."""
-        placed = []
-        for message in self.messages:
-            placed.append(
-                (embedding[message.source], embedding[message.destination], message.size)
+        """Translate task endpoints to processors via the embedding.
+
+        When NumPy is available the translation is one batched gather through
+        the embedding's flat host-index array (guest tuples -> ranks ->
+        image ranks -> host tuples), so array-built embeddings are placed
+        without ever materializing their tuple ``mapping`` dict; otherwise
+        each endpoint is looked up in the dict individually.
+        """
+        if HAVE_NUMPY and self.messages:
+            np = require_numpy()
+            guest_shape = embedding.guest.shape
+            sources = np.asarray([m.source for m in self.messages])
+            targets = np.asarray([m.destination for m in self.messages])
+            for endpoints in (sources, targets):
+                if not np.issubdtype(endpoints.dtype, np.integer):
+                    # Casting would silently truncate e.g. (1.9, 0) to (1, 0);
+                    # reject like the dict path's failed lookup would.
+                    raise SimulationError(
+                        "message endpoints must be integer node tuples"
+                    )
+                if endpoints.ndim != 2 or endpoints.shape[1] != len(guest_shape):
+                    raise SimulationError(
+                        "message endpoints do not match the guest graph's dimension"
+                    )
+                if (endpoints < 0).any() or (endpoints >= guest_shape).any():
+                    raise SimulationError(
+                        "message endpoints must be nodes of the guest graph"
+                    )
+            sources = sources.astype(np.int64)
+            targets = targets.astype(np.int64)
+            images = embedding.host_index_array()
+            host_shape = embedding.host.shape
+            placed_sources = indices_to_digits(
+                images[digits_to_indices(sources, guest_shape)], host_shape
             )
-        return placed
+            placed_targets = indices_to_digits(
+                images[digits_to_indices(targets, guest_shape)], host_shape
+            )
+            return [
+                (tuple(source), tuple(target), message.size)
+                for source, target, message in zip(
+                    placed_sources.tolist(), placed_targets.tolist(), self.messages
+                )
+            ]
+        return [
+            (embedding[message.source], embedding[message.destination], message.size)
+            for message in self.messages
+        ]
 
 
 def neighbor_exchange_traffic(

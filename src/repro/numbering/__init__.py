@@ -21,10 +21,27 @@ here provide:
     Vectorized (NumPy ``int64``) versions of the ``u_L`` / ``u_L^{-1}``
     bijections over flat index batches — the backbone of the array-backed
     embedding hot path.
+``batch``
+    Batch construction kernels: the embedding sequences ``t``/``f``/``g``/
+    ``r``/``h`` and the ``U_V`` collapse evaluated over whole node sets at
+    once — the array-first builders in :mod:`repro.core` are written on top
+    of these.
 """
 
 from .radix import RadixBase
 from .arrays import HAVE_NUMPY, digit_weights, digits_to_indices, indices_to_digits
+from .batch import (
+    f_digits,
+    f_flat,
+    g_digits,
+    g_flat,
+    group_collapse,
+    h_digits,
+    h_flat,
+    r_digits,
+    t_columns,
+    t_indices,
+)
 from .distance import (
     graph_distance_indices,
     mesh_distance,
@@ -52,6 +69,16 @@ __all__ = [
     "digit_weights",
     "digits_to_indices",
     "indices_to_digits",
+    "t_indices",
+    "t_columns",
+    "f_digits",
+    "f_flat",
+    "g_digits",
+    "g_flat",
+    "r_digits",
+    "h_digits",
+    "h_flat",
+    "group_collapse",
     "mesh_distance",
     "torus_distance",
     "mesh_distance_array",

@@ -1,11 +1,13 @@
 """The parallel survey engine.
 
 :func:`run_survey` evaluates a list of scenarios — embed with the paper's
-dispatcher, measure the vectorized costs — across a pool of worker
-processes.  The scenario list is split into contiguous *shards*; each worker
-evaluates one shard at a time and (optionally) spills it to a JSON shard
-file, so long sweeps survive a crash and the result merge is deterministic
-regardless of scheduling order.
+dispatcher (array-first construction), measure the vectorized costs — across
+a pool of worker processes.  The scenario list is split into contiguous
+*shards*; each worker evaluates one shard at a time and (optionally) spills
+it to a JSON shard file.  On the next run over the same scenario list with
+the same ``shard_dir``, finished shard files are loaded instead of
+recomputed (crash resume); the result merge is deterministic regardless of
+scheduling order either way.
 
 ``workers <= 1`` (or a single shard) runs inline in the calling process —
 the mode used by tests and ``repro survey --smoke``.
@@ -24,7 +26,7 @@ from ..analysis.metrics import evaluate_embedding
 from ..core.dispatch import embed
 from ..exceptions import UnsupportedEmbeddingError
 from .scenarios import Scenario
-from .store import SurveyRecord, write_json
+from .store import SurveyRecord, read_json, write_json
 
 __all__ = ["SurveyOptions", "SurveyReport", "run_survey", "evaluate_scenario"]
 
@@ -46,8 +48,14 @@ class SurveyOptions:
     with_congestion:
         Also measure edge congestion (vectorized; moderately more work).
     method:
-        Cost implementation: ``"auto"`` (vectorized when NumPy is present),
-        ``"array"`` or ``"loop"`` — see :class:`repro.core.embedding.Embedding`.
+        Construction and cost implementation: ``"auto"`` (vectorized when
+        NumPy is present), ``"array"`` or ``"loop"`` — passed to both
+        :func:`repro.core.dispatch.embed` and the cost measures.
+    resume:
+        When set (the default) and ``shard_dir`` holds a finished shard file
+        whose records match the shard's scenario ids and these options
+        (congestion measured iff requested), the file is loaded instead of
+        recomputing the shard — crash resume for long sweeps.
     """
 
     workers: Optional[int] = None
@@ -55,6 +63,7 @@ class SurveyOptions:
     shard_dir: Optional[str] = None
     with_congestion: bool = False
     method: str = "auto"
+    resume: bool = True
 
 
 @dataclass
@@ -65,6 +74,7 @@ class SurveyReport:
     elapsed_seconds: float
     workers: int
     shard_paths: List[str] = field(default_factory=list)
+    reused_shard_indices: List[int] = field(default_factory=list)
 
     @property
     def ok(self) -> List[SurveyRecord]:
@@ -117,7 +127,7 @@ def evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecor
     )
     started = time.perf_counter()
     try:
-        embedding = embed(guest, host)
+        embedding = embed(guest, host, method=options.method)
         report = evaluate_embedding(
             embedding, with_congestion=options.with_congestion, method=options.method
         )
@@ -164,6 +174,39 @@ def _shards(scenarios: Sequence[Scenario], shard_size: int) -> List[Sequence[Sce
     return [scenarios[start : start + size] for start in range(0, len(scenarios), size)]
 
 
+def _load_finished_shard(
+    path: Path, shard: Sequence[Scenario], options: SurveyOptions
+) -> Optional[List[SurveyRecord]]:
+    """Records of a previously finished shard file, or ``None``.
+
+    A shard file is only reused when it parses, its record ids match the
+    shard's scenario ids one-for-one (same sweep, same sharding) and its
+    measured columns match the requested options (a shard written without
+    congestion must not satisfy a ``with_congestion`` rerun, and vice
+    versa); anything else — missing file, torn write, different scenario
+    list or options — recomputes.  The ``method`` option is deliberately
+    not fingerprinted: array and loop produce identical records by the
+    differential contract.
+    """
+    if not path.is_file():
+        return None
+    try:
+        records = read_json(path)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    if [record.scenario_id for record in records] != [
+        scenario.scenario_id for scenario in shard
+    ]:
+        return None
+    if any(
+        (record.congestion is not None) != options.with_congestion
+        for record in records
+        if record.status == "ok"
+    ):
+        return None
+    return records
+
+
 def run_survey(
     scenarios: Sequence[Scenario], options: Optional[SurveyOptions] = None
 ) -> SurveyReport:
@@ -180,16 +223,26 @@ def run_survey(
     shards = _shards(scenarios, options.shard_size)
     results: Dict[int, List[SurveyRecord]] = {}
     shard_paths: List[str] = []
-    if workers <= 1 or len(shards) <= 1:
-        workers = 1
+    reused: List[int] = []
+    if options.shard_dir is not None and options.resume:
         for index, shard in enumerate(shards):
+            cached = _load_finished_shard(
+                Path(options.shard_dir) / f"shard-{index:04d}.json", shard, options
+            )
+            if cached is not None:
+                results[index] = cached
+                reused.append(index)
+    pending = [(index, shard) for index, shard in enumerate(shards) if index not in results]
+    if workers <= 1 or len(pending) <= 1:
+        workers = 1
+        for index, shard in pending:
             results[index] = _run_shard(index, shard, options)[1]
     else:
-        workers = min(workers, len(shards))
+        workers = min(workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(_run_shard, index, shard, options)
-                for index, shard in enumerate(shards)
+                for index, shard in pending
             ]
             for future in as_completed(futures):
                 index, records = future.result()
@@ -207,4 +260,5 @@ def run_survey(
         elapsed_seconds=time.perf_counter() - started,
         workers=workers,
         shard_paths=shard_paths,
+        reused_shard_indices=reused,
     )

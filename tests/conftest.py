@@ -14,6 +14,7 @@ from repro.graphs.base import Mesh, Torus
 from .strategies import (  # noqa: F401  (re-exported for the test modules)
     MAX_PROPERTY_SIZE,
     graph_kinds,
+    same_size_shape_pairs,
     small_even_shapes,
     small_shapes,
 )

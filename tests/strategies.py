@@ -12,8 +12,15 @@ import math
 from hypothesis import strategies as st
 
 from repro.types import GraphKind
+from repro.utils.intmath import prime_factorization
 
-__all__ = ["MAX_PROPERTY_SIZE", "small_shapes", "small_even_shapes", "graph_kinds"]
+__all__ = [
+    "MAX_PROPERTY_SIZE",
+    "small_shapes",
+    "small_even_shapes",
+    "graph_kinds",
+    "same_size_shape_pairs",
+]
 
 
 MAX_PROPERTY_SIZE = 600
@@ -42,3 +49,45 @@ def small_even_shapes(draw, **kwargs):
 
 
 graph_kinds = st.sampled_from([GraphKind.TORUS, GraphKind.MESH])
+
+
+def _prime_factors(value: int) -> list:
+    """Prime factors of ``value`` with multiplicity, smallest first."""
+    return [
+        prime for prime, exponent in prime_factorization(value) for _ in range(exponent)
+    ]
+
+
+@st.composite
+def same_size_shape_pairs(draw, **kwargs):
+    """Random (guest shape, host shape) pairs with equal node counts.
+
+    The host shape is a random regrouping of the guest size's prime
+    factorization (shuffled factors split at random cut points, each group
+    multiplied out), so the pair covers everything from a permutation of the
+    guest shape down to the 1-dimensional collapse — the whole input space of
+    ``embed`` / ``strategy_for``, supported or not.
+    """
+    guest = draw(small_shapes(**kwargs))
+    factors = _prime_factors(math.prod(guest))
+    order = draw(st.permutations(factors))
+    group_count = draw(st.integers(min_value=1, max_value=len(order)))
+    cuts = (
+        sorted(
+            draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=len(order) - 1),
+                    min_size=group_count - 1,
+                    max_size=group_count - 1,
+                    unique=True,
+                )
+            )
+        )
+        if group_count > 1
+        else []
+    )
+    bounds = [0] + cuts + [len(order)]
+    host = tuple(
+        math.prod(order[start:stop]) for start, stop in zip(bounds, bounds[1:])
+    )
+    return guest, host

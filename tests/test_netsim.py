@@ -102,6 +102,23 @@ class TestTraffic:
         for source, destination, size in placed:
             assert host.contains(source) and host.contains(destination)
 
+    def test_placed_matches_per_message_dict_lookup(self):
+        guest, host = Torus((3, 4)), Mesh((4, 3))
+        embedding = embed(guest, host)
+        pattern = neighbor_exchange_traffic(guest)
+        expected = [
+            (embedding[m.source], embedding[m.destination], m.size) for m in pattern
+        ]
+        assert pattern.placed(embedding) == expected
+
+    def test_placed_rejects_invalid_endpoints(self):
+        guest, host = Mesh((4, 4)), Mesh((4, 4))
+        embedding = embed(guest, host)
+        for bad in ((1.9, 0), (5, 0), (-1, 0), (1, 1, 1)):
+            pattern = TrafficPattern("bad", (Message(bad, (0, 0)),))
+            with pytest.raises((SimulationError, KeyError)):
+                pattern.placed(embedding)
+
 
 class TestSimulation:
     def test_analytic_estimate_reflects_dilation(self):

@@ -1,0 +1,142 @@
+"""Differential tests for the batch construction kernels.
+
+Every kernel in :mod:`repro.numbering.batch` is checked element-for-element
+against its scalar reference in :mod:`repro.core.basic` /
+:mod:`repro.core.lowering` — exhaustively on fixed shapes and on random
+shapes via hypothesis.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.basic import f_value, g_value, h_value, r_value, t_value
+from repro.core.lowering import U_value
+from repro.core.reduction import SimpleReductionFactor
+from repro.core.same_shape import t_vector_value
+from repro.numbering.arrays import digits_to_indices, indices_to_digits
+from repro.numbering.batch import (
+    f_digits,
+    f_flat,
+    g_digits,
+    g_flat,
+    group_collapse,
+    h_digits,
+    h_flat,
+    r_digits,
+    t_columns,
+    t_indices,
+)
+
+from .strategies import small_shapes
+
+SHAPES = [
+    (2,),
+    (5,),
+    (2, 2),
+    (4, 2),
+    (3, 5),
+    (4, 2, 3),
+    (2, 3, 2, 5),
+    (3, 3, 3),
+    (2, 2, 2, 2, 2),
+    (6, 2),
+    (7, 2, 2),
+]
+
+
+@pytest.mark.parametrize("n", range(1, 12))
+def test_t_indices_matches_t_value(n):
+    assert t_indices(n, np.arange(n)).tolist() == [t_value(n, x) for x in range(n)]
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_f_digits_matches_f_value(shape):
+    n = math.prod(shape)
+    got = f_digits(shape, np.arange(n))
+    assert got.tolist() == [list(f_value(shape, x)) for x in range(n)]
+    assert f_flat(shape, np.arange(n)).tolist() == digits_to_indices(got, shape).tolist()
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_g_digits_matches_g_value(shape):
+    n = math.prod(shape)
+    assert g_digits(shape, np.arange(n)).tolist() == [
+        list(g_value(shape, x)) for x in range(n)
+    ]
+    assert g_flat(shape, np.arange(n)).tolist() == [
+        digits_to_indices(np.asarray([g_value(shape, x)]), shape)[0] for x in range(n)
+    ]
+
+
+@pytest.mark.parametrize("shape", [s for s in SHAPES if len(s) == 2])
+def test_r_digits_matches_r_value(shape):
+    n = math.prod(shape)
+    assert r_digits(shape, np.arange(n)).tolist() == [
+        list(r_value(shape, x)) for x in range(n)
+    ]
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_h_digits_matches_h_value(shape):
+    n = math.prod(shape)
+    assert h_digits(shape, np.arange(n)).tolist() == [
+        list(h_value(shape, x)) for x in range(n)
+    ]
+    assert h_flat(shape, np.arange(n)).dtype == np.int64
+
+
+@pytest.mark.parametrize("shape", [s for s in SHAPES if len(s) >= 2])
+def test_t_columns_matches_t_vector_value(shape):
+    n = math.prod(shape)
+    digits = indices_to_digits(np.arange(n), shape)
+    assert t_columns(shape, digits).tolist() == [
+        list(t_vector_value(shape, tuple(row))) for row in digits.tolist()
+    ]
+
+
+@pytest.mark.parametrize(
+    "groups",
+    [((4, 2), (3, 3)), ((2, 2, 2), (5,)), ((6,), (2, 2)), ((3,), (3,), (3,))],
+)
+def test_group_collapse_matches_U_value(groups):
+    factor = SimpleReductionFactor(tuple(groups))
+    shape = factor.flattened
+    n = math.prod(shape)
+    digits = indices_to_digits(np.arange(n), shape)
+    assert group_collapse(digits, groups).tolist() == [
+        list(U_value(factor, tuple(row))) for row in digits.tolist()
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=small_shapes())
+def test_batch_sequences_match_scalar_on_random_shapes(shape):
+    n = math.prod(shape)
+    x = np.arange(n)
+    assert f_digits(shape, x).tolist() == [list(f_value(shape, i)) for i in range(n)]
+    assert g_digits(shape, x).tolist() == [list(g_value(shape, i)) for i in range(n)]
+    assert h_digits(shape, x).tolist() == [list(h_value(shape, i)) for i in range(n)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=small_shapes())
+def test_batch_sequences_are_permutations(shape):
+    """Every kernel output is a bijection of [n] — the injectivity invariant."""
+    n = math.prod(shape)
+    x = np.arange(n)
+    for flat in (f_flat(shape, x), g_flat(shape, x), h_flat(shape, x)):
+        assert sorted(flat.tolist()) == list(range(n))
+
+
+def test_kernel_shape_validation():
+    with pytest.raises(ValueError):
+        r_digits((2, 2, 2), np.arange(8))
+    with pytest.raises(ValueError):
+        t_columns((2, 2), np.zeros((4, 3), dtype=np.int64))
+    with pytest.raises(ValueError):
+        group_collapse(np.zeros((4, 3), dtype=np.int64), ((2, 2),))
+    with pytest.raises(ValueError):
+        t_indices(0, np.arange(1))

@@ -121,6 +121,96 @@ class TestRunner:
         rows = report.summary_rows()
         assert sum(row["pairs"] for row in rows) == len(report.ok)
 
+    def test_run_survey_resumes_from_finished_shards(self, tmp_path):
+        scenarios = all_pairs(12)
+        options = SurveyOptions(workers=1, shard_size=5, shard_dir=str(tmp_path))
+        shards = [scenarios[start : start + 5] for start in range(0, len(scenarios), 5)]
+        # Pre-seed shard 0 with a finished shard file whose records carry an
+        # impossible sentinel dilation: if the runner recomputed the shard it
+        # would overwrite the sentinel, so seeing it in the merged report
+        # proves the file was reused, not rebuilt.
+        sentinel = [
+            SurveyRecord(
+                scenario_id=s.scenario_id,
+                guest=repr(s.guest_graph()),
+                host=repr(s.host_graph()),
+                nodes=s.guest_graph().size,
+                guest_edges=s.guest_graph().num_edges(),
+                status="ok",
+                strategy="pre-seeded",
+                dilation=999,
+                average_dilation=999.0,
+            )
+            for s in shards[0]
+        ]
+        write_json(sentinel, tmp_path / "shard-0000.json")
+        report = run_survey(scenarios, options)
+        assert report.reused_shard_indices == [0]
+        assert report.records[: len(sentinel)] == sentinel
+        # The remaining shards were computed normally.
+        assert all(r.strategy != "pre-seeded" for r in report.records[len(sentinel) :])
+        # A full rerun over the now-complete shard_dir recomputes nothing.
+        rerun = run_survey(scenarios, options)
+        assert rerun.reused_shard_indices == list(range(len(shards)))
+        strip = lambda r: {**r.as_dict(), "elapsed_seconds": None}
+        assert [strip(r) for r in rerun.records] == [strip(r) for r in report.records]
+
+    def test_run_survey_resume_rejects_mismatched_shards(self, tmp_path):
+        scenarios = all_pairs(12)
+        # A shard file from a different sweep (wrong scenario ids) is ignored.
+        stranger = SurveyRecord(
+            scenario_id="torus:9,9->mesh:81",
+            guest="Torus((9, 9))",
+            host="Mesh((81,))",
+            nodes=81,
+            guest_edges=162,
+            status="ok",
+            strategy="pre-seeded",
+            dilation=999,
+        )
+        write_json([stranger], tmp_path / "shard-0000.json")
+        report = run_survey(
+            scenarios, SurveyOptions(workers=1, shard_size=5, shard_dir=str(tmp_path))
+        )
+        assert report.reused_shard_indices == []
+        assert all(r.strategy != "pre-seeded" for r in report.records)
+
+    def test_run_survey_resume_rejects_option_mismatch(self, tmp_path):
+        # A shard written without congestion must not satisfy a rerun that
+        # requests it (the reused records would carry congestion=None).
+        scenarios = all_pairs(12)[:5]
+        run_survey(
+            scenarios, SurveyOptions(workers=1, shard_size=5, shard_dir=str(tmp_path))
+        )
+        with_congestion = run_survey(
+            scenarios,
+            SurveyOptions(
+                workers=1, shard_size=5, shard_dir=str(tmp_path), with_congestion=True
+            ),
+        )
+        assert with_congestion.reused_shard_indices == []
+        assert all(r.congestion is not None for r in with_congestion.ok)
+        # ... and the congestion-bearing shard now on disk is reusable.
+        again = run_survey(
+            scenarios,
+            SurveyOptions(
+                workers=1, shard_size=5, shard_dir=str(tmp_path), with_congestion=True
+            ),
+        )
+        assert again.reused_shard_indices == [0]
+
+    def test_run_survey_resume_can_be_disabled(self, tmp_path):
+        scenarios = all_pairs(12)[:5]
+        options = SurveyOptions(workers=1, shard_size=5, shard_dir=str(tmp_path))
+        run_survey(scenarios, options)
+        fresh = run_survey(
+            scenarios,
+            SurveyOptions(
+                workers=1, shard_size=5, shard_dir=str(tmp_path), resume=False
+            ),
+        )
+        assert fresh.reused_shard_indices == []
+
 
 class TestStore:
     def _records(self):
