@@ -6,7 +6,7 @@ which the store-and-forward simulation turns into lower completion times than
 the lexicographic / BFS / random mappings.
 """
 
-from repro.baselines import lexicographic_embedding, random_embedding
+from repro.baselines import random_embedding
 from repro.core.dispatch import embed
 from repro.experiments.simulation_tables import SCENARIOS, mapping_rows, negative_control_rows
 from repro.graphs.base import Mesh, Torus

@@ -2,7 +2,7 @@
 
 from repro.core.lowering import embed_lowering_general
 from repro.core.reduction import find_general_reduction
-from repro.experiments.lowering_tables import GENERAL_SWEEP, general_rows
+from repro.experiments.lowering_tables import general_rows
 from repro.graphs.base import Mesh
 
 

@@ -28,12 +28,15 @@ setup(
         "numpy>=1.22",
     ],
     extras_require={
+        # Single source of truth for the toolchain: every CI job installs
+        # `pip install -e .[dev]` instead of ad-hoc `pip install` lists.
         "dev": [
             "pytest",
             "pytest-benchmark",
             "pytest-cov",
             "hypothesis",
             "networkx",
+            "ruff",
         ],
     },
     entry_points={

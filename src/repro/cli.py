@@ -13,20 +13,22 @@ Four subcommands:
 
 ``simulate``
     Map a guest task graph onto a host network with the paper's embedding
-    and with the baselines, and report the simulated communication time of a
-    neighbour-exchange phase.
+    and with the baselines, and report the simulated communication time of
+    one phase of the chosen traffic pattern (neighbour exchange, transpose
+    or all-to-all within groups).
 
 ``survey``
     Run a parallel embedding survey — every same-size guest/host shape pair
-    up to a node budget (or a named suite mirroring the paper's tables) —
-    and write the measured costs to a JSON/CSV results file.
+    up to a node budget, or a named suite mirroring the paper's tables, or
+    the ``simulation`` suite that sweeps strategy × traffic pairs through
+    the store-and-forward simulator — and write the results to JSON/CSV.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis.metrics import evaluate_embedding
 from .analysis.report import format_table
@@ -34,15 +36,13 @@ from .baselines import bfs_order_embedding, lexicographic_embedding, random_embe
 from .core import (
     ExpansionFactor,
     embed,
-    embed_increasing,
     embed_lowering_general,
     f_value,
     g_value,
     h_value,
 )
-from .core.basic import f_sequence
-from .graphs.base import CartesianGraph, Mesh, Torus, make_graph
-from .netsim import CostModel, HostNetwork, neighbor_exchange_traffic, simulate_phase
+from .graphs.base import CartesianGraph, Mesh, make_graph
+from .netsim import CostModel, HostNetwork, simulate_phase, traffic_pattern, traffic_pattern_names
 from .numbering.graycode import natural_sequence
 from .survey import (
     SurveyOptions,
@@ -163,26 +163,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     guest = parse_graph(args.guest)
     host = parse_graph(args.host)
     network = HostNetwork(host, CostModel(alpha=args.alpha, bandwidth=args.bandwidth))
-    traffic = neighbor_exchange_traffic(guest, message_size=args.message_size)
+    traffic = traffic_pattern(args.traffic, guest, message_size=args.message_size)
     strategies = {
-        "paper": embed(guest, host),
+        "paper": embed(guest, host, method=args.method),
         "lexicographic": lexicographic_embedding(guest, host),
         "bfs": bfs_order_embedding(guest, host),
         "random": random_embedding(guest, host, seed=args.seed),
     }
     rows = []
     for name, embedding in strategies.items():
-        result = simulate_phase(network, embedding, traffic)
-        row = {"strategy": name, "dilation": embedding.dilation()}
+        result = simulate_phase(network, embedding, traffic, method=args.method)
+        row = {"strategy": name, "dilation": embedding.dilation(method=args.method)}
         row.update(result.as_row())
         rows.append(row)
-    print(format_table(rows, title=f"Neighbour exchange of {guest!r} on {host!r}"))
+    print(format_table(rows, title=f"{traffic.name} of {guest!r} on {host!r}"))
     return 0
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
     if args.smoke:
-        suite = "smoke"
+        # Deterministic sequential CI mode: the tiny `smoke` suite by
+        # default, or the explicitly chosen suite run on one worker (e.g.
+        # `repro survey --suite simulation --smoke`).
+        suite = args.suite if args.suite != "exhaustive" else "smoke"
         workers: Optional[int] = 1
     else:
         suite = args.suite
@@ -250,13 +253,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.add_argument("name", help="fig4, fig9, fig10, fig11 or fig12")
     p_figure.set_defaults(func=_cmd_figure)
 
-    p_sim = subparsers.add_parser("simulate", help="simulate a neighbour-exchange phase")
+    p_sim = subparsers.add_parser("simulate", help="simulate a communication phase")
     p_sim.add_argument("--guest", required=True, help="guest task graph, e.g. torus:8,8")
     p_sim.add_argument("--host", required=True, help="host network, e.g. mesh:4,4,4")
+    p_sim.add_argument(
+        "--traffic",
+        default="neighbor-exchange",
+        choices=traffic_pattern_names(),
+        help="traffic pattern of the simulated phase",
+    )
     p_sim.add_argument("--alpha", type=float, default=1.0, help="per-hop latency")
     p_sim.add_argument("--bandwidth", type=float, default=1.0, help="link bandwidth")
     p_sim.add_argument("--message-size", type=float, default=1.0, help="message size")
     p_sim.add_argument("--seed", type=int, default=0, help="seed for the random baseline")
+    p_sim.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto", "array", "loop"),
+        help="routing/simulation implementation (array kernels vs per-message loop)",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_survey = subparsers.add_parser(

@@ -19,7 +19,6 @@ simply ask for an embedding and get the best construction the paper offers:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..exceptions import (
     NoExpansionError,

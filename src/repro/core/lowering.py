@@ -29,7 +29,7 @@ from ..numbering.arrays import digits_to_indices, indices_to_digits, require_num
 from ..numbering.batch import f_digits, g_digits, group_collapse, t_columns
 from ..numbering.radix import RadixBase
 from ..types import Node
-from ..utils.listops import apply_permutation, concat, find_permutation
+from ..utils.listops import apply_permutation, find_permutation
 from .basic import t_value
 from .embedding import CostMethod, Embedding, use_array_path
 from .expansion import ExpansionFactor

@@ -34,7 +34,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from ..exceptions import NoReductionError
 from ..utils.listops import concat, is_permutation_of, product
 from ..utils.intmath import factorizations_into_parts
-from .expansion import ExpansionFactor, find_expansion_factor, iter_expansion_factors
+from .expansion import find_expansion_factor
 
 __all__ = [
     "SimpleReductionFactor",

@@ -13,8 +13,8 @@ import math
 from typing import List, Tuple
 
 from ..core.dispatch import embed
-from ..core.expansion import ExpansionFactor, find_expansion_factor
-from ..core.increasing import embed_increasing, predicted_increasing_dilation
+from ..core.expansion import ExpansionFactor
+from ..core.increasing import embed_increasing
 from ..graphs.base import Mesh, Torus
 from .registry import ExperimentResult, register
 

@@ -12,8 +12,8 @@ from typing import List, Tuple
 
 from ..core.dispatch import embed
 from ..core.lowering import embed_lowering_general, embed_lowering_simple
-from ..core.reduction import SimpleReductionFactor, find_general_reduction, find_simple_reduction
-from ..graphs.base import Hypercube, Line, Mesh, Ring, Torus
+from ..core.reduction import find_general_reduction, find_simple_reduction
+from ..graphs.base import Hypercube, Line, Mesh, Torus
 from .registry import ExperimentResult, register
 
 #: (guest shape, host shape) pairs satisfying the simple-reduction condition.

@@ -9,7 +9,6 @@ sequence that quantifies the hypercube-in-line gap.
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import List
 
 from ..core.bounds import (

@@ -7,18 +7,29 @@ network) pair the paper's embedding and the baselines are placed on the
 simulated store-and-forward network and one neighbour-exchange phase is
 simulated; the low-dilation embedding should win on maximum hops, link
 congestion and simulated completion time.
+
+The strategy set is :data:`repro.survey.runner.STRATEGY_BUILDERS` — the same
+competitors the ``simulation`` survey suite sweeps — and every row generator
+takes the ``method`` switch, so the experiment can be pinned against either
+the array kernels or the loop reference (they agree exactly; the golden
+fixture ``tests/golden/tab_sim_map.json`` pins the table).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import List, Tuple
 
-from ..baselines import bfs_order_embedding, lexicographic_embedding, random_embedding
-from ..core.dispatch import embed
-from ..core.embedding import Embedding
-from ..graphs.base import CartesianGraph, Hypercube, Mesh, Torus
-from ..netsim import CostModel, HostNetwork, neighbor_exchange_traffic, simulate_phase
-from ..netsim.traffic import transpose_traffic
+from ..core.embedding import CostMethod
+from ..graphs.base import CartesianGraph, Mesh, Torus
+from ..netsim import (
+    CostModel,
+    HostNetwork,
+    all_to_all_in_groups_traffic,
+    neighbor_exchange_traffic,
+    simulate_phase,
+    transpose_traffic,
+)
+from ..survey.runner import STRATEGY_BUILDERS
 from .registry import ExperimentResult, register
 
 #: The task-mapping scenarios: (task graph, host network) pairs.
@@ -30,14 +41,6 @@ SCENARIOS: List[Tuple[CartesianGraph, CartesianGraph]] = [
     (Torus((8, 8)), Torus((2,) * 6)),
 ]
 
-#: Embedding strategies compared in the simulation.
-STRATEGIES: Dict[str, Callable[[CartesianGraph, CartesianGraph], Embedding]] = {
-    "paper": embed,
-    "lexicographic": lexicographic_embedding,
-    "bfs-order": bfs_order_embedding,
-    "random": lambda guest, host: random_embedding(guest, host, seed=0),
-}
-
 
 def mapping_rows(
     scenarios: List[Tuple[CartesianGraph, CartesianGraph]] = SCENARIOS,
@@ -45,21 +48,22 @@ def mapping_rows(
     alpha: float = 1.0,
     bandwidth: float = 1.0,
     message_size: float = 1.0,
+    method: CostMethod = "auto",
 ) -> List[dict]:
     """Simulate one neighbour-exchange phase for every scenario and strategy."""
     rows = []
     for guest, host in scenarios:
         network = HostNetwork(host, CostModel(alpha=alpha, bandwidth=bandwidth))
         traffic = neighbor_exchange_traffic(guest, message_size=message_size)
-        for name, builder in STRATEGIES.items():
-            embedding = builder(guest, host)
-            result = simulate_phase(network, embedding, traffic)
+        for name, builder in STRATEGY_BUILDERS.items():
+            embedding = builder(guest, host, method)
+            result = simulate_phase(network, embedding, traffic, method=method)
             rows.append(
                 {
                     "task graph": repr(guest),
                     "network": repr(host),
                     "strategy": name,
-                    "dilation": embedding.dilation(),
+                    "dilation": embedding.dilation(method=method),
                     "max hops": result.statistics.max_hops,
                     "mean hops": round(result.statistics.mean_hops, 2),
                     "max link msgs": result.statistics.max_link_load_messages,
@@ -70,21 +74,50 @@ def mapping_rows(
 
 
 def negative_control_rows(
-    *, alpha: float = 1.0, bandwidth: float = 1.0
+    *, alpha: float = 1.0, bandwidth: float = 1.0, method: CostMethod = "auto"
 ) -> List[dict]:
     """The transpose (long-range) workload where dilation matters far less."""
     rows = []
     guest, host = Torus((8, 8)), Mesh((4, 4, 4))
     network = HostNetwork(host, CostModel(alpha=alpha, bandwidth=bandwidth))
     traffic = transpose_traffic(guest)
-    for name, builder in STRATEGIES.items():
-        embedding = builder(guest, host)
-        result = simulate_phase(network, embedding, traffic)
+    for name, builder in STRATEGY_BUILDERS.items():
+        embedding = builder(guest, host, method)
+        result = simulate_phase(network, embedding, traffic, method=method)
         rows.append(
             {
                 "workload": "transpose",
                 "strategy": name,
-                "dilation": embedding.dilation(),
+                "dilation": embedding.dilation(method=method),
+                "max hops": result.statistics.max_hops,
+                "makespan": round(result.makespan, 1),
+            }
+        )
+    return rows
+
+
+def collective_rows(
+    *, alpha: float = 1.0, bandwidth: float = 1.0, method: CostMethod = "auto"
+) -> List[dict]:
+    """The all-to-all-in-groups collective, where clustering still pays.
+
+    Unlike the transpose control, the dense within-group exchange keeps
+    rewarding embeddings that map each group of tasks onto nearby
+    processors, so the paper's embedding should beat the baselines here too
+    (by a smaller margin than on pure neighbour exchange).
+    """
+    rows = []
+    guest, host = Torus((8, 8)), Mesh((4, 4, 4))
+    network = HostNetwork(host, CostModel(alpha=alpha, bandwidth=bandwidth))
+    traffic = all_to_all_in_groups_traffic(guest)
+    for name, builder in STRATEGY_BUILDERS.items():
+        embedding = builder(guest, host, method)
+        result = simulate_phase(network, embedding, traffic, method=method)
+        rows.append(
+            {
+                "workload": traffic.name,
+                "strategy": name,
+                "dilation": embedding.dilation(method=method),
                 "max hops": result.statistics.max_hops,
                 "makespan": round(result.makespan, 1),
             }
@@ -100,6 +133,12 @@ def simulation_table() -> ExperimentResult:
         "negative control (transpose workload, dominated by network diameter): "
         + "; ".join(
             f"{row['strategy']}: makespan {row['makespan']}" for row in negative_control_rows()
+        )
+    )
+    result.notes.append(
+        "collective control (all-to-all within groups, clustering still pays): "
+        + "; ".join(
+            f"{row['strategy']}: makespan {row['makespan']}" for row in collective_rows()
         )
     )
     result.notes.append(

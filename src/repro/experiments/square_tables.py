@@ -14,7 +14,6 @@ from typing import List, Tuple
 from ..core.bounds import lowering_dilation_lower_bound
 from ..core.square import embed_square, predicted_square_dilation
 from ..graphs.base import Mesh, Torus
-from ..types import GraphKind, ShapedGraphSpec
 from .registry import ExperimentResult, register
 
 #: (d, c, l) triples for square lowering (guest dimension d, host dimension c, side l).

@@ -27,7 +27,7 @@ from ..exceptions import InvalidShapeError
 from ..numbering.arrays import digit_weights, indices_to_digits, require_numpy
 from ..numbering.distance import graph_distance_indices, mesh_distance, torus_distance
 from ..numbering.radix import RadixBase
-from ..types import GraphKind, Node, Shape, ShapedGraphSpec, as_shape, shape_size
+from ..types import GraphKind, Node, Shape, ShapedGraphSpec, as_shape
 
 __all__ = [
     "CartesianGraph",

@@ -14,30 +14,59 @@ benefit of low-dilation embeddings to be demonstrated end to end.
 ``routing``
     Dimension-ordered (e-cube) routing of messages, the standard deadlock-free
     discipline on meshes and toruses.
+``kernels``
+    The vectorized hot path: batched dimension-ordered routing over a flat
+    directed-link id space, CSR route expansion and ``bincount`` link-load
+    accumulation (the loop modules above stay as the cross-checked
+    reference).
 ``traffic``
-    Workload generation: neighbour-exchange traffic derived from a guest
-    task graph (the communication pattern of stencil computations).
+    Workload generation: neighbour-exchange, transpose and
+    all-to-all-in-groups patterns derived from a guest task graph.
 ``models``
     The latency/bandwidth cost model.
 ``simulator``
     An analytic estimate and a discrete-time store-and-forward simulation of
-    one communication phase, plus per-link statistics.
+    one communication phase, plus per-link statistics — both behind the
+    ``method="auto" | "array" | "loop"`` switch.
 """
 
 from .models import CostModel
 from .network import HostNetwork
 from .routing import route_message
-from .traffic import Message, TrafficPattern, neighbor_exchange_traffic
-from .simulator import PhaseStatistics, SimulationResult, simulate_phase
+from .kernels import LinkIndexSpace, RouteArrays, accumulate_link_loads, expand_routes
+from .traffic import (
+    Message,
+    TrafficPattern,
+    all_to_all_in_groups_traffic,
+    neighbor_exchange_traffic,
+    traffic_pattern,
+    traffic_pattern_names,
+    transpose_traffic,
+)
+from .simulator import (
+    PhaseStatistics,
+    SimulationResult,
+    analytic_phase_estimate,
+    simulate_phase,
+)
 
 __all__ = [
     "CostModel",
     "HostNetwork",
     "route_message",
+    "LinkIndexSpace",
+    "RouteArrays",
+    "accumulate_link_loads",
+    "expand_routes",
     "Message",
     "TrafficPattern",
     "neighbor_exchange_traffic",
+    "transpose_traffic",
+    "all_to_all_in_groups_traffic",
+    "traffic_pattern",
+    "traffic_pattern_names",
     "PhaseStatistics",
     "SimulationResult",
+    "analytic_phase_estimate",
     "simulate_phase",
 ]

@@ -9,7 +9,7 @@ channels.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, Tuple
 
 from ..exceptions import SimulationError
 from ..graphs.base import CartesianGraph
@@ -28,6 +28,7 @@ class HostNetwork:
     def __init__(self, topology: CartesianGraph, cost_model: CostModel | None = None):
         self._topology = topology
         self._cost_model = cost_model or CostModel()
+        self._link_space = None
 
     @property
     def topology(self) -> CartesianGraph:
@@ -68,6 +69,18 @@ class HostNetwork:
     def empty_link_loads(self) -> Dict[DirectedLink, float]:
         """A zero-initialized per-link load accumulator."""
         return {link: 0.0 for link in self.links()}
+
+    def link_index_space(self):
+        """The flat directed-link id space of this topology (cached).
+
+        Used by the vectorized routing and load kernels
+        (:mod:`repro.netsim.kernels`); requires NumPy.
+        """
+        if self._link_space is None:
+            from .kernels import LinkIndexSpace
+
+            self._link_space = LinkIndexSpace(self._topology)
+        return self._link_space
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"HostNetwork({self._topology!r}, {self._cost_model!r})"

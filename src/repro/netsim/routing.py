@@ -19,13 +19,22 @@ from .network import DirectedLink, HostNetwork
 __all__ = ["route_message"]
 
 
-def route_message(network: HostNetwork, source: Node, destination: Node) -> List[DirectedLink]:
+def route_message(
+    network: HostNetwork, source: Node, destination: Node, *, validate: bool = True
+) -> List[DirectedLink]:
     """The ordered list of directed links a message traverses.
 
     An empty list means source and destination are the same processor (the
     message needs no network resources).
+
+    ``validate=False`` skips the endpoint membership checks.  The simulator
+    passes it for endpoints that already went through pattern placement
+    (:meth:`repro.netsim.traffic.TrafficPattern.placed` validates every
+    endpoint once per phase), so the per-message hot loop no longer
+    re-validates both endpoints on every call.
     """
-    network.validate_processor(source)
-    network.validate_processor(destination)
-    path = dimension_order_path(network.topology, source, destination)
+    if validate:
+        network.validate_processor(source)
+        network.validate_processor(destination)
+    path = dimension_order_path(network.topology, source, destination, validate=validate)
     return [(path[i], path[i + 1]) for i in range(len(path) - 1)]

@@ -14,16 +14,26 @@ Both place each message on the dimension-ordered route between the images of
 its endpoints under the supplied embedding, so the guest-edge hop counts are
 bounded by the embedding's dilation — the mechanism by which the paper's
 low-dilation embeddings translate into faster communication phases.
+
+Both evaluations take ``method="auto" | "array" | "loop"``, the same switch
+as the construction builders and cost measures: the array path batches the
+routing and the link-load accumulation over flat directed-link ids
+(:mod:`repro.netsim.kernels`) and keys the event loop by link id over
+preallocated route arrays; the loop path is the retained per-message
+reference, cross-checked hop-for-hop and float-for-float by the
+differential tests.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from ..core.embedding import Embedding
+from ..core.embedding import CostMethod, Embedding, use_array_path
 from ..exceptions import SimulationError
+from ..numbering.arrays import indices_to_digits, require_numpy
+from .kernels import accumulate_link_loads, expand_routes
 from .network import DirectedLink, HostNetwork
 from .routing import route_message
 from .traffic import TrafficPattern
@@ -69,25 +79,109 @@ class SimulationResult:
         return row
 
 
-def _routes_for(
-    network: HostNetwork, embedding: Embedding, traffic: TrafficPattern
-) -> List[Tuple[List[DirectedLink], float]]:
+def _check_topology(network: HostNetwork, embedding: Embedding) -> None:
     if embedding.host.shape != network.topology.shape or embedding.host.kind != network.topology.kind:
         raise SimulationError(
             "the embedding's host graph does not match the network topology"
         )
+
+
+def _routes_for(
+    network: HostNetwork, embedding: Embedding, traffic: TrafficPattern
+) -> List[Tuple[List[DirectedLink], float]]:
+    """Per-message loop reference: placed endpoints routed one message at a time.
+
+    Endpoint validation happened in :meth:`TrafficPattern.placed`, so the
+    per-message routing trusts the placed endpoints (``validate=False``).
+    """
+    _check_topology(network, embedding)
     routes: List[Tuple[List[DirectedLink], float]] = []
     for source, destination, size in traffic.placed(embedding):
-        routes.append((route_message(network, source, destination), size))
+        routes.append((route_message(network, source, destination, validate=False), size))
     return routes
 
 
+def _phase_arrays(network: HostNetwork, embedding: Embedding, traffic: TrafficPattern):
+    """Placed, routed and priced phase data for the vectorized paths.
+
+    Returns ``(space, routes, sizes, occupancy)`` — the directed-link id
+    space, the CSR route arrays, and the per-message size / link-occupancy
+    arrays.
+    """
+    _check_topology(network, embedding)
+    require_numpy()
+    source_ranks, target_ranks, sizes = traffic.endpoint_rank_arrays(embedding.guest.shape)
+    images = embedding.host_index_array()
+    host_shape = network.topology.shape
+    space = network.link_index_space()
+    routes = expand_routes(
+        space,
+        indices_to_digits(images[source_ranks], host_shape),
+        indices_to_digits(images[target_ranks], host_shape),
+    )
+    # CostModel.link_occupancy is pure arithmetic, so it vectorizes as-is:
+    # one source of truth for the per-hop cost on both method paths.
+    occupancy = network.cost_model.link_occupancy(sizes)
+    return space, routes, sizes, occupancy
+
+
+def _statistics_from_arrays(space, routes, sizes, occupancy) -> PhaseStatistics:
+    """Fully vectorized analytic statistics (no per-message Python)."""
+    num_messages = routes.num_messages
+    if num_messages == 0:
+        return PhaseStatistics(
+            num_messages=0,
+            total_hops=0,
+            max_hops=0,
+            mean_hops=0.0,
+            max_link_load_messages=0,
+            max_link_load_volume=0.0,
+            max_link_busy_time=0.0,
+            max_uncontended_message_time=0.0,
+            estimated_completion_time=0.0,
+        )
+    hops = routes.hops
+    counts, volume, busy = accumulate_link_loads(space, routes, sizes, occupancy)
+    max_link_busy = float(busy.max())
+    max_uncontended = float((hops * occupancy).max())
+    total_hops = int(hops.sum())
+    return PhaseStatistics(
+        num_messages=num_messages,
+        total_hops=total_hops,
+        max_hops=int(hops.max()),
+        mean_hops=total_hops / num_messages,
+        max_link_load_messages=int(counts.max()),
+        max_link_load_volume=float(volume.max()),
+        max_link_busy_time=max_link_busy,
+        max_uncontended_message_time=max_uncontended,
+        estimated_completion_time=max(max_link_busy, max_uncontended),
+    )
+
+
 def analytic_phase_estimate(
-    network: HostNetwork, embedding: Embedding, traffic: TrafficPattern
+    network: HostNetwork,
+    embedding: Embedding,
+    traffic: TrafficPattern,
+    *,
+    method: CostMethod = "auto",
 ) -> PhaseStatistics:
-    """Hop counts, link loads and the standard completion-time lower bound."""
-    model = network.cost_model
-    routes = _routes_for(network, embedding, traffic)
+    """Hop counts, link loads and the standard completion-time lower bound.
+
+    The array path accumulates every per-link quantity with one
+    ``np.bincount`` scatter-add over the flat directed-link id space; the
+    loop path is the retained per-message reference.  Both produce identical
+    statistics (the scatter-add visits hops in the same ``(message, hop)``
+    order the loop adds them, so even the float sums agree bit for bit).
+    """
+    if use_array_path(method):
+        return _statistics_from_arrays(*_phase_arrays(network, embedding, traffic))
+    return _statistics_from_routes(
+        network.cost_model, _routes_for(network, embedding, traffic)
+    )
+
+
+def _statistics_from_routes(model, routes) -> PhaseStatistics:
+    """Loop-reference analytic statistics over per-message route lists."""
     link_messages: Dict[DirectedLink, int] = {}
     link_volume: Dict[DirectedLink, float] = {}
     link_busy: Dict[DirectedLink, float] = {}
@@ -127,12 +221,59 @@ class _LinkRequest:
     hop_index: int = field(compare=False)
 
 
+def _simulate_arrays(space, routes, occupancy, max_events: int) -> Tuple[float, List[float]]:
+    """Event loop keyed by directed-link ids over preallocated route arrays.
+
+    The routes were expanded once into a CSR batch (shared with the analytic
+    statistics); the event loop then only touches flat preallocated
+    sequences (`link_free[link_id]`, ``next_hop[message]``) — no
+    ``(node, node)`` tuples, no dicts.  Ordering and arithmetic match the
+    loop reference exactly: the heap orders by
+    ``(ready_time, message_index)`` and each hop costs the same
+    ``alpha + size/bandwidth`` float.
+    """
+    num_messages = routes.num_messages
+    link_ids = routes.link_ids.tolist()
+    starts = routes.starts.tolist()
+    occupancies = occupancy.tolist()
+    link_free = [0.0] * space.num_slots
+    next_hop = starts[:-1].copy()
+    completion = [0.0] * num_messages
+
+    queue: List[Tuple[float, int]] = [
+        (0.0, index) for index in range(num_messages) if starts[index] < starts[index + 1]
+    ]
+    heapq.heapify(queue)
+    events = 0
+    while queue:
+        events += 1
+        if events > max_events:
+            raise SimulationError(
+                f"simulation exceeded {max_events} events; the configuration is too large"
+            )
+        ready_time, index = heapq.heappop(queue)
+        hop = next_hop[index]
+        link = link_ids[hop]
+        free_at = link_free[link]
+        start = ready_time if ready_time >= free_at else free_at
+        finish = start + occupancies[index]
+        link_free[link] = finish
+        next_hop[index] = hop + 1
+        if hop + 1 < starts[index + 1]:
+            heapq.heappush(queue, (finish, index))
+        else:
+            completion[index] = finish
+    makespan = max(completion, default=0.0)
+    return makespan, completion
+
+
 def simulate_phase(
     network: HostNetwork,
     embedding: Embedding,
     traffic: TrafficPattern,
     *,
     max_events: int = 5_000_000,
+    method: CostMethod = "auto",
 ) -> SimulationResult:
     """Discrete-event store-and-forward simulation of one communication phase.
 
@@ -140,14 +281,26 @@ def simulate_phase(
     occupies a link for ``alpha + size/bandwidth`` time units per hop and may
     only request its next link after the previous hop completes.  Contention
     is resolved first-come-first-served with ties broken by message index, so
-    the simulation is fully deterministic.
+    the simulation is fully deterministic — and identical under both
+    ``method`` implementations.
+
+    Placement and routing are shared between the analytic statistics and
+    the event loop, so each phase expands its routes exactly once.
     """
+    if use_array_path(method):
+        space, expanded, sizes, occupancy = _phase_arrays(network, embedding, traffic)
+        makespan, completion = _simulate_arrays(space, expanded, occupancy, max_events)
+        return SimulationResult(
+            makespan=makespan,
+            statistics=_statistics_from_arrays(space, expanded, sizes, occupancy),
+            per_message_completion=tuple(completion),
+        )
+
     model = network.cost_model
     routes = _routes_for(network, embedding, traffic)
-    statistics = analytic_phase_estimate(network, embedding, traffic)
-
+    statistics = _statistics_from_routes(model, routes)
     link_free_at: Dict[DirectedLink, float] = {}
-    completion: List[float] = [0.0] * len(routes)
+    completion = [0.0] * len(routes)
 
     # Event queue of pending hop requests.
     queue: List[_LinkRequest] = []

@@ -5,21 +5,35 @@ torus or mesh (stencil computations, image processing pipelines, scientific
 relaxation sweeps — the references of its Section 1).  In such computations
 every task exchanges a boundary message with each of its task-graph
 neighbours once per iteration; :func:`neighbor_exchange_traffic` generates
-exactly that pattern, one message per directed guest edge.
+exactly that pattern, one message per directed guest edge.  Two contrast
+workloads complete the family: :func:`transpose_traffic` (long-range,
+diameter-dominated — the negative control) and
+:func:`all_to_all_in_groups_traffic` (the dense collective of
+sub-communicator algorithms, sensitive to how the embedding clusters each
+group).  :func:`traffic_pattern` resolves the three by name for the
+simulation survey suite and the CLI.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..core.embedding import Embedding
 from ..exceptions import SimulationError
 from ..graphs.base import CartesianGraph
 from ..numbering.arrays import HAVE_NUMPY, digits_to_indices, indices_to_digits, require_numpy
-from ..types import Node
+from ..types import Node, Shape
 
-__all__ = ["Message", "TrafficPattern", "neighbor_exchange_traffic", "transpose_traffic"]
+__all__ = [
+    "Message",
+    "TrafficPattern",
+    "neighbor_exchange_traffic",
+    "transpose_traffic",
+    "all_to_all_in_groups_traffic",
+    "traffic_pattern",
+    "traffic_pattern_names",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +70,50 @@ class TrafficPattern:
         """Sum of all message sizes."""
         return sum(message.size for message in self.messages)
 
+    def endpoint_rank_arrays(self, guest_shape: Shape):
+        """Validated guest endpoint ranks and sizes as flat arrays.
+
+        Returns ``(source_ranks, target_ranks, sizes)`` — ``int64`` natural
+        order ranks in the guest base plus a ``float64`` size array.  All
+        endpoint validation of a phase happens *here*, once per pattern
+        placement; the per-message routing paths downstream trust the placed
+        endpoints (see :func:`repro.netsim.routing.route_message`).  The
+        converted arrays are cached on the (immutable) pattern, so placing
+        the same pattern under several embeddings — the survey and CLI
+        comparison loops — converts and validates the messages only once.
+        Requires NumPy.
+        """
+        np = require_numpy()
+        cached = getattr(self, "_endpoint_cache", None)
+        if cached is not None and cached[0] == tuple(guest_shape):
+            return cached[1]
+        if not self.messages:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy(), np.zeros(0, dtype=np.float64)
+        sources = np.asarray([m.source for m in self.messages])
+        targets = np.asarray([m.destination for m in self.messages])
+        for endpoints in (sources, targets):
+            if not np.issubdtype(endpoints.dtype, np.integer):
+                # Casting would silently truncate e.g. (1.9, 0) to (1, 0);
+                # reject like the dict path's failed lookup would.
+                raise SimulationError("message endpoints must be integer node tuples")
+            if endpoints.ndim != 2 or endpoints.shape[1] != len(guest_shape):
+                raise SimulationError(
+                    "message endpoints do not match the guest graph's dimension"
+                )
+            if (endpoints < 0).any() or (endpoints >= guest_shape).any():
+                raise SimulationError("message endpoints must be nodes of the guest graph")
+        sizes = np.asarray([m.size for m in self.messages], dtype=np.float64)
+        arrays = (
+            digits_to_indices(sources.astype(np.int64), guest_shape),
+            digits_to_indices(targets.astype(np.int64), guest_shape),
+            sizes,
+        )
+        # The dataclass is frozen but not slotted; cache through the base
+        # setattr so identical placements skip the per-message conversion.
+        object.__setattr__(self, "_endpoint_cache", (tuple(guest_shape), arrays))
+        return arrays
+
     def placed(self, embedding: Embedding) -> List[tuple[Node, Node, float]]:
         """Translate task endpoints to processors via the embedding.
 
@@ -66,35 +124,13 @@ class TrafficPattern:
         each endpoint is looked up in the dict individually.
         """
         if HAVE_NUMPY and self.messages:
-            np = require_numpy()
-            guest_shape = embedding.guest.shape
-            sources = np.asarray([m.source for m in self.messages])
-            targets = np.asarray([m.destination for m in self.messages])
-            for endpoints in (sources, targets):
-                if not np.issubdtype(endpoints.dtype, np.integer):
-                    # Casting would silently truncate e.g. (1.9, 0) to (1, 0);
-                    # reject like the dict path's failed lookup would.
-                    raise SimulationError(
-                        "message endpoints must be integer node tuples"
-                    )
-                if endpoints.ndim != 2 or endpoints.shape[1] != len(guest_shape):
-                    raise SimulationError(
-                        "message endpoints do not match the guest graph's dimension"
-                    )
-                if (endpoints < 0).any() or (endpoints >= guest_shape).any():
-                    raise SimulationError(
-                        "message endpoints must be nodes of the guest graph"
-                    )
-            sources = sources.astype(np.int64)
-            targets = targets.astype(np.int64)
+            source_ranks, target_ranks, _sizes = self.endpoint_rank_arrays(
+                embedding.guest.shape
+            )
             images = embedding.host_index_array()
             host_shape = embedding.host.shape
-            placed_sources = indices_to_digits(
-                images[digits_to_indices(sources, guest_shape)], host_shape
-            )
-            placed_targets = indices_to_digits(
-                images[digits_to_indices(targets, guest_shape)], host_shape
-            )
+            placed_sources = indices_to_digits(images[source_ranks], host_shape)
+            placed_targets = indices_to_digits(images[target_ranks], host_shape)
             return [
                 (tuple(source), tuple(target), message.size)
                 for source, target, message in zip(
@@ -141,3 +177,65 @@ def transpose_traffic(
         if partner != node:
             messages.append(Message(node, partner, message_size))
     return TrafficPattern(name=f"transpose{guest.shape}", messages=tuple(messages))
+
+
+def all_to_all_in_groups_traffic(
+    guest: CartesianGraph,
+    *,
+    group_size: Optional[int] = None,
+    message_size: float = 1.0,
+) -> TrafficPattern:
+    """Every ordered pair of distinct tasks within each group exchanges a message.
+
+    Groups are consecutive blocks of the guest's natural (lexicographic) node
+    order; the default group size is the last dimension's length, so each
+    group is one "pencil" of tasks sharing all but their final coordinate —
+    the sub-communicator of row-wise collectives (FFT transposes within rows,
+    ADI line sweeps, block reductions).  A good embedding keeps each pencil's
+    images clustered in the host, so unlike :func:`transpose_traffic` this
+    dense pattern still rewards low dilation.
+    """
+    size = guest.size
+    if group_size is None:
+        group_size = guest.shape[-1]
+    if group_size < 1 or size % group_size != 0:
+        raise SimulationError(
+            f"group size {group_size} must be positive and divide the "
+            f"guest's {size} nodes"
+        )
+    messages: List[Message] = []
+    for start in range(0, size, group_size):
+        group = [guest.index_node(rank) for rank in range(start, start + group_size)]
+        for source in group:
+            for destination in group:
+                if source != destination:
+                    messages.append(Message(source, destination, message_size))
+    return TrafficPattern(
+        name=f"all-to-all-groups{guest.shape}/{group_size}", messages=tuple(messages)
+    )
+
+
+#: Named builders used by the simulation survey suite and the CLI.
+TRAFFIC_BUILDERS: Dict[str, Callable[..., TrafficPattern]] = {
+    "neighbor-exchange": neighbor_exchange_traffic,
+    "transpose": transpose_traffic,
+    "all-to-all-groups": all_to_all_in_groups_traffic,
+}
+
+
+def traffic_pattern(
+    name: str, guest: CartesianGraph, *, message_size: float = 1.0
+) -> TrafficPattern:
+    """Build the named traffic pattern for a guest task graph."""
+    try:
+        builder = TRAFFIC_BUILDERS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown traffic pattern {name!r}; choose from {', '.join(traffic_pattern_names())}"
+        ) from None
+    return builder(guest, message_size=message_size)
+
+
+def traffic_pattern_names() -> Tuple[str, ...]:
+    """The pattern names accepted by :func:`traffic_pattern`."""
+    return tuple(TRAFFIC_BUILDERS)

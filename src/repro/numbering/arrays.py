@@ -31,6 +31,7 @@ __all__ = [
     "digit_weights",
     "indices_to_digits",
     "digits_to_indices",
+    "signed_offset_digits",
 ]
 
 HAVE_NUMPY = _np is not None
@@ -86,3 +87,36 @@ def digits_to_indices(digits, shape: Sequence[int]):
             f"digit rows have {digits.shape[-1]} columns but the base has {weights.size} radices"
         )
     return digits @ weights
+
+
+def signed_offset_digits(a_digits, b_digits, shape: Sequence[int], *, torus: bool):
+    """Per-dimension signed coordinate offsets of dimension-ordered routing.
+
+    For digit rows ``A`` and ``B`` of the base ``shape``, the entry ``(i, j)``
+    is the signed number of unit steps dimension-ordered routing takes in
+    dimension ``j`` to move message ``i`` from ``a_j`` to ``b_j``:
+
+    * mesh (``torus=False``): ``b_j - a_j`` (monotone correction);
+    * torus: the shorter way around the ring of length ``l_j``, ties broken
+      towards increasing coordinates — ``+((b_j - a_j) mod l_j)`` when that
+      is at most ``(a_j - b_j) mod l_j``, else the negated backward count.
+
+    This is the batched form of the per-step direction choice of
+    :func:`repro.graphs.paths.dimension_order_path` (the chosen direction is
+    invariant along a run, so one signed offset per dimension reproduces the
+    walk), and ``abs(offsets).sum(axis=-1)`` equals the δt/δm distance of
+    Lemmas 5 and 6.
+    """
+    np = require_numpy()
+    a_digits = np.asarray(a_digits, dtype=np.int64)
+    b_digits = np.asarray(b_digits, dtype=np.int64)
+    if a_digits.shape != b_digits.shape:
+        raise ValueError("digit arrays must have the same shape")
+    lengths = np.asarray(tuple(shape), dtype=np.int64)
+    if a_digits.shape[-1] != lengths.size:
+        raise ValueError("digit arrays and shape must have the same dimension")
+    if not torus:
+        return b_digits - a_digits
+    forward = (b_digits - a_digits) % lengths
+    backward = (a_digits - b_digits) % lengths
+    return np.where(forward <= backward, forward, -backward)

@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..utils.listops import product
-from .arrays import digit_weights, digits_to_indices, indices_to_digits, require_numpy
+from .arrays import digit_weights, digits_to_indices, require_numpy
 
 __all__ = [
     "t_indices",

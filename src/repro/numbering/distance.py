@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .arrays import digit_weights, indices_to_digits, require_numpy
+from .arrays import indices_to_digits, require_numpy
 
 __all__ = [
     "mesh_distance",

@@ -18,7 +18,7 @@ mixed-radix construction; tests assert the two coincide.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence
 
 from ..types import Node
 from .radix import RadixBase

@@ -15,7 +15,7 @@ The paper's basic embeddings are exactly statements about spreads:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..types import Node
 from .distance import mesh_distance, torus_distance

@@ -23,12 +23,31 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import evaluate_embedding
+from ..baselines import bfs_order_embedding, lexicographic_embedding, random_embedding
 from ..core.dispatch import embed
 from ..exceptions import UnsupportedEmbeddingError
+from ..netsim import HostNetwork, simulate_phase, traffic_pattern
 from .scenarios import Scenario
 from .store import SurveyRecord, read_json, write_json
 
-__all__ = ["SurveyOptions", "SurveyReport", "run_survey", "evaluate_scenario"]
+__all__ = [
+    "SurveyOptions",
+    "SurveyReport",
+    "run_survey",
+    "evaluate_scenario",
+    "STRATEGY_BUILDERS",
+]
+
+#: Embedding builders the simulation scenarios select by name: the paper's
+#: dispatcher (which honours the construction ``method``) plus the baselines.
+#: Shared with ``experiments/simulation_tables.py`` so the survey suite and
+#: the SIM-MAP experiment compare exactly the same competitors.
+STRATEGY_BUILDERS = {
+    "paper": lambda guest, host, method: embed(guest, host, method=method),
+    "lexicographic": lambda guest, host, method: lexicographic_embedding(guest, host),
+    "bfs": lambda guest, host, method: bfs_order_embedding(guest, host),
+    "random": lambda guest, host, method: random_embedding(guest, host, seed=0),
+}
 
 
 @dataclass(frozen=True)
@@ -96,26 +115,41 @@ class SurveyReport:
         return dict(sorted(histogram.items()))
 
     def summary_rows(self) -> List[Dict[str, object]]:
-        """Tabular summary used by the CLI (one row per strategy)."""
+        """Tabular summary used by the CLI (one row per strategy).
+
+        When the report contains simulation records a ``mean makespan``
+        column is appended (averaged over each strategy's simulated phases).
+        """
+        with_makespan = any(r.makespan is not None for r in self.ok)
         rows: List[Dict[str, object]] = []
         for strategy, count in self.strategy_histogram().items():
             group = [r for r in self.ok if r.strategy == strategy]
-            rows.append(
-                {
-                    "strategy": strategy,
-                    "pairs": count,
-                    "max dilation": max(r.dilation for r in group),
-                    "mean avg-dilation": round(
-                        sum(r.average_dilation for r in group) / count, 3
-                    ),
-                    "prediction holds": sum(1 for r in group if r.matches_prediction),
-                }
-            )
+            row: Dict[str, object] = {
+                "strategy": strategy,
+                "pairs": count,
+                "max dilation": max(r.dilation for r in group),
+                "mean avg-dilation": round(
+                    sum(r.average_dilation for r in group) / count, 3
+                ),
+                "prediction holds": sum(1 for r in group if r.matches_prediction),
+            }
+            if with_makespan:
+                simulated = [r.makespan for r in group if r.makespan is not None]
+                row["mean makespan"] = (
+                    round(sum(simulated) / len(simulated), 1) if simulated else "-"
+                )
+            rows.append(row)
         return rows
 
 
 def evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecord:
-    """Embed and measure one scenario, capturing failures as record status."""
+    """Embed and measure one scenario, capturing failures as record status.
+
+    Embedding scenarios measure the vectorized costs; simulation scenarios
+    (``scenario.traffic`` set) additionally place the named traffic pattern
+    on the host network and run the store-and-forward phase simulation, all
+    under the same ``method`` switch.
+    """
     guest = scenario.guest_graph()
     host = scenario.host_graph()
     base = dict(
@@ -127,6 +161,36 @@ def evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecor
     )
     started = time.perf_counter()
     try:
+        if scenario.traffic:
+            builder = STRATEGY_BUILDERS[scenario.strategy]
+            embedding = builder(guest, host, options.method)
+            pattern = traffic_pattern(scenario.traffic, guest)
+            result = simulate_phase(
+                HostNetwork(host), embedding, pattern, method=options.method
+            )
+            statistics = result.statistics
+            dilation = embedding.dilation(method=options.method)
+            return SurveyRecord(
+                status="ok",
+                strategy=scenario.strategy,
+                predicted_dilation=embedding.predicted_dilation,
+                dilation=dilation,
+                average_dilation=embedding.average_dilation(method=options.method),
+                congestion=(
+                    embedding.edge_congestion(method=options.method)
+                    if options.with_congestion
+                    else None
+                ),
+                matches_prediction=embedding.matches_prediction(measured=dilation),
+                traffic=scenario.traffic,
+                messages=statistics.num_messages,
+                max_hops=statistics.max_hops,
+                max_link_load=statistics.max_link_load_messages,
+                estimated_time=statistics.estimated_completion_time,
+                makespan=result.makespan,
+                elapsed_seconds=time.perf_counter() - started,
+                **base,
+            )
         embedding = embed(guest, host, method=options.method)
         report = evaluate_embedding(
             embedding, with_congestion=options.with_congestion, method=options.method

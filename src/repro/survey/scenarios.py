@@ -20,12 +20,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..graphs.base import CartesianGraph, make_graph
 from ..types import GraphKind, Shape
 
-__all__ = ["Scenario", "shapes_up_to", "all_pairs", "scenarios_for_suite", "suite_names"]
+__all__ = [
+    "Scenario",
+    "shapes_up_to",
+    "all_pairs",
+    "scenarios_for_suite",
+    "suite_names",
+    "SIMULATION_STRATEGIES",
+    "SIMULATION_TRAFFIC",
+]
 
 _KIND_PAIRS: Tuple[Tuple[str, str], ...] = (
     ("torus", "torus"),
@@ -37,19 +45,35 @@ _KIND_PAIRS: Tuple[Tuple[str, str], ...] = (
 
 @dataclass(frozen=True, order=True)
 class Scenario:
-    """One guest/host pair of a survey, identified by kinds and shapes."""
+    """One guest/host pair of a survey, identified by kinds and shapes.
+
+    Two scenario flavours share the type:
+
+    * *embedding scenarios* (``traffic == ""``, the default) — embed with the
+      paper's dispatcher and measure the vectorized costs;
+    * *simulation scenarios* (``traffic`` names a pattern of
+      :func:`repro.netsim.traffic.traffic_pattern`) — build the embedding
+      named by ``strategy`` (the paper's dispatcher or a baseline), place the
+      traffic on the host network and run the store-and-forward simulation.
+    """
 
     guest_kind: str
     guest_shape: Shape
     host_kind: str
     host_shape: Shape
+    strategy: str = "paper"
+    traffic: str = ""
 
     @property
     def scenario_id(self) -> str:
-        """Canonical id, e.g. ``torus:4,6->mesh:2,2,2,3`` (stable sort key)."""
-        guest = ",".join(str(l) for l in self.guest_shape)
-        host = ",".join(str(l) for l in self.host_shape)
-        return f"{self.guest_kind}:{guest}->{self.host_kind}:{host}"
+        """Canonical id (stable sort key), e.g. ``torus:4,6->mesh:2,2,2,3``;
+        simulation scenarios append ``|<strategy>|<traffic>``."""
+        guest = ",".join(str(length) for length in self.guest_shape)
+        host = ",".join(str(length) for length in self.host_shape)
+        base = f"{self.guest_kind}:{guest}->{self.host_kind}:{host}"
+        if self.traffic:
+            return f"{base}|{self.strategy}|{self.traffic}"
+        return base
 
     @property
     def nodes(self) -> int:
@@ -65,6 +89,9 @@ class Scenario:
     @classmethod
     def from_id(cls, scenario_id: str) -> "Scenario":
         """Parse the :attr:`scenario_id` format back into a Scenario."""
+        strategy, traffic = "paper", ""
+        if "|" in scenario_id:
+            scenario_id, strategy, traffic = scenario_id.split("|", 2)
         guest_text, host_text = scenario_id.split("->", 1)
         guest_kind, guest_shape = guest_text.split(":", 1)
         host_kind, host_shape = host_text.split(":", 1)
@@ -73,6 +100,8 @@ class Scenario:
             guest_shape=tuple(int(p) for p in guest_shape.split(",")),
             host_kind=host_kind,
             host_shape=tuple(int(p) for p in host_shape.split(",")),
+            strategy=strategy,
+            traffic=traffic,
         )
 
 
@@ -192,6 +221,56 @@ def _suite_squares(max_nodes: int) -> List[Scenario]:
     return scenarios
 
 
+#: Embedding strategies crossed into the simulation suite (resolved by the
+#: runner's builder registry: the paper's dispatcher plus the baselines).
+SIMULATION_STRATEGIES: Tuple[str, ...] = ("paper", "lexicographic", "bfs", "random")
+
+#: Traffic patterns crossed into the simulation suite (resolved by
+#: :func:`repro.netsim.traffic.traffic_pattern`).
+SIMULATION_TRAFFIC: Tuple[str, ...] = (
+    "neighbor-exchange",
+    "transpose",
+    "all-to-all-groups",
+)
+
+
+def _suite_simulation(max_nodes: int) -> List[Scenario]:
+    """The end-to-end pipeline sweep: embed → place → route → simulate.
+
+    Known-good guest/host pairs (every strategy applies, every guest is
+    multi-dimensional so no pattern degenerates) crossed with each embedding
+    strategy and each traffic pattern.  Pairs above the node budget are
+    dropped, so ``--max-nodes 48`` (the CLI default) keeps a CI-friendly
+    sweep while larger budgets add the paper's task-mapping scenarios.
+    """
+    pairs = [
+        ("torus", (4, 6), "mesh", (2, 2, 2, 3)),
+        ("mesh", (4, 6), "torus", (24,)),
+        ("torus", (3, 4), "mesh", (3, 4)),
+        ("torus", (4, 4), "mesh", (2, 2, 2, 2)),
+        ("torus", (8, 8), "mesh", (4, 4, 4)),
+        ("mesh", (16, 4), "torus", (4, 4, 4)),
+        ("torus", (4, 4, 4), "mesh", (8, 8)),
+    ]
+    scenarios: List[Scenario] = []
+    for guest_kind, guest_shape, host_kind, host_shape in pairs:
+        if math.prod(guest_shape) > max_nodes:
+            continue
+        for strategy in SIMULATION_STRATEGIES:
+            for traffic in SIMULATION_TRAFFIC:
+                scenarios.append(
+                    Scenario(
+                        guest_kind,
+                        guest_shape,
+                        host_kind,
+                        host_shape,
+                        strategy=strategy,
+                        traffic=traffic,
+                    )
+                )
+    return scenarios
+
+
 def _suite_figures() -> List[Scenario]:
     """The worked figures of the paper (Figures 10-12 plus the abstract pair)."""
     pairs = [
@@ -219,9 +298,11 @@ def scenarios_for_suite(suite: str, *, max_nodes: int = 64) -> List[Scenario]:
         return _suite_squares(max_nodes)
     if suite == "figures":
         return _suite_figures()
+    if suite == "simulation":
+        return _suite_simulation(max_nodes)
     raise ValueError(f"unknown suite {suite!r}; choose from {', '.join(suite_names())}")
 
 
 def suite_names() -> List[str]:
     """The named suites accepted by :func:`scenarios_for_suite`."""
-    return ["exhaustive", "smoke", "basic", "squares", "figures"]
+    return ["exhaustive", "smoke", "basic", "squares", "figures", "simulation"]

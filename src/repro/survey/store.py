@@ -28,7 +28,9 @@ __all__ = [
 
 PathLike = Union[str, Path]
 
-#: Column order of the CSV format (also the canonical JSON key order).
+#: Column order of the CSV format (also the canonical JSON key order).  The
+#: ``traffic`` .. ``makespan`` block is only populated by simulation
+#: scenarios; embedding scenarios leave it ``None`` (empty CSV cells).
 FIELDS = (
     "scenario_id",
     "guest",
@@ -42,6 +44,12 @@ FIELDS = (
     "average_dilation",
     "congestion",
     "matches_prediction",
+    "traffic",
+    "messages",
+    "max_hops",
+    "max_link_load",
+    "estimated_time",
+    "makespan",
     "elapsed_seconds",
     "error",
 )
@@ -56,6 +64,10 @@ class SurveyRecord:
     :class:`~repro.exceptions.UnsupportedEmbeddingError`) and ``"error"``
     for unexpected failures; the cost columns are ``None`` in the latter two
     cases and ``error`` carries the message.
+
+    Simulation scenarios additionally fill the ``traffic`` .. ``makespan``
+    block (pattern name, message count, per-phase hop/link statistics and
+    the simulated completion time); embedding scenarios leave it ``None``.
     """
 
     scenario_id: str
@@ -70,6 +82,12 @@ class SurveyRecord:
     average_dilation: Optional[float] = None
     congestion: Optional[int] = None
     matches_prediction: Optional[bool] = None
+    traffic: Optional[str] = None
+    messages: Optional[int] = None
+    max_hops: Optional[int] = None
+    max_link_load: Optional[int] = None
+    estimated_time: Optional[float] = None
+    makespan: Optional[float] = None
     elapsed_seconds: float = 0.0
     error: Optional[str] = None
 
@@ -120,7 +138,12 @@ _CSV_PARSERS = {
     "predicted_dilation": int,
     "dilation": int,
     "congestion": int,
+    "messages": int,
+    "max_hops": int,
+    "max_link_load": int,
     "average_dilation": float,
+    "estimated_time": float,
+    "makespan": float,
     "elapsed_seconds": float,
     "matches_prediction": lambda text: text == "true",
 }

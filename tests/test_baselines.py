@@ -11,7 +11,7 @@ from repro.baselines import (
 from repro.baselines.bfs_embedding import bfs_order
 from repro.core.dispatch import embed
 from repro.exceptions import ShapeMismatchError, UnsupportedEmbeddingError
-from repro.graphs.base import Hypercube, Line, Mesh, Ring, Torus
+from repro.graphs.base import Hypercube, Line, Mesh, Torus
 
 
 class TestLexicographic:

@@ -11,7 +11,6 @@ random same-size shapes through the dispatcher, also asserting that whatever
 ``embed`` returns is a valid injection.
 """
 
-import math
 
 import pytest
 from hypothesis import assume, given, settings

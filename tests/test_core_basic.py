@@ -11,7 +11,6 @@ from repro.core.basic import (
     g_sequence,
     g_value,
     h_sequence,
-    h_value,
     line_in_graph_embedding,
     predicted_ring_dilation,
     r_sequence,

@@ -4,7 +4,6 @@ import math
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.core.expansion import (
     ExpansionFactor,

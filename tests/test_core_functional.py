@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.dispatch import embed
-from repro.core.functional import FunctionalEmbedding, functional_embed
+from repro.core.functional import functional_embed
 from repro.exceptions import ShapeMismatchError, UnsupportedEmbeddingError
 from repro.graphs.base import Hypercube, Line, Mesh, Ring, Torus
 from repro.types import GraphKind, ShapedGraphSpec

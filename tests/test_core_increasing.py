@@ -5,7 +5,7 @@ import pytest
 from repro.core.expansion import ExpansionFactor, find_unit_dilation_torus_factor
 from repro.core.increasing import F_value, G_value, H_value, embed_increasing
 from repro.exceptions import NoExpansionError, ShapeMismatchError
-from repro.graphs.base import Hypercube, Mesh, Torus
+from repro.graphs.base import Mesh, Torus
 
 FIGURE11_FACTOR = ExpansionFactor(((2, 2), (2, 3)))
 

@@ -14,7 +14,6 @@ from repro.core.lowering import (
 from repro.core.reduction import (
     GeneralReductionFactor,
     SimpleReductionFactor,
-    find_general_reduction,
 )
 from repro.exceptions import NoReductionError, ShapeMismatchError
 from repro.graphs.base import Hypercube, Line, Mesh, Ring, Torus

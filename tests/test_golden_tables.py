@@ -26,12 +26,29 @@ from repro.experiments.lowering_tables import (
     hypercube_rows,
     simple_rows,
 )
+from repro.experiments.simulation_tables import (
+    SCENARIOS,
+    collective_rows,
+    mapping_rows,
+    negative_control_rows,
+)
 from repro.experiments.square_tables import (
     square_increasing_rows,
     square_lowering_rows,
 )
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _sim_map_rows():
+    """The SIM-MAP table: deterministic simulated makespans per strategy.
+
+    Pins the whole array-native netsim pipeline end to end — placement,
+    batched routing, link loads and the event loop — since a single changed
+    hop or tie-break shifts a makespan cell.
+    """
+    return mapping_rows(SCENARIOS[:3]) + negative_control_rows() + collective_rows()
+
 
 #: Fixture name -> zero-argument generator of the table rows it pins.
 TABLES = {
@@ -41,6 +58,7 @@ TABLES = {
     "tab_lowering_general": lambda: general_rows(GENERAL_SWEEP),
     "tab_square_lowering": lambda: square_lowering_rows(),
     "tab_square_increasing": lambda: square_increasing_rows(),
+    "tab_sim_map": _sim_map_rows,
 }
 
 

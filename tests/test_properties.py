@@ -17,7 +17,7 @@ from repro.core.basic import (
     ring_in_graph_embedding,
 )
 from repro.core.dispatch import embed, strategy_for
-from repro.core.expansion import find_expansion_factor, iter_expansion_factors
+from repro.core.expansion import iter_expansion_factors
 from repro.core.increasing import embed_increasing
 from repro.core.lowering import embed_lowering_simple
 from repro.core.reduction import find_simple_reduction
