@@ -5,10 +5,10 @@ side added on top of it.  Every strategy family is built at table scale
 (4096–32768 nodes, the sizes of the paper's result tables) with both
 construction methods:
 
-* ``method="loop"`` — the retained per-node reference builders
-  (``Embedding.from_callable`` over a Python dict);
-* ``method="array"`` — the batch kernels of :mod:`repro.numbering.batch`
-  producing the flat host-index array directly.
+* ``use_context(backend="loop")`` — the retained per-node reference
+  builders (``Embedding.from_callable`` over a Python dict);
+* ``use_context(backend="array")`` — the batch kernels of
+  :mod:`repro.numbering.batch` producing the flat host-index array directly.
 
 The two must produce node-for-node identical mappings, and the array path
 must be at least ``SPEEDUP_FLOOR``x faster over the whole batch.  Run with
@@ -22,6 +22,7 @@ import pytest
 
 from repro.core.dispatch import embed
 from repro.graphs.base import Line, Mesh, Ring, Torus
+from repro.runtime import use_context
 
 #: Table-scale pairs, one per strategy family the dispatcher can select.
 TABLE_SCALE_PAIRS = [
@@ -41,8 +42,9 @@ TABLE_SCALE_PAIRS = [
 SPEEDUP_FLOOR = 10.0
 
 
-def _build_all(method):
-    return [embed(guest, host, method=method) for guest, host in TABLE_SCALE_PAIRS]
+def _build_all(backend):
+    with use_context(backend=backend):
+        return [embed(guest, host) for guest, host in TABLE_SCALE_PAIRS]
 
 
 def test_construction_array_speedup_over_loop_builders():
@@ -91,5 +93,9 @@ def test_benchmark_array_construction_batch(benchmark):
     ids=["line-32k", "increasing-4k", "lowering-4k"],
 )
 def test_benchmark_single_array_construction(benchmark, guest, host):
-    embedding = benchmark(lambda: embed(guest, host, method="array"))
+    def build():
+        with use_context(backend="array"):
+            return embed(guest, host)
+
+    embedding = benchmark(build)
     assert embedding.is_valid()

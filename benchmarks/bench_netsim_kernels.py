@@ -5,10 +5,10 @@ hot path — the network-simulation layer.  Survey-scale phases (4096-node
 hosts, thousands of messages across all three traffic patterns) are
 evaluated with both implementations of the analytic phase estimate:
 
-* ``method="loop"`` — the retained per-message reference
+* ``use_context(backend="loop")`` — the retained per-message reference
   (``route_message`` node-tuple paths, dict-keyed link loads);
-* ``method="array"`` — batched dimension-ordered routing over the flat
-  directed-link id space plus ``np.bincount`` load accumulation
+* ``use_context(backend="array")`` — batched dimension-ordered routing over
+  the flat directed-link id space plus ``np.bincount`` load accumulation
   (:mod:`repro.netsim.kernels`).
 
 The two must produce identical statistics (field-for-field, floats
@@ -33,6 +33,7 @@ from repro.netsim import (
     simulate_phase,
     transpose_traffic,
 )
+from repro.runtime import use_context
 
 #: Survey-scale phases: (guest, host, traffic builder) per pattern family.
 SURVEY_SCALE_PHASES = [
@@ -44,6 +45,11 @@ SURVEY_SCALE_PHASES = [
 SPEEDUP_FLOOR = 10.0
 
 
+def _estimate_one_array(network, embedding, traffic):
+    with use_context(backend="array"):
+        return analytic_phase_estimate(network, embedding, traffic)
+
+
 def _phases():
     phases = []
     for guest, host, build_traffic in SURVEY_SCALE_PHASES:
@@ -53,11 +59,12 @@ def _phases():
     return phases
 
 
-def _estimate_all(phases, method):
-    return [
-        analytic_phase_estimate(network, embedding, traffic, method=method)
-        for network, embedding, traffic in phases
-    ]
+def _estimate_all(phases, backend):
+    with use_context(backend=backend):
+        return [
+            analytic_phase_estimate(network, embedding, traffic)
+            for network, embedding, traffic in phases
+        ]
 
 
 def test_analytic_estimate_array_speedup_over_loop():
@@ -92,10 +99,12 @@ def test_analytic_estimate_array_speedup_over_loop():
 def test_simulate_phase_array_matches_loop_at_scale():
     network, embedding, traffic = _phases()[0]
     started = time.perf_counter()
-    loop_result = simulate_phase(network, embedding, traffic, method="loop")
+    with use_context(backend="loop"):
+        loop_result = simulate_phase(network, embedding, traffic)
     loop_seconds = time.perf_counter() - started
     started = time.perf_counter()
-    array_result = simulate_phase(network, embedding, traffic, method="array")
+    with use_context(backend="array"):
+        array_result = simulate_phase(network, embedding, traffic)
     array_seconds = time.perf_counter() - started
     assert array_result.makespan == loop_result.makespan
     assert array_result.per_message_completion == loop_result.per_message_completion
@@ -120,14 +129,16 @@ def test_benchmark_analytic_estimate_array_batch(benchmark):
 def test_benchmark_single_phase_estimate(benchmark, index):
     network, embedding, traffic = _phases()[index]
     statistics = benchmark(
-        lambda: analytic_phase_estimate(network, embedding, traffic, method="array")
+        lambda: _estimate_one_array(network, embedding, traffic)
     )
     assert statistics.num_messages == len(traffic)
 
 
 def test_benchmark_simulate_phase_array(benchmark):
     network, embedding, traffic = _phases()[0]
-    result = benchmark(
-        lambda: simulate_phase(network, embedding, traffic, method="array")
-    )
+    def run():
+        with use_context(backend="array"):
+            return simulate_phase(network, embedding, traffic)
+
+    result = benchmark(run)
     assert result.makespan > 0

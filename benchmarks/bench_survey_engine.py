@@ -5,8 +5,8 @@ pairs" sweeps run at hardware speed.  This module demonstrates the two
 ingredients on Table-sized inputs (the paper's result tables go up to 4096
 nodes):
 
-* the vectorized cost path (``method="array"``) must be at least 5x faster
-  than the historical per-edge Python loops (``method="loop"``) over a
+* the vectorized cost path (``use_context(backend="array")``) must be at
+  least 5x faster than the historical per-edge Python loops (``"loop"``) over a
   survey-scale batch of embeddings, while producing identical measures;
 * the end-to-end engine (scenario generation -> embed -> vectorized
   measure -> merge) is timed with ``pytest-benchmark`` for regression
@@ -20,6 +20,7 @@ import math
 import time
 
 from repro.core.dispatch import embed
+from repro.runtime import use_context
 from repro.graphs.base import Mesh, Torus
 from repro.survey import (
     Scenario,
@@ -62,15 +63,12 @@ def _table_sized_embeddings():
     return embeddings
 
 
-def _measure_all(embeddings, method):
-    return [
-        (
-            e.dilation(method=method),
-            e.average_dilation(method=method),
-            e.edge_congestion(method=method),
-        )
-        for e in embeddings
-    ]
+def _measure_all(embeddings, backend):
+    with use_context(backend=backend):
+        return [
+            (e.dilation(), e.average_dilation(), e.edge_congestion())
+            for e in embeddings
+        ]
 
 
 def test_survey_vectorized_speedup_over_per_edge_loop():
@@ -110,10 +108,8 @@ def test_benchmark_vectorized_metrics_large_pair(benchmark):
     embedding.host_index_array()
 
     def measure():
-        return (
-            embedding.dilation(method="array"),
-            embedding.edge_congestion(method="array"),
-        )
+        with use_context(backend="array"):
+            return (embedding.dilation(), embedding.edge_congestion())
 
     dilation, congestion = benchmark(measure)
     assert dilation == embedding.predicted_dilation or dilation >= 1

@@ -1,0 +1,94 @@
+"""Bench-regression gate: fresh benchmark JSON vs the committed floors.
+
+Compares a ``pytest-benchmark --benchmark-json`` artifact (the netsim kernel
+run CI just produced) against the committed perf snapshot
+``BENCH_netsim.json`` and fails when any matching benchmark's median slowed
+down by more than ``--max-slowdown`` (default 2x) — the guard that keeps the
+array kernels from quietly regressing while the suite stays green.
+
+Benchmarks are matched by ``fullname``; entries present on only one side are
+reported but do not gate (new benchmarks are allowed to appear, retired ones
+to disappear).  At least one pair must match, otherwise the gate fails —
+a wholesale rename must not silently disable the comparison.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py bench-netsim.json \
+        --baseline BENCH_netsim.json --max-slowdown 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_medians(path: Path) -> dict:
+    """``fullname -> median seconds`` of a pytest-benchmark JSON document."""
+    with path.open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return {
+        entry["fullname"]: entry["stats"]["median"]
+        for entry in document.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="fresh --benchmark-json output")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("BENCH_netsim.json"),
+        help="committed perf snapshot to compare against",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        help="fail when current median > this factor times the baseline median",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print(
+            f"FAIL: no benchmark names shared between {args.current} and "
+            f"{args.baseline}; the regression gate has nothing to compare"
+        )
+        return 1
+
+    regressions = []
+    for name in shared:
+        ratio = current[name] / baseline[name]
+        verdict = "ok"
+        if ratio > args.max_slowdown:
+            verdict = f"REGRESSION (> {args.max_slowdown:.1f}x)"
+            regressions.append(name)
+        print(
+            f"{name}: baseline {baseline[name] * 1e3:.2f}ms, "
+            f"current {current[name] * 1e3:.2f}ms, {ratio:.2f}x — {verdict}"
+        )
+    for name in sorted(set(baseline) - set(current)):
+        print(f"note: baseline-only benchmark not in current run: {name}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: new benchmark without a committed floor: {name}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} of {len(shared)} benchmarks slowed "
+            f"down by more than {args.max_slowdown:.1f}x"
+        )
+        return 1
+    print(
+        f"\nOK: {len(shared)} benchmarks within {args.max_slowdown:.1f}x of the floors"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

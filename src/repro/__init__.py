@@ -32,6 +32,8 @@ from .exceptions import (
     UnsupportedEmbeddingError,
 )
 from .types import GraphKind, ShapedGraphSpec
+from .runtime import ConstructionCache, ExecutionContext, use_context
+from .runtime.context import current as current_context
 from .numbering import RadixBase, mesh_distance, torus_distance
 from .graphs import (
     CartesianGraph,
@@ -77,6 +79,11 @@ __all__ = [
     # types
     "GraphKind",
     "ShapedGraphSpec",
+    # runtime
+    "ExecutionContext",
+    "ConstructionCache",
+    "use_context",
+    "current_context",
     # numbering
     "RadixBase",
     "mesh_distance",

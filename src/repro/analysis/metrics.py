@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..core.embedding import CostMethod, Embedding
+from ..core.embedding import Embedding
+from ..runtime.context import accepts_deprecated_method
 
 __all__ = [
     "dilation_cost",
@@ -24,24 +25,27 @@ __all__ = [
 ]
 
 
-def dilation_cost(embedding: Embedding, *, method: CostMethod = "auto") -> int:
+@accepts_deprecated_method
+def dilation_cost(embedding: Embedding) -> int:
     """The measured dilation cost (maximum host distance over guest edges).
 
-    ``method`` selects the implementation: ``"auto"`` uses the vectorized
-    array path when NumPy is available, ``"array"`` forces it, ``"loop"``
+    The implementation is resolved from the ambient execution context: the
+    array backend runs the vectorized path, ``use_context(backend="loop")``
     forces the historical per-edge Python loop (the cross-checked fallback).
     """
-    return embedding.dilation(method=method)
+    return embedding.dilation()
 
 
-def average_dilation_cost(embedding: Embedding, *, method: CostMethod = "auto") -> float:
+@accepts_deprecated_method
+def average_dilation_cost(embedding: Embedding) -> float:
     """The mean host distance over guest edges."""
-    return embedding.average_dilation(method=method)
+    return embedding.average_dilation()
 
 
-def edge_congestion_cost(embedding: Embedding, *, method: CostMethod = "auto") -> int:
+@accepts_deprecated_method
+def edge_congestion_cost(embedding: Embedding) -> int:
     """Maximum number of guest edges routed through one host edge."""
-    return embedding.edge_congestion(method=method)
+    return embedding.edge_congestion()
 
 
 def expansion_cost(embedding: Embedding) -> float:
@@ -76,11 +80,9 @@ class EmbeddingReport:
         }
 
 
+@accepts_deprecated_method
 def evaluate_embedding(
-    embedding: Embedding,
-    *,
-    with_congestion: bool = False,
-    method: CostMethod = "auto",
+    embedding: Embedding, *, with_congestion: bool = False
 ) -> EmbeddingReport:
     """Measure an embedding and package the results.
 
@@ -93,8 +95,8 @@ def evaluate_embedding(
         host=repr(embedding.host),
         strategy=embedding.strategy,
         predicted_dilation=embedding.predicted_dilation,
-        dilation=embedding.dilation(method=method),
-        average_dilation=embedding.average_dilation(method=method),
-        congestion=embedding.edge_congestion(method=method) if with_congestion else None,
+        dilation=embedding.dilation(),
+        average_dilation=embedding.average_dilation(),
+        congestion=embedding.edge_congestion() if with_congestion else None,
         valid=embedding.is_valid(),
     )

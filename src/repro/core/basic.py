@@ -30,9 +30,10 @@ from ..numbering.arrays import digits_to_indices, require_numpy
 from ..numbering.batch import f_flat, g_flat, h_digits, h_flat
 from ..numbering.graycode import reflected_digit
 from ..numbering.radix import RadixBase
+from ..runtime.context import accepts_deprecated_method
 from ..types import Node
 from ..utils.listops import apply_permutation, concat, invert_permutation
-from .embedding import CostMethod, Embedding, use_array_path
+from .embedding import Embedding, use_array_path
 
 __all__ = [
     "t_value",
@@ -219,15 +220,17 @@ def even_first_permutation(shape: Sequence[int]) -> Optional[Tuple[Tuple[int, ..
     return reordered, perm
 
 
-def line_in_graph_embedding(host: CartesianGraph, *, method: CostMethod = "auto") -> Embedding:
+@accepts_deprecated_method
+def line_in_graph_embedding(host: CartesianGraph) -> Embedding:
     """Embed a line of the host's size in the host with dilation 1 (Theorem 13).
 
-    The array path computes the whole reflected sequence ``f_L`` as one batch
-    kernel call; the per-node loop is the retained reference implementation.
+    The array backend computes the whole reflected sequence ``f_L`` as one
+    batch kernel call; the per-node loop is the retained reference
+    implementation (force it with ``use_context(backend="loop")``).
     """
     base = RadixBase(host.shape)
     guest = Line(host.size)
-    if use_array_path(method):
+    if use_array_path():
         np = require_numpy()
         return Embedding.from_index_array(
             guest,
@@ -256,7 +259,8 @@ def predicted_ring_dilation(host: CartesianGraph) -> int:
     return 2
 
 
-def ring_in_graph_embedding(host: CartesianGraph, *, method: CostMethod = "auto") -> Embedding:
+@accepts_deprecated_method
+def ring_in_graph_embedding(host: CartesianGraph) -> Embedding:
     """Embed a ring of the host's size in the host with the optimal Section-3 strategy.
 
     * host torus → ``h_L`` (dilation 1, Theorem 28);
@@ -265,12 +269,12 @@ def ring_in_graph_embedding(host: CartesianGraph, *, method: CostMethod = "auto"
     * otherwise (odd-size mesh or a line) → ``g_L`` (dilation 2, Theorem 17,
       optimal in these cases).
 
-    ``method`` selects the batch-kernel array path or the per-node loop
-    reference, as for :func:`line_in_graph_embedding`.
+    The ambient context selects the batch-kernel array backend or the
+    per-node loop reference, as for :func:`line_in_graph_embedding`.
     """
     guest = Ring(host.size)
     shape = host.shape
-    array = use_array_path(method)
+    array = use_array_path()
     if host.is_torus:
         if array:
             np = require_numpy()

@@ -30,8 +30,14 @@ lazily:
 The array form is the hot path: all cost measures are computed over it with
 vectorized mixed-radix arithmetic (:mod:`repro.numbering.arrays`), and
 :meth:`compose` reduces to a single gather.  The pure-Python per-edge loops
-are retained (``method="loop"``) as a cross-checked fallback and for
+are retained (the ``"loop"`` backend) as a cross-checked fallback and for
 environments without NumPy.
+
+Which path runs is resolved from the ambient execution context
+(:mod:`repro.runtime.context`): wrap calls in
+``with use_context(backend="loop")`` to force the reference implementations.
+The historical per-call ``method=`` kwarg survives as a deprecated shim that
+installs exactly that scoped context.
 """
 
 from __future__ import annotations
@@ -42,39 +48,21 @@ from ..exceptions import InvalidEmbeddingError, InvalidRadixError, ShapeMismatch
 from ..graphs.base import CartesianGraph
 from ..graphs.paths import dimension_order_path
 from ..numbering.arrays import (
-    HAVE_NUMPY,
     digit_weights,
     digits_to_indices,
     indices_to_digits,
     require_numpy,
 )
+from ..runtime.context import accepts_deprecated_method, use_array_path
 from ..types import Node
 from ..utils.listops import apply_permutation
 
 __all__ = ["Embedding", "CostMethod", "use_array_path"]
 
-#: Allowed values for the ``method`` parameter of the cost measures and the
-#: strategy builders: ``"auto"`` (vectorized when NumPy is available),
-#: ``"array"`` (force the vectorized path), ``"loop"`` (force the historical
-#: per-node/per-edge Python loop, the cross-checked reference).
+#: Historical alias for the backend names (``"auto"``, ``"array"``,
+#: ``"loop"``) — the type of the deprecated ``method=`` shim parameter; see
+#: :data:`repro.runtime.context.BACKENDS`.
 CostMethod = str
-
-_COST_METHODS = ("auto", "array", "loop")
-
-
-def use_array_path(method: CostMethod) -> bool:
-    """Resolve a ``method`` value to "should the vectorized path run?".
-
-    Shared by the cost measures and the array-first construction builders in
-    :mod:`repro.core`: ``"array"`` requires NumPy, ``"auto"`` uses it when
-    available, ``"loop"`` always takes the pure-Python reference path.
-    """
-    if method not in _COST_METHODS:
-        raise ValueError(f"unknown cost method {method!r}; expected one of {_COST_METHODS}")
-    if method == "array":
-        require_numpy()
-        return True
-    return method == "auto" and HAVE_NUMPY
 
 
 
@@ -206,13 +194,8 @@ class Embedding:
         return embedding
 
     @classmethod
-    def identity(
-        cls,
-        guest: CartesianGraph,
-        host: CartesianGraph,
-        *,
-        method: CostMethod = "auto",
-    ) -> "Embedding":
+    @accepts_deprecated_method
+    def identity(cls, guest: CartesianGraph, host: CartesianGraph) -> "Embedding":
         """The identity embedding between two graphs of the same shape.
 
         Used by Lemma 36 for same-shape pairs (except torus -> non-hypercube
@@ -222,7 +205,7 @@ class Embedding:
             raise ShapeMismatchError(
                 f"identity embedding requires equal shapes, got {guest.shape} and {host.shape}"
             )
-        if use_array_path(method):
+        if use_array_path():
             np = require_numpy()
             return cls.from_index_array(
                 guest,
@@ -236,6 +219,7 @@ class Embedding:
         )
 
     @classmethod
+    @accepts_deprecated_method
     def from_permutation(
         cls,
         guest: CartesianGraph,
@@ -243,7 +227,6 @@ class Embedding:
         permutation: Sequence[int],
         *,
         strategy: str = "permute-dimensions",
-        method: CostMethod = "auto",
     ) -> "Embedding":
         """Embed by permuting coordinate positions.
 
@@ -266,7 +249,7 @@ class Embedding:
                 "a permutation embedding of a (non-hypercube) torus in a mesh does not "
                 "preserve adjacency; use the same-shape T_L embedding instead"
             )
-        if use_array_path(method):
+        if use_array_path():
             np = require_numpy()
             digits = indices_to_digits(np.arange(guest.size, dtype=np.int64), guest.shape)
             return cls.from_index_array(
@@ -388,7 +371,7 @@ class Embedding:
             raise ShapeMismatchError(
                 f"guest has {self.guest.size} nodes but host only {self.host.size}"
             )
-        if self._mapping is None and HAVE_NUMPY:
+        if self._mapping is None and use_array_path():
             self._validate_array()
             return
         if len(self.mapping) != self.guest.size:
@@ -465,17 +448,19 @@ class Embedding:
             self._edge_dilations = self.host.distance_indices(images[u], images[v])
         return self._edge_dilations
 
-    def dilation(self, *, method: CostMethod = "auto") -> int:
+    @accepts_deprecated_method
+    def dilation(self) -> int:
         """The measured dilation cost (Definition 1)."""
-        if use_array_path(method):
+        if use_array_path():
             dilations = self.edge_dilation_array()
             return int(dilations.max()) if dilations.size else 0
         dilations = self.edge_dilations()
         return max(dilations) if dilations else 0
 
-    def average_dilation(self, *, method: CostMethod = "auto") -> float:
+    @accepts_deprecated_method
+    def average_dilation(self) -> float:
         """Mean distance in the host over all guest edges."""
-        if use_array_path(method):
+        if use_array_path():
             dilations = self.edge_dilation_array()
             return float(dilations.mean()) if dilations.size else 0.0
         dilations = self.edge_dilations()
@@ -485,7 +470,8 @@ class Embedding:
         """``|V_H| / |V_G|`` — always 1 for the paper's same-size embeddings."""
         return self.host.size / self.guest.size
 
-    def edge_congestion(self, *, method: CostMethod = "auto") -> int:
+    @accepts_deprecated_method
+    def edge_congestion(self) -> int:
         """Maximum number of guest edges routed over a single host edge.
 
         Each guest edge is routed along the dimension-ordered shortest path
@@ -496,7 +482,7 @@ class Embedding:
         loop exactly, including the torus tie-break towards increasing
         coordinates.
         """
-        if use_array_path(method):
+        if use_array_path():
             return self._edge_congestion_array()
         load: Dict[Tuple[Node, Node], int] = {}
         for a, b in self.guest.edges():
@@ -564,9 +550,8 @@ class Embedding:
                 worst = max(worst, int(counts.max()))
         return worst
 
-    def matches_prediction(
-        self, *, measured: Optional[int] = None, method: CostMethod = "auto"
-    ) -> bool:
+    @accepts_deprecated_method
+    def matches_prediction(self, *, measured: Optional[int] = None) -> bool:
         """True when the measured dilation equals the theorem's prediction.
 
         If no prediction was recorded the check is vacuously true.  Note that
@@ -576,13 +561,13 @@ class Embedding:
         and this method checks ``measured <= predicted`` instead.
 
         Callers that already measured the dilation can pass it via
-        ``measured`` to avoid recomputation (and to keep a forced ``method``
-        consistent across all reported numbers).
+        ``measured`` to avoid recomputation (and to keep a forced backend
+        override consistent across all reported numbers).
         """
         if self.predicted_dilation is None:
             return True
         if measured is None:
-            measured = self.dilation(method=method)
+            measured = self.dilation()
         if self.notes.get("dilation_is_upper_bound"):
             return measured <= self.predicted_dilation
         return measured == self.predicted_dilation
@@ -590,12 +575,9 @@ class Embedding:
     # ------------------------------------------------------------------ #
     # Composition
     # ------------------------------------------------------------------ #
+    @accepts_deprecated_method
     def compose(
-        self,
-        outer: "Embedding",
-        *,
-        strategy: Optional[str] = None,
-        method: CostMethod = "auto",
+        self, outer: "Embedding", *, strategy: Optional[str] = None
     ) -> "Embedding":
         """The embedding ``outer ∘ self`` of ``self.guest`` in ``outer.host``.
 
@@ -631,7 +613,7 @@ class Embedding:
             # composite (a shorter route may exist in the final host).
             notes["dilation_is_upper_bound"] = True
         name = strategy or f"{self.strategy} ∘ {outer.strategy}"
-        if use_array_path(method):
+        if use_array_path():
             return Embedding.from_index_array(
                 self.guest,
                 outer.host,

@@ -33,8 +33,9 @@ from ..numbering.batch import f_digits, g_digits, h_digits
 from ..numbering.radix import RadixBase
 from ..types import Node
 from ..utils.listops import apply_permutation, concat, find_permutation
+from ..runtime.context import accepts_deprecated_method
 from .basic import f_value, g_value, h_value
-from .embedding import CostMethod, Embedding, use_array_path
+from .embedding import Embedding, use_array_path
 from .expansion import (
     ExpansionFactor,
     find_expansion_factor,
@@ -91,13 +92,13 @@ def predicted_increasing_dilation(
     return 2
 
 
+@accepts_deprecated_method
 def embed_increasing(
     guest: CartesianGraph,
     host: CartesianGraph,
     factor: Optional[ExpansionFactor] = None,
     *,
     prefer_unit_dilation: bool = True,
-    method: CostMethod = "auto",
 ) -> Embedding:
     """Embed ``guest`` in the higher-dimensional ``host`` under the expansion condition.
 
@@ -112,11 +113,11 @@ def embed_increasing(
         Controls the factor search as above.  Setting it to ``False``
         reproduces the "plain" dilation-2 construction, which the ablation
         benchmark compares against.
-    method:
-        ``"array"`` builds the host-index array with the batch kernels of
-        :mod:`repro.numbering.batch` (one φ call per guest dimension),
-        ``"loop"`` is the retained per-node reference, ``"auto"`` prefers
-        the array path when NumPy is available.
+
+    The ambient context selects the backend: the array backend builds the
+    host-index array with the batch kernels of :mod:`repro.numbering.batch`
+    (one φ call per guest dimension), the loop backend is the retained
+    per-node reference.
 
     Raises
     ------
@@ -207,7 +208,7 @@ def embed_increasing(
         # even-size toruses with an unfavourable factor it is an upper bound.
         notes["dilation_is_upper_bound"] = guest.size % 2 == 0
 
-    if use_array_path(method):
+    if use_array_path():
         np = require_numpy()
         guest_digits = indices_to_digits(
             np.arange(guest.size, dtype=np.int64), source_shape

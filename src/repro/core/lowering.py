@@ -28,10 +28,11 @@ from ..graphs.base import CartesianGraph
 from ..numbering.arrays import digits_to_indices, indices_to_digits, require_numpy
 from ..numbering.batch import f_digits, g_digits, group_collapse, t_columns
 from ..numbering.radix import RadixBase
+from ..runtime.context import accepts_deprecated_method
 from ..types import Node
 from ..utils.listops import apply_permutation, find_permutation
 from .basic import t_value
-from .embedding import CostMethod, Embedding, use_array_path
+from .embedding import Embedding, use_array_path
 from .expansion import ExpansionFactor
 from .increasing import F_value, G_value
 from .reduction import (
@@ -78,12 +79,11 @@ def U_value(factor: SimpleReductionFactor, node: Sequence[int]) -> Node:
     return tuple(result)
 
 
+@accepts_deprecated_method
 def embed_lowering_simple(
     guest: CartesianGraph,
     host: CartesianGraph,
     factor: Optional[SimpleReductionFactor] = None,
-    *,
-    method: CostMethod = "auto",
 ) -> Embedding:
     """Theorem 39: embed under the simple-reduction condition.
 
@@ -94,10 +94,10 @@ def embed_lowering_simple(
         ordering, for the ablation benchmark).  When omitted, a factor is
         searched for and sorted non-increasingly, which is the ordering the
         theorem assumes and the one minimizing the dilation.
-    method:
-        ``"array"`` permutes/relabels/collapses all node rows at once with
-        the batch kernels, ``"loop"`` is the retained per-node reference,
-        ``"auto"`` prefers the array path when NumPy is available.
+
+    The ambient context selects the backend: the array backend
+    permutes/relabels/collapses all node rows at once with the batch
+    kernels, the loop backend is the retained per-node reference.
     """
     if guest.size != host.size:
         raise ShapeMismatchError(
@@ -149,7 +149,7 @@ def embed_lowering_simple(
         strategy = "lowering:U_V∘τ"
         notes = {"reduction_factor": factor.groups, "permutation": tau}
 
-    if use_array_path(method):
+    if use_array_path():
         np = require_numpy()
         digits = indices_to_digits(np.arange(guest.size, dtype=np.int64), guest.shape)
         rearranged = digits[:, list(tau)]
@@ -221,17 +221,16 @@ def G_double_prime_value(factor: GeneralReductionFactor, node: Sequence[int]) ->
     return multiplied + tail
 
 
+@accepts_deprecated_method
 def embed_lowering_general(
     guest: CartesianGraph,
     host: CartesianGraph,
     factor: Optional[GeneralReductionFactor] = None,
-    *,
-    method: CostMethod = "auto",
 ) -> Embedding:
     """Theorem 43: embed under the general-reduction condition (c < d < 2c).
 
-    ``method`` selects the batch-kernel array path or the per-node loop
-    reference, as for :func:`embed_lowering_simple`.
+    The ambient context selects the batch-kernel array backend or the
+    per-node loop reference, as for :func:`embed_lowering_simple`.
     """
     if guest.size != host.size:
         raise ShapeMismatchError(
@@ -291,7 +290,7 @@ def embed_lowering_general(
     if upper_bound:
         notes["dilation_is_upper_bound"] = True
 
-    if use_array_path(method):
+    if use_array_path():
         np = require_numpy()
         digits = indices_to_digits(np.arange(guest.size, dtype=np.int64), guest.shape)
         rearranged = digits[:, list(alpha)]
@@ -328,9 +327,8 @@ def embed_lowering_general(
     )
 
 
-def embed_lowering(
-    guest: CartesianGraph, host: CartesianGraph, *, method: CostMethod = "auto"
-) -> Embedding:
+@accepts_deprecated_method
+def embed_lowering(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
     """Embed with whichever reduction condition the shapes satisfy.
 
     Simple reduction is preferred when both apply (it is never worse here and
@@ -341,10 +339,10 @@ def embed_lowering(
     """
     simple = find_simple_reduction(guest.shape, host.shape)
     if simple is not None:
-        return embed_lowering_simple(guest, host, simple, method=method)
+        return embed_lowering_simple(guest, host, simple)
     general = find_general_reduction(guest.shape, host.shape)
     if general is not None:
-        return embed_lowering_general(guest, host, general, method=method)
+        return embed_lowering_general(guest, host, general)
     raise NoReductionError(
         f"shape {host.shape} is neither a simple nor a general reduction of {guest.shape}"
     )

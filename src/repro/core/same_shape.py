@@ -13,10 +13,10 @@ Given two graphs of the same shape ``L = (l_1, ..., l_d)``:
 ``0..l-1`` with spread 2: torus neighbours in any dimension differ by 1
 modulo ``l``, so their ``t``-relabelled coordinates differ by at most 2.
 
-Both builders accept the construction ``method``: ``"array"`` relabels all
-``N`` node rows in one :func:`repro.numbering.batch.t_columns` call,
-``"loop"`` is the retained per-node reference, ``"auto"`` picks the array
-path when NumPy is available.
+Both builders resolve the construction backend from the ambient execution
+context (:mod:`repro.runtime.context`): the array backend relabels all ``N``
+node rows in one :func:`repro.numbering.batch.t_columns` call, the loop
+backend is the retained per-node reference.
 """
 
 from __future__ import annotations
@@ -27,9 +27,10 @@ from ..exceptions import ShapeMismatchError
 from ..graphs.base import CartesianGraph
 from ..numbering.arrays import digits_to_indices, indices_to_digits, require_numpy
 from ..numbering.batch import t_columns
+from ..runtime.context import accepts_deprecated_method
 from ..types import Node
 from .basic import t_value
-from .embedding import CostMethod, Embedding, use_array_path
+from .embedding import Embedding, use_array_path
 
 __all__ = ["t_vector_value", "same_shape_embedding", "torus_in_mesh_same_shape"]
 
@@ -41,9 +42,8 @@ def t_vector_value(shape: Sequence[int], node: Sequence[int]) -> Node:
     return tuple(t_value(length, coordinate) for length, coordinate in zip(shape, node))
 
 
-def torus_in_mesh_same_shape(
-    guest: CartesianGraph, host: CartesianGraph, *, method: CostMethod = "auto"
-) -> Embedding:
+@accepts_deprecated_method
+def torus_in_mesh_same_shape(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
     """The ``T_L`` embedding of an ``L``-torus in an ``L``-mesh (dilation 2)."""
     if guest.shape != host.shape:
         raise ShapeMismatchError(
@@ -51,7 +51,7 @@ def torus_in_mesh_same_shape(
         )
     shape = guest.shape
     notes = {"dilation_is_upper_bound": guest.is_hypercube or min(shape) <= 2}
-    if use_array_path(method):
+    if use_array_path():
         np = require_numpy()
         digits = indices_to_digits(np.arange(guest.size, dtype=np.int64), shape)
         return Embedding.from_index_array(
@@ -72,9 +72,8 @@ def torus_in_mesh_same_shape(
     )
 
 
-def same_shape_embedding(
-    guest: CartesianGraph, host: CartesianGraph, *, method: CostMethod = "auto"
-) -> Embedding:
+@accepts_deprecated_method
+def same_shape_embedding(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
     """The optimal same-shape embedding of Lemma 36.
 
     Identity (dilation 1) except for a non-hypercube torus guest in a mesh
@@ -85,5 +84,5 @@ def same_shape_embedding(
             f"same-shape embedding requires equal shapes, got {guest.shape} and {host.shape}"
         )
     if guest.is_torus and host.is_mesh and not guest.is_hypercube:
-        return torus_in_mesh_same_shape(guest, host, method=method)
-    return Embedding.identity(guest, host, method=method)
+        return torus_in_mesh_same_shape(guest, host)
+    return Embedding.identity(guest, host)

@@ -31,9 +31,10 @@ from typing import List, Optional, Tuple
 
 from ..exceptions import ShapeMismatchError, UnsupportedEmbeddingError
 from ..graphs.base import CartesianGraph, make_graph
+from ..runtime.context import accepts_deprecated_method
 from ..types import GraphKind, ShapedGraphSpec
 from ..utils.intmath import exact_nth_root
-from .embedding import CostMethod, Embedding
+from .embedding import Embedding
 from .expansion import ExpansionFactor
 from .increasing import embed_increasing
 from .lowering import embed_lowering_general, embed_lowering_simple
@@ -142,9 +143,8 @@ def _square_chain_step_factor(
     )
 
 
-def embed_square_lowering(
-    guest: CartesianGraph, host: CartesianGraph, *, method: CostMethod = "auto"
-) -> Embedding:
+@accepts_deprecated_method
+def embed_square_lowering(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
     """Theorems 48 and 51: embed a square guest in a square host of lower dimension."""
     _require_square_pair(guest, host)
     d, c = guest.dimension, host.dimension
@@ -158,7 +158,7 @@ def embed_square_lowering(
         # Theorem 48: simple reduction with groups of d/c copies of l.
         groups = tuple(((l,) * (d // c)) for _ in range(c))
         factor = SimpleReductionFactor(groups)
-        embedding = embed_lowering_simple(guest, host, factor, method=method)
+        embedding = embed_lowering_simple(guest, host, factor)
         embedding.strategy = "square-lowering:simple-reduction"
         embedding.notes["theorem"] = "48"
         embedding.predicted_dilation = predicted
@@ -182,8 +182,8 @@ def embed_square_lowering(
         next_kind = host.kind if is_last else guest.kind
         next_graph = host if is_last else make_graph(next_kind, next_shape)
         factor = _square_chain_step_factor(tuple(current_graph.shape), a, v, root)
-        step_embedding = embed_lowering_general(current_graph, next_graph, factor, method=method)
-        chain = step_embedding if chain is None else chain.compose(step_embedding, method=method)
+        step_embedding = embed_lowering_general(current_graph, next_graph, factor)
+        chain = step_embedding if chain is None else chain.compose(step_embedding)
         current_graph = next_graph
     assert chain is not None
     chain.strategy = "square-lowering:general-reduction-chain"
@@ -197,9 +197,8 @@ def embed_square_lowering(
 # --------------------------------------------------------------------------- #
 # Increasing dimension
 # --------------------------------------------------------------------------- #
-def embed_square_increasing(
-    guest: CartesianGraph, host: CartesianGraph, *, method: CostMethod = "auto"
-) -> Embedding:
+@accepts_deprecated_method
+def embed_square_increasing(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
     """Theorems 52 and 53: embed a square guest in a square host of higher dimension."""
     _require_square_pair(guest, host)
     d, c = guest.dimension, host.dimension
@@ -212,7 +211,7 @@ def embed_square_increasing(
     if c % d == 0:
         # Theorem 52: expansion with V_i = (m, ..., m), c/d copies.
         factor = ExpansionFactor(tuple(((m,) * (c // d)) for _ in range(d)))
-        embedding = embed_increasing(guest, host, factor, method=method)
+        embedding = embed_increasing(guest, host, factor)
         embedding.strategy = "square-increasing:expansion"
         embedding.notes["theorem"] = "52"
         embedding.predicted_dilation = predicted
@@ -229,9 +228,9 @@ def embed_square_increasing(
     )
     intermediate = make_graph(intermediate_kind, (root,) * (v * d))
     expansion = ExpansionFactor(tuple(((root,) * v) for _ in range(d)))
-    first = embed_increasing(guest, intermediate, expansion, method=method)
-    second = embed_square_lowering(intermediate, host, method=method)
-    chain = first.compose(second, method=method)
+    first = embed_increasing(guest, intermediate, expansion)
+    second = embed_square_lowering(intermediate, host)
+    chain = first.compose(second)
     chain.strategy = "square-increasing:expand-then-reduce"
     chain.predicted_dilation = predicted
     chain.notes["theorem"] = "53"
@@ -240,14 +239,13 @@ def embed_square_increasing(
     return chain
 
 
-def embed_square(
-    guest: CartesianGraph, host: CartesianGraph, *, method: CostMethod = "auto"
-) -> Embedding:
+@accepts_deprecated_method
+def embed_square(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
     """Embed between same-size square graphs using the appropriate Section 5 strategy."""
     _require_square_pair(guest, host)
     d, c = guest.dimension, host.dimension
     if d == c:
-        return same_shape_embedding(guest, host, method=method)
+        return same_shape_embedding(guest, host)
     if d > c:
-        return embed_square_lowering(guest, host, method=method)
-    return embed_square_increasing(guest, host, method=method)
+        return embed_square_lowering(guest, host)
+    return embed_square_increasing(guest, host)

@@ -8,18 +8,19 @@ simulated store-and-forward network and one neighbour-exchange phase is
 simulated; the low-dilation embedding should win on maximum hops, link
 congestion and simulated completion time.
 
-The strategy set is :data:`repro.survey.runner.STRATEGY_BUILDERS` — the same
-competitors the ``simulation`` survey suite sweeps — and every row generator
-takes the ``method`` switch, so the experiment can be pinned against either
-the array kernels or the loop reference (they agree exactly; the golden
-fixture ``tests/golden/tab_sim_map.json`` pins the table).
+The strategy set is the runtime's plugin registry
+(:mod:`repro.runtime.registry`) — the same competitors the ``simulation``
+survey suite sweeps and the CLI compares — and every row generator resolves
+its backend from the ambient execution context, so the experiment can be
+pinned against either the array kernels or the loop reference by wrapping a
+call in ``use_context(backend=...)`` (they agree exactly; the golden fixture
+``tests/golden/tab_sim_map.json`` pins the table).
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
-from ..core.embedding import CostMethod
 from ..graphs.base import CartesianGraph, Mesh, Torus
 from ..netsim import (
     CostModel,
@@ -29,7 +30,7 @@ from ..netsim import (
     simulate_phase,
     transpose_traffic,
 )
-from ..survey.runner import STRATEGY_BUILDERS
+from ..runtime.registry import build_strategy, strategy_names
 from .registry import ExperimentResult, register
 
 #: The task-mapping scenarios: (task graph, host network) pairs.
@@ -48,22 +49,21 @@ def mapping_rows(
     alpha: float = 1.0,
     bandwidth: float = 1.0,
     message_size: float = 1.0,
-    method: CostMethod = "auto",
 ) -> List[dict]:
     """Simulate one neighbour-exchange phase for every scenario and strategy."""
     rows = []
     for guest, host in scenarios:
         network = HostNetwork(host, CostModel(alpha=alpha, bandwidth=bandwidth))
         traffic = neighbor_exchange_traffic(guest, message_size=message_size)
-        for name, builder in STRATEGY_BUILDERS.items():
-            embedding = builder(guest, host, method)
-            result = simulate_phase(network, embedding, traffic, method=method)
+        for name in strategy_names():
+            embedding = build_strategy(name, guest, host)
+            result = simulate_phase(network, embedding, traffic)
             rows.append(
                 {
                     "task graph": repr(guest),
                     "network": repr(host),
                     "strategy": name,
-                    "dilation": embedding.dilation(method=method),
+                    "dilation": embedding.dilation(),
                     "max hops": result.statistics.max_hops,
                     "mean hops": round(result.statistics.mean_hops, 2),
                     "max link msgs": result.statistics.max_link_load_messages,
@@ -73,22 +73,20 @@ def mapping_rows(
     return rows
 
 
-def negative_control_rows(
-    *, alpha: float = 1.0, bandwidth: float = 1.0, method: CostMethod = "auto"
-) -> List[dict]:
+def negative_control_rows(*, alpha: float = 1.0, bandwidth: float = 1.0) -> List[dict]:
     """The transpose (long-range) workload where dilation matters far less."""
     rows = []
     guest, host = Torus((8, 8)), Mesh((4, 4, 4))
     network = HostNetwork(host, CostModel(alpha=alpha, bandwidth=bandwidth))
     traffic = transpose_traffic(guest)
-    for name, builder in STRATEGY_BUILDERS.items():
-        embedding = builder(guest, host, method)
-        result = simulate_phase(network, embedding, traffic, method=method)
+    for name in strategy_names():
+        embedding = build_strategy(name, guest, host)
+        result = simulate_phase(network, embedding, traffic)
         rows.append(
             {
                 "workload": "transpose",
                 "strategy": name,
-                "dilation": embedding.dilation(method=method),
+                "dilation": embedding.dilation(),
                 "max hops": result.statistics.max_hops,
                 "makespan": round(result.makespan, 1),
             }
@@ -96,9 +94,7 @@ def negative_control_rows(
     return rows
 
 
-def collective_rows(
-    *, alpha: float = 1.0, bandwidth: float = 1.0, method: CostMethod = "auto"
-) -> List[dict]:
+def collective_rows(*, alpha: float = 1.0, bandwidth: float = 1.0) -> List[dict]:
     """The all-to-all-in-groups collective, where clustering still pays.
 
     Unlike the transpose control, the dense within-group exchange keeps
@@ -110,14 +106,14 @@ def collective_rows(
     guest, host = Torus((8, 8)), Mesh((4, 4, 4))
     network = HostNetwork(host, CostModel(alpha=alpha, bandwidth=bandwidth))
     traffic = all_to_all_in_groups_traffic(guest)
-    for name, builder in STRATEGY_BUILDERS.items():
-        embedding = builder(guest, host, method)
-        result = simulate_phase(network, embedding, traffic, method=method)
+    for name in strategy_names():
+        embedding = build_strategy(name, guest, host)
+        result = simulate_phase(network, embedding, traffic)
         rows.append(
             {
                 "workload": traffic.name,
                 "strategy": name,
-                "dilation": embedding.dilation(method=method),
+                "dilation": embedding.dilation(),
                 "max hops": result.statistics.max_hops,
                 "makespan": round(result.makespan, 1),
             }

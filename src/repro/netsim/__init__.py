@@ -26,8 +26,9 @@ benefit of low-dilation embeddings to be demonstrated end to end.
     The latency/bandwidth cost model.
 ``simulator``
     An analytic estimate and a discrete-time store-and-forward simulation of
-    one communication phase, plus per-link statistics — both behind the
-    ``method="auto" | "array" | "loop"`` switch.
+    one communication phase, plus per-link statistics — both resolving their
+    backend (array kernels vs per-message loop) from the ambient execution
+    context (:mod:`repro.runtime.context`).
 """
 
 from .models import CostModel

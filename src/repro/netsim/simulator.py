@@ -15,13 +15,14 @@ its endpoints under the supplied embedding, so the guest-edge hop counts are
 bounded by the embedding's dilation — the mechanism by which the paper's
 low-dilation embeddings translate into faster communication phases.
 
-Both evaluations take ``method="auto" | "array" | "loop"``, the same switch
-as the construction builders and cost measures: the array path batches the
-routing and the link-load accumulation over flat directed-link ids
+Both evaluations resolve their implementation from the ambient execution
+context (:mod:`repro.runtime.context`), the same switch as the construction
+builders and cost measures: the array backend batches the routing and the
+link-load accumulation over flat directed-link ids
 (:mod:`repro.netsim.kernels`) and keys the event loop by link id over
-preallocated route arrays; the loop path is the retained per-message
+preallocated route arrays; the loop backend is the retained per-message
 reference, cross-checked hop-for-hop and float-for-float by the
-differential tests.
+differential tests.  Force it with ``use_context(backend="loop")``.
 """
 
 from __future__ import annotations
@@ -30,8 +31,9 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from ..core.embedding import CostMethod, Embedding, use_array_path
+from ..core.embedding import Embedding, use_array_path
 from ..exceptions import SimulationError
+from ..runtime.context import accepts_deprecated_method
 from ..numbering.arrays import indices_to_digits, require_numpy
 from .kernels import accumulate_link_loads, expand_routes
 from .network import DirectedLink, HostNetwork
@@ -120,7 +122,7 @@ def _phase_arrays(network: HostNetwork, embedding: Embedding, traffic: TrafficPa
         indices_to_digits(images[target_ranks], host_shape),
     )
     # CostModel.link_occupancy is pure arithmetic, so it vectorizes as-is:
-    # one source of truth for the per-hop cost on both method paths.
+    # one source of truth for the per-hop cost on both backend paths.
     occupancy = network.cost_model.link_occupancy(sizes)
     return space, routes, sizes, occupancy
 
@@ -158,22 +160,22 @@ def _statistics_from_arrays(space, routes, sizes, occupancy) -> PhaseStatistics:
     )
 
 
+@accepts_deprecated_method
 def analytic_phase_estimate(
     network: HostNetwork,
     embedding: Embedding,
     traffic: TrafficPattern,
-    *,
-    method: CostMethod = "auto",
 ) -> PhaseStatistics:
     """Hop counts, link loads and the standard completion-time lower bound.
 
-    The array path accumulates every per-link quantity with one
+    The array backend accumulates every per-link quantity with one
     ``np.bincount`` scatter-add over the flat directed-link id space; the
-    loop path is the retained per-message reference.  Both produce identical
-    statistics (the scatter-add visits hops in the same ``(message, hop)``
-    order the loop adds them, so even the float sums agree bit for bit).
+    loop backend is the retained per-message reference.  Both produce
+    identical statistics (the scatter-add visits hops in the same
+    ``(message, hop)`` order the loop adds them, so even the float sums
+    agree bit for bit).
     """
-    if use_array_path(method):
+    if use_array_path():
         return _statistics_from_arrays(*_phase_arrays(network, embedding, traffic))
     return _statistics_from_routes(
         network.cost_model, _routes_for(network, embedding, traffic)
@@ -267,13 +269,13 @@ def _simulate_arrays(space, routes, occupancy, max_events: int) -> Tuple[float, 
     return makespan, completion
 
 
+@accepts_deprecated_method
 def simulate_phase(
     network: HostNetwork,
     embedding: Embedding,
     traffic: TrafficPattern,
     *,
     max_events: int = 5_000_000,
-    method: CostMethod = "auto",
 ) -> SimulationResult:
     """Discrete-event store-and-forward simulation of one communication phase.
 
@@ -282,12 +284,12 @@ def simulate_phase(
     only request its next link after the previous hop completes.  Contention
     is resolved first-come-first-served with ties broken by message index, so
     the simulation is fully deterministic — and identical under both
-    ``method`` implementations.
+    backend implementations.
 
     Placement and routing are shared between the analytic statistics and
     the event loop, so each phase expands its routes exactly once.
     """
-    if use_array_path(method):
+    if use_array_path():
         space, expanded, sizes, occupancy = _phase_arrays(network, embedding, traffic)
         makespan, completion = _simulate_arrays(space, expanded, occupancy, max_events)
         return SimulationResult(

@@ -10,19 +10,23 @@ workloads complete the family: :func:`transpose_traffic` (long-range,
 diameter-dominated — the negative control) and
 :func:`all_to_all_in_groups_traffic` (the dense collective of
 sub-communicator algorithms, sensitive to how the embedding clusters each
-group).  :func:`traffic_pattern` resolves the three by name for the
-simulation survey suite and the CLI.
+group).  The three register themselves in the runtime's plugin registry
+(:data:`repro.runtime.registry.TRAFFIC_PATTERNS`) — the single table the
+simulation survey suite, the experiment harness and the CLI resolve names
+against; :func:`traffic_pattern` is the package-local resolver over it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..core.embedding import Embedding
 from ..exceptions import SimulationError
 from ..graphs.base import CartesianGraph
-from ..numbering.arrays import HAVE_NUMPY, digits_to_indices, indices_to_digits, require_numpy
+from ..numbering.arrays import digits_to_indices, indices_to_digits, require_numpy
+from ..runtime.context import use_array_path
+from ..runtime.registry import register_traffic, traffic_names as _registered_names
 from ..types import Node, Shape
 
 __all__ = [
@@ -117,13 +121,13 @@ class TrafficPattern:
     def placed(self, embedding: Embedding) -> List[tuple[Node, Node, float]]:
         """Translate task endpoints to processors via the embedding.
 
-        When NumPy is available the translation is one batched gather through
-        the embedding's flat host-index array (guest tuples -> ranks ->
-        image ranks -> host tuples), so array-built embeddings are placed
-        without ever materializing their tuple ``mapping`` dict; otherwise
-        each endpoint is looked up in the dict individually.
+        Under the array backend the translation is one batched gather
+        through the embedding's flat host-index array (guest tuples -> ranks
+        -> image ranks -> host tuples), so array-built embeddings are placed
+        without ever materializing their tuple ``mapping`` dict; the loop
+        backend looks each endpoint up in the dict individually.
         """
-        if HAVE_NUMPY and self.messages:
+        if use_array_path() and self.messages:
             source_ranks, target_ranks, _sizes = self.endpoint_rank_arrays(
                 embedding.guest.shape
             )
@@ -143,6 +147,7 @@ class TrafficPattern:
         ]
 
 
+@register_traffic("neighbor-exchange")
 def neighbor_exchange_traffic(
     guest: CartesianGraph, *, message_size: float = 1.0
 ) -> TrafficPattern:
@@ -159,6 +164,7 @@ def neighbor_exchange_traffic(
     return TrafficPattern(name=f"neighbor-exchange{guest.shape}", messages=tuple(messages))
 
 
+@register_traffic("transpose")
 def transpose_traffic(
     guest: CartesianGraph, *, message_size: float = 1.0
 ) -> TrafficPattern:
@@ -179,6 +185,7 @@ def transpose_traffic(
     return TrafficPattern(name=f"transpose{guest.shape}", messages=tuple(messages))
 
 
+@register_traffic("all-to-all-groups")
 def all_to_all_in_groups_traffic(
     guest: CartesianGraph,
     *,
@@ -215,20 +222,19 @@ def all_to_all_in_groups_traffic(
     )
 
 
-#: Named builders used by the simulation survey suite and the CLI.
-TRAFFIC_BUILDERS: Dict[str, Callable[..., TrafficPattern]] = {
-    "neighbor-exchange": neighbor_exchange_traffic,
-    "transpose": transpose_traffic,
-    "all-to-all-groups": all_to_all_in_groups_traffic,
-}
-
-
 def traffic_pattern(
     name: str, guest: CartesianGraph, *, message_size: float = 1.0
 ) -> TrafficPattern:
-    """Build the named traffic pattern for a guest task graph."""
+    """Build the named traffic pattern for a guest task graph.
+
+    Resolution goes through the runtime's plugin registry, so patterns added
+    with :func:`repro.runtime.registry.register_traffic` are immediately
+    available to the survey suite and the CLI as well.
+    """
+    from ..runtime.registry import traffic_builder
+
     try:
-        builder = TRAFFIC_BUILDERS[name]
+        builder = traffic_builder(name)
     except KeyError:
         raise SimulationError(
             f"unknown traffic pattern {name!r}; choose from {', '.join(traffic_pattern_names())}"
@@ -238,4 +244,4 @@ def traffic_pattern(
 
 def traffic_pattern_names() -> Tuple[str, ...]:
     """The pattern names accepted by :func:`traffic_pattern`."""
-    return tuple(TRAFFIC_BUILDERS)
+    return _registered_names()

@@ -38,11 +38,19 @@ HAVE_NUMPY = _np is not None
 
 
 def require_numpy():
-    """Return the :mod:`numpy` module or raise a helpful ImportError."""
+    """Return the :mod:`numpy` module or raise a helpful ImportError.
+
+    Reached only from array-backend code (the execution context of
+    :mod:`repro.runtime.context` resolves array-capable requests to the loop
+    backend, with one warning, when NumPy is missing) or from the
+    array-representation methods of :class:`~repro.core.embedding.Embedding`,
+    which have no pure-Python equivalent.
+    """
     if _np is None:  # pragma: no cover - the CI image always has numpy
         raise ImportError(
-            "the vectorized embedding path requires numpy; install it or use "
-            "the pure-Python methods (method='loop')"
+            "the vectorized embedding path requires numpy; install it or "
+            "force the pure-Python reference backend with "
+            "repro.runtime.use_context(backend='loop')"
         )
     return _np
 

@@ -1,0 +1,72 @@
+"""The runtime layer: one execution context instead of hand-threaded kwargs.
+
+Everything that used to be a per-call ``method="auto|array|loop"`` kwarg —
+backend selection, plus the construction memo cache and the survey
+parallelism policy — lives in one ambient
+:class:`~repro.runtime.context.ExecutionContext`:
+
+>>> from repro.runtime import use_context
+>>> with use_context(backend="loop"):
+...     embedding = embed(guest, host)          # pure-Python reference path
+
+``context``
+    :class:`ExecutionContext`, the :func:`current` accessor, the scoped
+    :func:`use_context` override and the deprecated ``method=`` shim.
+``cache``
+    :class:`ConstructionCache` — the content-addressed embedding memo,
+    picklable across survey workers and CLI invocations.
+``registry``
+    The plugin registries of embedding strategies and traffic patterns
+    shared by the survey engine, the experiment harness and the CLI.
+"""
+
+from .cache import CachedConstruction, ConstructionCache, embedding_cache_key
+from .context import (
+    BACKENDS,
+    Backend,
+    ExecutionContext,
+    accepts_deprecated_method,
+    current,
+    resolve_backend,
+    set_default_context,
+    use_array_path,
+    use_context,
+)
+from .registry import (
+    Registry,
+    build_strategy,
+    build_traffic,
+    register_strategy,
+    register_traffic,
+    strategy_builder,
+    strategy_names,
+    traffic_builder,
+    traffic_names,
+)
+
+__all__ = [
+    # context
+    "BACKENDS",
+    "Backend",
+    "ExecutionContext",
+    "current",
+    "use_context",
+    "set_default_context",
+    "resolve_backend",
+    "use_array_path",
+    "accepts_deprecated_method",
+    # cache
+    "CachedConstruction",
+    "ConstructionCache",
+    "embedding_cache_key",
+    # registry
+    "Registry",
+    "register_strategy",
+    "strategy_builder",
+    "strategy_names",
+    "build_strategy",
+    "register_traffic",
+    "traffic_builder",
+    "traffic_names",
+    "build_traffic",
+]

@@ -1,0 +1,287 @@
+"""Content-addressed construction cache — the memo layer of the runtime.
+
+MaT87's constructions are pure functions of ``(strategy family, guest kind
+and shape, host kind and shape)``: two calls with the same key always produce
+the node-for-node identical embedding (the differential test harness pins
+this).  That makes them ideal for content-addressed memoization across survey
+shards and across repeated CLI invocations.
+
+:class:`ConstructionCache` stores, per key, the *portable* payload of an
+embedding — the flat host-index sequence plus the strategy name, predicted
+dilation and notes — never a live :class:`~repro.core.embedding.Embedding`
+object.  The payload is
+
+* **backend-agnostic** — reconstructed under either the array or the loop
+  backend, so golden tables are byte-identical with caching on and off;
+* **picklable** — the whole cache (a plain dict of tuples/arrays) ships to
+  survey worker processes as a warm-start dict and round-trips through
+  :meth:`ConstructionCache.save` / :meth:`ConstructionCache.load` so repeated
+  ``repro survey`` / ``repro simulate`` invocations skip re-construction
+  entirely.
+
+Key format (see ``docs/ARCHITECTURE.md``)::
+
+    ("embedding", <strategy family>, <guest kind>, <guest shape>,
+                                     <host kind>,  <host shape>)
+
+The leading namespace tag leaves room for future route/table memo entries in
+the same store.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..numbering.arrays import HAVE_NUMPY
+
+__all__ = [
+    "CachedConstruction",
+    "ConstructionCache",
+    "embedding_cache_key",
+    "family_cache_key",
+]
+
+PathLike = Union[str, Path]
+
+#: Cache keys are flat tuples of strings and int tuples — hashable, picklable
+#: and stable across processes and Python versions.
+CacheKey = Tuple[object, ...]
+
+
+def embedding_cache_key(strategy_family: str, guest, host) -> CacheKey:
+    """The content address of a construction.
+
+    ``strategy_family`` is :func:`repro.core.dispatch.strategy_for`'s family
+    for the paper's dispatcher, or ``"strategy:<name>"`` for registry-built
+    competitors (baselines).  The remaining components are the guest and host
+    identities — kind plus shape — which fully determine every construction
+    the dispatcher can select.
+    """
+    return (
+        "embedding",
+        strategy_family,
+        guest.kind.value,
+        tuple(guest.shape),
+        host.kind.value,
+        tuple(host.shape),
+    )
+
+
+def family_cache_key(guest, host) -> CacheKey:
+    """The address of a memoized pair → strategy-family resolution.
+
+    ``strategy_for`` is itself a pure function of the graph identities (it
+    runs the expansion/reduction factor searches), so the dispatcher memoizes
+    its answer alongside the constructions — a warm cache skips the search as
+    well as the build.
+    """
+    return (
+        "family",
+        guest.kind.value,
+        tuple(guest.shape),
+        host.kind.value,
+        tuple(host.shape),
+    )
+
+
+@dataclass(frozen=True)
+class CachedConstruction:
+    """The portable payload of one memoized embedding.
+
+    ``host_indices`` is the flat natural-order host rank of every guest rank
+    — a read-only NumPy ``int64`` array when NumPy built the entry, a plain
+    tuple of ints otherwise.  Either form reconstructs under either backend.
+    """
+
+    host_indices: object
+    strategy: str
+    predicted_dilation: Optional[int]
+    notes: Dict[str, object]
+
+
+def _portable_indices(embedding):
+    """The embedding's host-index sequence in a picklable, immutable form."""
+    if HAVE_NUMPY:
+        array = embedding.host_index_array().copy()
+        array.setflags(write=False)
+        return array
+    guest_base = embedding.guest.radix_base
+    host_base = embedding.host.radix_base
+    mapping = embedding.mapping
+    return tuple(
+        host_base.from_digits(mapping[guest_base.to_digits(rank)])
+        for rank in range(embedding.guest.size)
+    )
+
+
+def _materialize(payload: CachedConstruction, guest, host):
+    """Rebuild a live :class:`Embedding` from a cached payload.
+
+    Resolution honours the ambient backend: the array backend rehydrates the
+    flat index array directly (sharing the read-only cached array, no copy);
+    the loop backend rebuilds the tuple ``mapping`` dict, so a loop-only
+    environment never needs NumPy to consume a cache built elsewhere with
+    plain-tuple payloads.
+    """
+    from ..core.embedding import Embedding, use_array_path
+
+    if use_array_path():
+        return Embedding.from_index_array(
+            guest,
+            host,
+            payload.host_indices,
+            strategy=payload.strategy,
+            predicted_dilation=payload.predicted_dilation,
+            notes=dict(payload.notes),
+        )
+    guest_base = guest.radix_base
+    host_base = host.radix_base
+    mapping = {
+        guest_base.to_digits(rank): host_base.to_digits(int(image))
+        for rank, image in enumerate(payload.host_indices)
+    }
+    return Embedding(
+        guest=guest,
+        host=host,
+        mapping=mapping,
+        strategy=payload.strategy,
+        predicted_dilation=payload.predicted_dilation,
+        notes=dict(payload.notes),
+    )
+
+
+class ConstructionCache:
+    """A content-addressed, picklable memo store for constructions.
+
+    The backing ``data`` dict is deliberately plain (key tuple →
+    :class:`CachedConstruction`): it is the warm-start dict shipped to survey
+    workers, the merge unit for worker deltas, and the pickle payload of
+    :meth:`save`.  Hit/miss counters are per-instance observability only and
+    are not persisted.
+    """
+
+    __slots__ = ("data", "hits", "misses")
+
+    def __init__(self, data: Optional[Dict[CacheKey, CachedConstruction]] = None):
+        self.data: Dict[CacheKey, CachedConstruction] = dict(data or {})
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self.data
+
+    def clear(self) -> None:
+        self.data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Embedding entries
+    # ------------------------------------------------------------------ #
+    def fetch_embedding(self, key: CacheKey, guest, host):
+        """The memoized embedding for ``key`` rebuilt for ``guest``/``host``,
+        or ``None`` on a miss."""
+        payload = self.data.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _materialize(payload, guest, host)
+
+    def store_embedding(self, key: CacheKey, embedding) -> None:
+        """Memoize an embedding under its content address."""
+        self.data[key] = CachedConstruction(
+            host_indices=_portable_indices(embedding),
+            strategy=embedding.strategy,
+            predicted_dilation=embedding.predicted_dilation,
+            notes=dict(embedding.notes),
+        )
+
+    @property
+    def construction_count(self) -> int:
+        """Memoized constructions only — ``len(self)`` also counts the
+        family bookkeeping entries, so user-facing reports use this."""
+        return sum(1 for key in self.data if key[0] == "embedding")
+
+    # ------------------------------------------------------------------ #
+    # Strategy-family entries (memoized ``strategy_for`` answers)
+    # ------------------------------------------------------------------ #
+    def fetch_family(self, guest, host) -> Optional[Tuple[str, Optional[str]]]:
+        """The memoized ``(family, error)`` for a pair, or ``None``.
+
+        ``error`` is the stored :class:`UnsupportedEmbeddingError` message
+        for ``"unsupported"`` pairs and ``None`` otherwise.  Family lookups
+        are bookkeeping for the embedding entries, so they do not touch the
+        hit/miss counters.
+        """
+        entry = self.data.get(family_cache_key(guest, host))
+        if isinstance(entry, str):
+            return entry, None
+        if isinstance(entry, tuple) and len(entry) == 2:
+            return entry
+        return None
+
+    def store_family(
+        self, guest, host, family: str, error: Optional[str] = None
+    ) -> None:
+        """Memoize a pair's strategy family.
+
+        ``"unsupported"`` pairs store the dispatcher's error message too, so
+        a warm sweep re-raises it directly instead of re-running the failed
+        factor searches.
+        """
+        self.data[family_cache_key(guest, host)] = (
+            family if error is None else (family, error)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sharing and persistence
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[CacheKey, CachedConstruction]:
+        """A shallow copy of the backing dict (the warm-start unit)."""
+        return dict(self.data)
+
+    def merge(self, entries: Dict[CacheKey, CachedConstruction]) -> int:
+        """Fold a warm-start/delta dict into this cache; returns new-entry count."""
+        added = 0
+        for key, payload in entries.items():
+            if key not in self.data:
+                added += 1
+            self.data[key] = payload
+        return added
+
+    def save(self, path: PathLike) -> Path:
+        """Persist the backing dict (pickle) for the next invocation."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            pickle.dump(self.data, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ConstructionCache":
+        """A cache warm-started from :meth:`save` output; empty when the file
+        is missing or unreadable (a torn write must not kill a run)."""
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        try:
+            with path.open("rb") as handle:
+                data = pickle.load(handle)
+        except Exception:  # noqa: BLE001 - any corrupt byte stream cold-starts
+            return cls()
+        if not isinstance(data, dict):
+            return cls()
+        return cls(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConstructionCache({len(self.data)} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )

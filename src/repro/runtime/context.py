@@ -1,0 +1,233 @@
+"""The execution context: backend, cache and parallelism in one ambient object.
+
+Three PRs of growth left every layer of the embed → place → route → simulate
+pipeline hand-threading a ``method="auto|array|loop"`` kwarg call-by-call.
+This module replaces that with one ambient :class:`ExecutionContext` that the
+procedures *consult* (the SYS_ATL/Exo idiom: a scheduling context, not a
+parameter every caller must forward):
+
+* :func:`current` — the context in effect (innermost :func:`use_context`
+  override, else the process default);
+* :func:`use_context` — a scoped override, e.g.
+  ``with use_context(backend="loop"): ...``;
+* :func:`set_default_context` — install a process-wide default (used by
+  survey worker processes to inherit the parent's context).
+
+Backend resolution order (see ``docs/ARCHITECTURE.md``):
+
+1. an explicit per-call override (the deprecated ``method=`` shim);
+2. the innermost ``use_context`` scope;
+3. the process default context (``backend="auto"``).
+
+A resolved ``"auto"``/``"array"`` request falls back to the loop backend with
+**one warning per process** when NumPy is missing — uniformly, instead of the
+historical mix of hard ``ImportError`` and silent fallbacks.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import dataclasses
+import functools
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..numbering.arrays import HAVE_NUMPY
+from .cache import ConstructionCache
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "ExecutionContext",
+    "current",
+    "use_context",
+    "set_default_context",
+    "resolve_backend",
+    "use_array_path",
+    "accepts_deprecated_method",
+]
+
+#: Allowed values of :attr:`ExecutionContext.backend` (and of the deprecated
+#: per-call ``method=`` override): ``"auto"`` prefers the vectorized array
+#: kernels when NumPy is available, ``"array"`` requests them explicitly,
+#: ``"loop"`` forces the retained pure-Python reference implementations.
+Backend = str
+
+BACKENDS = ("auto", "array", "loop")
+
+#: Patchable alias so tests can simulate a NumPy-less environment without
+#: uninstalling NumPy.
+_HAVE_NUMPY = HAVE_NUMPY
+
+_warned_numpy_fallback = False
+
+
+def _validate_backend(backend: Backend) -> Backend:
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    return backend
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """One execution context: backend selection, memo cache, parallelism.
+
+    Attributes
+    ----------
+    backend:
+        Construction/measure/simulation implementation — ``"auto"`` (array
+        kernels when NumPy is available), ``"array"`` or ``"loop"``.
+    cache:
+        The content-addressed construction memo
+        (:class:`~repro.runtime.cache.ConstructionCache`), or ``None`` to
+        disable memoization (the default).
+    workers:
+        Worker-process count for sharded runs (the survey engine); ``None``
+        means ``os.cpu_count()``, ``0``/``1`` means sequential in-process.
+    shard_size:
+        Scenarios per shard — the unit of work handed to one worker.
+
+    The dataclass is frozen and picklable: survey workers receive the
+    parent's context verbatim (the cache dict rides along as the warm
+    start), and scoped overrides are :func:`dataclasses.replace` copies.
+    """
+
+    backend: Backend = "auto"
+    cache: Optional[ConstructionCache] = None
+    workers: Optional[int] = None
+    shard_size: int = 64
+
+    def __post_init__(self) -> None:
+        _validate_backend(self.backend)
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+
+    def resolved_backend(self, override: Optional[Backend] = None) -> Backend:
+        """The concrete backend — ``"array"`` or ``"loop"`` — in effect.
+
+        ``override`` (when not ``None``) takes precedence over the context's
+        own :attr:`backend`; it is how the deprecated per-call ``method=``
+        shim slots into the resolution order.  Array-capable requests degrade
+        to ``"loop"`` with one per-process warning when NumPy is missing.
+        """
+        requested = _validate_backend(
+            override if override is not None else self.backend
+        )
+        if requested == "loop":
+            return "loop"
+        if _HAVE_NUMPY:
+            return "array"
+        global _warned_numpy_fallback
+        if not _warned_numpy_fallback:
+            _warned_numpy_fallback = True
+            warnings.warn(
+                "NumPy is not available; the runtime falls back to the "
+                "pure-Python loop backend for every array-capable request "
+                "(this warning is emitted once per process)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return "loop"
+
+    def use_array(self, override: Optional[Backend] = None) -> bool:
+        """True when the resolved backend is the vectorized array path."""
+        return self.resolved_backend(override) == "array"
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (``None`` → ``os.cpu_count()``)."""
+        if self.workers is not None:
+            return self.workers
+        return os.cpu_count() or 1
+
+
+_default_context = ExecutionContext()
+
+_current_context: contextvars.ContextVar[Optional[ExecutionContext]] = (
+    contextvars.ContextVar("repro_execution_context", default=None)
+)
+
+
+def current() -> ExecutionContext:
+    """The execution context in effect for the calling code."""
+    context = _current_context.get()
+    return context if context is not None else _default_context
+
+
+def set_default_context(context: ExecutionContext) -> ExecutionContext:
+    """Install a new process-wide default context; returns the previous one.
+
+    Scoped :func:`use_context` overrides still win while active.  Survey
+    worker processes call this once at pool start-up so every shard they
+    evaluate inherits the parent's backend, cache warm start and policy.
+    """
+    global _default_context
+    previous = _default_context
+    _default_context = context
+    return previous
+
+
+@contextmanager
+def use_context(
+    context: Optional[ExecutionContext] = None, **overrides
+) -> Iterator[ExecutionContext]:
+    """Scoped context override.
+
+    ``use_context(ctx)`` installs a full context; ``use_context(backend=...,
+    cache=..., ...)`` derives one from the currently active context with the
+    given fields replaced; both forms combined install ``replace(ctx, ...)``.
+    Nesting composes innermost-wins, and the override is restored on exit
+    even when the body raises.
+    """
+    base = context if context is not None else current()
+    scoped = dataclasses.replace(base, **overrides) if overrides else base
+    token = _current_context.set(scoped)
+    try:
+        yield scoped
+    finally:
+        _current_context.reset(token)
+
+
+def resolve_backend(override: Optional[Backend] = None) -> Backend:
+    """:meth:`ExecutionContext.resolved_backend` of the current context."""
+    return current().resolved_backend(override)
+
+
+def use_array_path(method: Optional[Backend] = None) -> bool:
+    """Should the vectorized array path run?  Resolved from the context.
+
+    The single gate shared by every cost measure, construction builder and
+    simulation path.  ``method`` is the deprecated per-call override kept for
+    backward compatibility; new code leaves it ``None`` and scopes the
+    backend with :func:`use_context` instead.
+    """
+    return current().use_array(method)
+
+
+def accepts_deprecated_method(func):
+    """Shim decorator: accept the pre-runtime ``method=`` kwarg.
+
+    The wrapped function no longer takes ``method``; a caller that still
+    passes one gets a :class:`DeprecationWarning` and the call runs under a
+    scoped ``use_context(backend=method)`` — so the override reaches the
+    whole call chain without any hand-threading.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args, method: Optional[Backend] = None, **kwargs):
+        if method is None:
+            return func(*args, **kwargs)
+        warnings.warn(
+            f"{func.__qualname__}(method=...) is deprecated; wrap the call in "
+            "repro.runtime.use_context(backend=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        with use_context(backend=method):
+            return func(*args, **kwargs)
+
+    return wrapper

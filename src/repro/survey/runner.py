@@ -9,24 +9,38 @@ the same ``shard_dir``, finished shard files are loaded instead of
 recomputed (crash resume); the result merge is deterministic regardless of
 scheduling order either way.
 
+The engine runs under the ambient execution context
+(:mod:`repro.runtime.context`): the context supplies the backend, the
+default worker count and shard size, and — when it carries a
+:class:`~repro.runtime.cache.ConstructionCache` — the construction memo.
+The whole context (cache included, as the warm start) is installed once in
+every worker process; each finished shard ships its newly memoized entries
+back so the parent's cache keeps growing across shards and invocations.
+
 ``workers <= 1`` (or a single shard) runs inline in the calling process —
 the mode used by tests and ``repro survey --smoke``.
 """
 
 from __future__ import annotations
 
-import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import evaluate_embedding
-from ..baselines import bfs_order_embedding, lexicographic_embedding, random_embedding
 from ..core.dispatch import embed
 from ..exceptions import UnsupportedEmbeddingError
 from ..netsim import HostNetwork, simulate_phase, traffic_pattern
+from ..runtime.context import (
+    ExecutionContext,
+    current,
+    set_default_context,
+    use_context,
+)
+from ..runtime.registry import build_strategy
 from .scenarios import Scenario
 from .store import SurveyRecord, read_json, write_json
 
@@ -35,19 +49,7 @@ __all__ = [
     "SurveyReport",
     "run_survey",
     "evaluate_scenario",
-    "STRATEGY_BUILDERS",
 ]
-
-#: Embedding builders the simulation scenarios select by name: the paper's
-#: dispatcher (which honours the construction ``method``) plus the baselines.
-#: Shared with ``experiments/simulation_tables.py`` so the survey suite and
-#: the SIM-MAP experiment compare exactly the same competitors.
-STRATEGY_BUILDERS = {
-    "paper": lambda guest, host, method: embed(guest, host, method=method),
-    "lexicographic": lambda guest, host, method: lexicographic_embedding(guest, host),
-    "bfs": lambda guest, host, method: bfs_order_embedding(guest, host),
-    "random": lambda guest, host, method: random_embedding(guest, host, seed=0),
-}
 
 
 @dataclass(frozen=True)
@@ -57,19 +59,21 @@ class SurveyOptions:
     Attributes
     ----------
     workers:
-        Worker process count; ``None`` uses ``os.cpu_count()``, ``0``/``1``
-        runs sequentially in-process.
+        Worker process count; ``None`` defers to the execution context
+        (whose own default is ``os.cpu_count()``), ``0``/``1`` runs
+        sequentially in-process.
     shard_size:
-        Scenarios per shard (the unit of work handed to a worker).
+        Scenarios per shard (the unit of work handed to a worker); ``None``
+        defers to the execution context.
     shard_dir:
         When set, each finished shard is written there as
         ``shard-<k>.json`` before the merged result is assembled.
     with_congestion:
         Also measure edge congestion (vectorized; moderately more work).
     method:
-        Construction and cost implementation: ``"auto"`` (vectorized when
-        NumPy is present), ``"array"`` or ``"loop"`` — passed to both
-        :func:`repro.core.dispatch.embed` and the cost measures.
+        Deprecated backend override — prefer wrapping the run in
+        ``use_context(backend=...)``.  When set, the whole run (workers
+        included) executes under that backend.
     resume:
         When set (the default) and ``shard_dir`` holds a finished shard file
         whose records match the shard's scenario ids and these options
@@ -78,10 +82,10 @@ class SurveyOptions:
     """
 
     workers: Optional[int] = None
-    shard_size: int = 64
+    shard_size: Optional[int] = None
     shard_dir: Optional[str] = None
     with_congestion: bool = False
-    method: str = "auto"
+    method: Optional[str] = None  # stays 5th: positional callers predate it
     resume: bool = True
 
 
@@ -94,6 +98,7 @@ class SurveyReport:
     workers: int
     shard_paths: List[str] = field(default_factory=list)
     reused_shard_indices: List[int] = field(default_factory=list)
+    cache_entries: int = 0  # memoized constructions in the context cache
 
     @property
     def ok(self) -> List[SurveyRecord]:
@@ -142,14 +147,32 @@ class SurveyReport:
         return rows
 
 
+def _options_backend_override(options: SurveyOptions):
+    """The deprecated ``SurveyOptions.method`` shim: a scoped backend override."""
+    if options.method is None:
+        return use_context()  # no-op scope: keeps the call sites uniform
+    warnings.warn(
+        "SurveyOptions(method=...) is deprecated; wrap run_survey in "
+        "repro.runtime.use_context(backend=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return use_context(backend=options.method)
+
+
 def evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecord:
     """Embed and measure one scenario, capturing failures as record status.
 
     Embedding scenarios measure the vectorized costs; simulation scenarios
     (``scenario.traffic`` set) additionally place the named traffic pattern
-    on the host network and run the store-and-forward phase simulation, all
-    under the same ``method`` switch.
+    on the host network and run the store-and-forward phase simulation.  The
+    backend and the construction memo come from the ambient context.
     """
+    with _options_backend_override(options):
+        return _evaluate_scenario(scenario, options)
+
+
+def _evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecord:
     guest = scenario.guest_graph()
     host = scenario.host_graph()
     base = dict(
@@ -162,24 +185,19 @@ def evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecor
     started = time.perf_counter()
     try:
         if scenario.traffic:
-            builder = STRATEGY_BUILDERS[scenario.strategy]
-            embedding = builder(guest, host, options.method)
+            embedding = build_strategy(scenario.strategy, guest, host)
             pattern = traffic_pattern(scenario.traffic, guest)
-            result = simulate_phase(
-                HostNetwork(host), embedding, pattern, method=options.method
-            )
+            result = simulate_phase(HostNetwork(host), embedding, pattern)
             statistics = result.statistics
-            dilation = embedding.dilation(method=options.method)
+            dilation = embedding.dilation()
             return SurveyRecord(
                 status="ok",
                 strategy=scenario.strategy,
                 predicted_dilation=embedding.predicted_dilation,
                 dilation=dilation,
-                average_dilation=embedding.average_dilation(method=options.method),
+                average_dilation=embedding.average_dilation(),
                 congestion=(
-                    embedding.edge_congestion(method=options.method)
-                    if options.with_congestion
-                    else None
+                    embedding.edge_congestion() if options.with_congestion else None
                 ),
                 matches_prediction=embedding.matches_prediction(measured=dilation),
                 traffic=scenario.traffic,
@@ -191,10 +209,8 @@ def evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecor
                 elapsed_seconds=time.perf_counter() - started,
                 **base,
             )
-        embedding = embed(guest, host, method=options.method)
-        report = evaluate_embedding(
-            embedding, with_congestion=options.with_congestion, method=options.method
-        )
+        embedding = embed(guest, host)
+        report = evaluate_embedding(embedding, with_congestion=options.with_congestion)
         return SurveyRecord(
             status="ok",
             strategy=embedding.strategy,
@@ -222,15 +238,37 @@ def evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecor
         )
 
 
+def _install_worker_context(context: ExecutionContext) -> None:
+    """Pool initializer: adopt the parent's context (cache = warm start)."""
+    set_default_context(context)
+
+
 def _run_shard(
     shard_index: int, scenarios: Sequence[Scenario], options: SurveyOptions
-) -> Tuple[int, List[SurveyRecord]]:
-    """Worker entry point: evaluate one shard, optionally spill it to disk."""
-    records = [evaluate_scenario(scenario, options) for scenario in scenarios]
+) -> Tuple[int, List[SurveyRecord], Dict, Tuple[int, int]]:
+    """Worker entry point: evaluate one shard under the ambient context.
+
+    Returns the shard's records plus the construction-cache entries this
+    shard added (relative to the shard start), so the parent can merge the
+    delta and keep one growing memo across shards and invocations, and the
+    shard's (hits, misses) so pooled runs report true cache traffic.
+    """
+    cache = current().cache
+    records: List[SurveyRecord]
+    delta: Dict = {}
+    if cache is None:
+        records = [_evaluate_scenario(scenario, options) for scenario in scenarios]
+        counters = (0, 0)
+    else:
+        known = set(cache.data)
+        hits, misses = cache.hits, cache.misses
+        records = [_evaluate_scenario(scenario, options) for scenario in scenarios]
+        delta = {key: cache.data[key] for key in cache.data.keys() - known}
+        counters = (cache.hits - hits, cache.misses - misses)
     if options.shard_dir is not None:
         shard_path = Path(options.shard_dir) / f"shard-{shard_index:04d}.json"
         write_json(records, shard_path)
-    return shard_index, records
+    return shard_index, records, delta, counters
 
 
 def _shards(scenarios: Sequence[Scenario], shard_size: int) -> List[Sequence[Scenario]]:
@@ -248,8 +286,8 @@ def _load_finished_shard(
     measured columns match the requested options (a shard written without
     congestion must not satisfy a ``with_congestion`` rerun, and vice
     versa); anything else — missing file, torn write, different scenario
-    list or options — recomputes.  The ``method`` option is deliberately
-    not fingerprinted: array and loop produce identical records by the
+    list or options — recomputes.  The backend is deliberately not
+    fingerprinted: array and loop produce identical records by the
     differential contract.
     """
     if not path.is_file():
@@ -278,13 +316,26 @@ def run_survey(
 
     Records are returned in the input scenario order whatever the worker
     scheduling; two runs over the same scenario list produce identical
-    records (modulo the ``elapsed_seconds`` timings).
+    records (modulo the ``elapsed_seconds`` timings).  Parallelism policy
+    resolves ``options`` first, then the ambient execution context; worker
+    processes inherit the full context — backend, cache warm start and all.
     """
     options = options or SurveyOptions()
+    with _options_backend_override(options):
+        return _run_survey(scenarios, options)
+
+
+def _run_survey(scenarios: Sequence[Scenario], options: SurveyOptions) -> SurveyReport:
+    context = current()
     scenarios = list(scenarios)
-    workers = options.workers if options.workers is not None else (os.cpu_count() or 1)
+    workers = (
+        options.workers if options.workers is not None else context.resolved_workers()
+    )
+    shard_size = (
+        options.shard_size if options.shard_size is not None else context.shard_size
+    )
     started = time.perf_counter()
-    shards = _shards(scenarios, options.shard_size)
+    shards = _shards(scenarios, shard_size)
     results: Dict[int, List[SurveyRecord]] = {}
     shard_paths: List[str] = []
     reused: List[int] = []
@@ -303,14 +354,25 @@ def run_survey(
             results[index] = _run_shard(index, shard, options)[1]
     else:
         workers = min(workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_install_worker_context,
+            initargs=(context,),
+        ) as pool:
             futures = [
                 pool.submit(_run_shard, index, shard, options)
                 for index, shard in pending
             ]
             for future in as_completed(futures):
-                index, records = future.result()
+                index, records, delta, (hits, misses) = future.result()
                 results[index] = records
+                if context.cache is not None:
+                    # Fold the worker's memo traffic back into the parent:
+                    # new entries keep the cache growing across shards, and
+                    # the counters keep `--cache` reporting truthful.
+                    context.cache.merge(delta)
+                    context.cache.hits += hits
+                    context.cache.misses += misses
     if options.shard_dir is not None:
         shard_paths = [
             str(Path(options.shard_dir) / f"shard-{index:04d}.json")
@@ -325,4 +387,7 @@ def run_survey(
         workers=workers,
         shard_paths=shard_paths,
         reused_shard_indices=reused,
+        cache_entries=(
+            context.cache.construction_count if context.cache is not None else 0
+        ),
     )

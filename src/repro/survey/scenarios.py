@@ -222,7 +222,8 @@ def _suite_squares(max_nodes: int) -> List[Scenario]:
 
 
 #: Embedding strategies crossed into the simulation suite (resolved by the
-#: runner's builder registry: the paper's dispatcher plus the baselines).
+#: runtime's plugin registry, :mod:`repro.runtime.registry`: the paper's
+#: dispatcher plus the baselines).
 SIMULATION_STRATEGIES: Tuple[str, ...] = ("paper", "lexicographic", "bfs", "random")
 
 #: Traffic patterns crossed into the simulation suite (resolved by

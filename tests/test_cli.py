@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main, parse_graph
@@ -55,3 +57,101 @@ class TestCommands:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args([])
+
+
+class TestSimulateFlags:
+    SIM = ["simulate", "--guest", "torus:4,4", "--host", "mesh:2,2,2,2"]
+
+    @pytest.mark.parametrize(
+        "traffic", ["neighbor-exchange", "transpose", "all-to-all-groups"]
+    )
+    def test_traffic_flag_selects_the_pattern(self, traffic, capsys):
+        assert main(self.SIM + ["--traffic", traffic]) == 0
+        out = capsys.readouterr().out
+        assert traffic in out  # the pattern name heads the table title
+        for column in ("strategy", "dilation", "max hops", "makespan"):
+            assert column in out
+
+    def test_unknown_traffic_is_rejected_by_the_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.SIM + ["--traffic", "psychic"])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize("method", ["auto", "array", "loop"])
+    def test_method_flag_backends_agree(self, method, capsys):
+        assert main(self.SIM + ["--method", method]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "makespan" in out
+
+    def test_method_flag_rows_identical_across_backends(self, capsys):
+        main(self.SIM + ["--method", "array"])
+        array_out = capsys.readouterr().out
+        main(self.SIM + ["--method", "loop"])
+        loop_out = capsys.readouterr().out
+        assert array_out == loop_out
+
+    def test_unknown_method_is_rejected_by_the_parser(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.SIM + ["--method", "vectorized"])
+        assert excinfo.value.code == 2
+
+    def test_cache_flag_persists_across_invocations(self, tmp_path, capsys):
+        cache_file = tmp_path / "constructions.pkl"
+        assert main(self.SIM + ["--cache", str(cache_file)]) == 0
+        first = capsys.readouterr().out
+        assert "0 hits" in first and cache_file.exists()
+        assert main(self.SIM + ["--cache", str(cache_file)]) == 0
+        second = capsys.readouterr().out
+        assert "hits this run" in second and "0 hits" not in second
+
+
+class TestSurveyResumeFlags:
+    def survey(self, tmp_path, *extra):
+        return [
+            "survey",
+            "--smoke",
+            "--output",
+            str(tmp_path / "out.json"),
+            "--shard-dir",
+            str(tmp_path / "shards"),
+            "--shard-size",
+            "3",
+            *extra,
+        ]
+
+    def test_resume_skips_finished_shards(self, tmp_path, capsys):
+        assert main(self.survey(tmp_path)) == 0
+        first = capsys.readouterr().out
+        assert "resumed" not in first
+        assert main(self.survey(tmp_path)) == 0
+        second = capsys.readouterr().out
+        assert "resumed 3 finished shard(s)" in second  # 8 scenarios / size 3
+
+    def test_no_resume_recomputes_every_shard(self, tmp_path, capsys):
+        assert main(self.survey(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self.survey(tmp_path, "--no-resume")) == 0
+        out = capsys.readouterr().out
+        assert "resumed" not in out
+
+    def test_resumed_run_writes_identical_records(self, tmp_path, capsys):
+        assert main(self.survey(tmp_path)) == 0
+        capsys.readouterr()
+        first = json.loads((tmp_path / "out.json").read_text())
+        assert main(self.survey(tmp_path)) == 0
+        second = json.loads((tmp_path / "out.json").read_text())
+
+        def strip(payload):
+            return [
+                {key: value for key, value in row.items() if key != "elapsed_seconds"}
+                for row in payload["records"]
+            ]
+
+        assert strip(first) == strip(second)
+        assert first["count"] == second["count"] == 8
+
+    def test_survey_exit_code_and_columns(self, tmp_path, capsys):
+        assert main(self.survey(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "8 pairs (8 measured, 0 unsupported, 0 failed)" in out
+        assert "strategy" in out and "max dilation" in out

@@ -2,9 +2,9 @@
 
 Every strategy the dispatcher can select — and the strategy-specific builders
 it composes — must produce *node-for-node identical* embeddings whether built
-with ``method="array"`` (batch kernels, no per-node Python) or
-``method="loop"`` (the retained per-node reference).  This is the guard that
-lets the array path be the default everywhere else.
+under ``use_context(backend="array")`` (batch kernels, no per-node Python) or
+``use_context(backend="loop")`` (the retained per-node reference).  This is
+the guard that lets the array backend be the default everywhere else.
 
 Fixed pairs cover every strategy family exhaustively; hypothesis pairs sweep
 random same-size shapes through the dispatcher, also asserting that whatever
@@ -23,8 +23,18 @@ from repro.core.reduction import SimpleReductionFactor, find_general_reduction
 from repro.core.square import embed_square, embed_square_increasing
 from repro.exceptions import ShapeMismatchError, UnsupportedEmbeddingError
 from repro.graphs.base import Line, Mesh, Ring, Torus, make_graph
+from repro.runtime import use_context
 
 from .strategies import graph_kinds, same_size_shape_pairs
+
+
+def both_backends(build):
+    """Run a zero-argument builder under each backend scope."""
+    with use_context(backend="array"):
+        array_embedding = build()
+    with use_context(backend="loop"):
+        loop_embedding = build()
+    return array_embedding, loop_embedding
 
 
 def assert_constructions_agree(array_embedding, loop_embedding):
@@ -79,9 +89,7 @@ DISPATCH_PAIRS = [
     ids=[f"{g!r}->{h!r}" for g, h in DISPATCH_PAIRS],
 )
 def test_dispatcher_array_and_loop_builders_agree(guest, host):
-    assert_constructions_agree(
-        embed(guest, host, method="array"), embed(guest, host, method="loop")
-    )
+    assert_constructions_agree(*both_backends(lambda: embed(guest, host)))
 
 
 def test_dispatch_pairs_cover_every_selectable_family():
@@ -107,8 +115,7 @@ def test_lowering_general_builders_agree_directly():
         factor = find_general_reduction(guest.shape, host.shape)
         assert factor is not None
         assert_constructions_agree(
-            embed_lowering_general(guest, host, factor, method="array"),
-            embed_lowering_general(guest, host, factor, method="loop"),
+            *both_backends(lambda: embed_lowering_general(guest, host, factor))
         )
 
 
@@ -116,8 +123,7 @@ def test_lowering_simple_adversarial_ordering_agrees():
     factor = SimpleReductionFactor(((2, 4), (3, 3))).sorted_non_decreasing()
     guest, host = Torus((4, 2, 3, 3)), Mesh((8, 9))
     assert_constructions_agree(
-        embed_lowering_simple(guest, host, factor, method="array"),
-        embed_lowering_simple(guest, host, factor, method="loop"),
+        *both_backends(lambda: embed_lowering_simple(guest, host, factor))
     )
 
 
@@ -125,8 +131,9 @@ def test_increasing_forced_factor_agrees():
     guest, host = Torus((6, 12)), Mesh((6, 3, 2, 2))
     factor = ExpansionFactor(((6,), (3, 2, 2)))
     assert_constructions_agree(
-        embed_increasing(guest, host, factor, prefer_unit_dilation=False, method="array"),
-        embed_increasing(guest, host, factor, prefer_unit_dilation=False, method="loop"),
+        *both_backends(
+            lambda: embed_increasing(guest, host, factor, prefer_unit_dilation=False)
+        )
     )
 
 
@@ -137,16 +144,14 @@ def test_square_increasing_divisible_case_agrees():
         guest = make_graph(guest_kind, (9, 9))
         host = make_graph(host_kind, (3, 3, 3, 3))
         assert_constructions_agree(
-            embed_square_increasing(guest, host, method="array"),
-            embed_square_increasing(guest, host, method="loop"),
+            *both_backends(lambda: embed_square_increasing(guest, host))
         )
 
 
 def test_square_lowering_divisible_case_agrees():
     # Theorem 48 via embed_square (simple reduction with relabelled strategy).
     assert_constructions_agree(
-        embed_square(Torus((3, 3, 3, 3)), Mesh((9, 9)), method="array"),
-        embed_square(Torus((3, 3, 3, 3)), Mesh((9, 9)), method="loop"),
+        *both_backends(lambda: embed_square(Torus((3, 3, 3, 3)), Mesh((9, 9))))
     )
 
 
@@ -157,20 +162,33 @@ def test_random_pairs_build_identically_and_injectively(pair, guest_kind, host_k
     guest = make_graph(guest_kind, guest_shape)
     host = make_graph(host_kind, host_shape)
     try:
-        array_embedding = embed(guest, host, method="array")
+        with use_context(backend="array"):
+            array_embedding = embed(guest, host)
     except UnsupportedEmbeddingError:
-        with pytest.raises(UnsupportedEmbeddingError):
-            embed(guest, host, method="loop")
+        with use_context(backend="loop"), pytest.raises(UnsupportedEmbeddingError):
+            embed(guest, host)
         assume(False)  # discard unsupported pairs, they carry no mapping
         return
-    loop_embedding = embed(guest, host, method="loop")
+    with use_context(backend="loop"):
+        loop_embedding = embed(guest, host)
     assert_constructions_agree(array_embedding, loop_embedding)
     # embed output is always injective: same-size pairs make it bijective.
     assert array_embedding.is_bijective()
 
 
-def test_method_validation_still_applies():
-    with pytest.raises(ValueError):
+def test_backend_validation_still_applies():
+    with pytest.raises(ValueError), use_context(backend="vectorized"):
+        embed(Mesh((2, 2)), Mesh((2, 2)))
+    with use_context(backend="array"), pytest.raises(ShapeMismatchError):
+        embed(Mesh((2, 2)), Mesh((2, 3)))
+
+
+def test_deprecated_method_kwarg_installs_scoped_backend():
+    # The shim must behave exactly like the use_context form, and warn.
+    with pytest.warns(DeprecationWarning):
+        shimmed = embed(Torus((4, 6)), Mesh((2, 2, 2, 3)), method="loop")
+    with use_context(backend="loop"):
+        scoped = embed(Torus((4, 6)), Mesh((2, 2, 2, 3)))
+    assert_constructions_agree(shimmed, scoped)
+    with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
         embed(Mesh((2, 2)), Mesh((2, 2)), method="vectorized")
-    with pytest.raises(ShapeMismatchError):
-        embed(Mesh((2, 2)), Mesh((2, 3)), method="array")

@@ -32,6 +32,7 @@ from repro.netsim import (
     transpose_traffic,
 )
 from repro.numbering.arrays import indices_to_digits, signed_offset_digits
+from repro.runtime import use_context
 
 from .strategies import graph_kinds, same_size_shape_pairs, small_shapes
 
@@ -146,8 +147,10 @@ class TestAnalyticEstimateDifferential:
     @given(placed_phases())
     def test_array_equals_loop_exactly(self, case):
         network, embedding, traffic = case
-        array = analytic_phase_estimate(network, embedding, traffic, method="array")
-        loop = analytic_phase_estimate(network, embedding, traffic, method="loop")
+        with use_context(backend="array"):
+            array = analytic_phase_estimate(network, embedding, traffic)
+        with use_context(backend="loop"):
+            loop = analytic_phase_estimate(network, embedding, traffic)
         assert array == loop  # frozen dataclass: field-for-field, floats included
 
     @pytest.mark.parametrize(
@@ -166,9 +169,11 @@ class TestAnalyticEstimateDifferential:
             transpose_traffic(guest),
             all_to_all_in_groups_traffic(guest),
         ):
-            assert analytic_phase_estimate(
-                network, embedding, traffic, method="array"
-            ) == analytic_phase_estimate(network, embedding, traffic, method="loop")
+            with use_context(backend="array"):
+                array = analytic_phase_estimate(network, embedding, traffic)
+            with use_context(backend="loop"):
+                loop = analytic_phase_estimate(network, embedding, traffic)
+            assert array == loop
 
     def test_link_loads_match_loop_reference_per_link(self):
         guest, host = Torus((4, 4)), Mesh((2, 2, 2, 2))
@@ -201,26 +206,25 @@ class TestAnalyticEstimateDifferential:
         network = HostNetwork(host)
         embedding = embed(guest, host)
         empty = TrafficPattern("empty", ())
-        for method in ("array", "loop"):
-            statistics = analytic_phase_estimate(
-                network, embedding, empty, method=method
-            )
+        for backend in ("array", "loop"):
+            with use_context(backend=backend):
+                statistics = analytic_phase_estimate(network, embedding, empty)
             assert statistics.num_messages == 0
             assert statistics.estimated_completion_time == 0.0
 
     def test_array_path_validates_topology_and_endpoints(self):
         guest, host = Torus((4, 4)), Mesh((4, 4))
         embedding = embed(guest, host)
-        with pytest.raises(SimulationError):
-            analytic_phase_estimate(
-                HostNetwork(Mesh((2, 8))),
-                embedding,
-                neighbor_exchange_traffic(guest),
-                method="array",
-            )
-        bad = TrafficPattern("bad", (Message((9, 9), (0, 0)),))
-        with pytest.raises(SimulationError):
-            analytic_phase_estimate(HostNetwork(host), embedding, bad, method="array")
+        with use_context(backend="array"):
+            with pytest.raises(SimulationError):
+                analytic_phase_estimate(
+                    HostNetwork(Mesh((2, 8))),
+                    embedding,
+                    neighbor_exchange_traffic(guest),
+                )
+            bad = TrafficPattern("bad", (Message((9, 9), (0, 0)),))
+            with pytest.raises(SimulationError):
+                analytic_phase_estimate(HostNetwork(host), embedding, bad)
 
 
 class TestSimulationDifferential:
@@ -228,8 +232,10 @@ class TestSimulationDifferential:
     @given(placed_phases())
     def test_simulate_phase_array_equals_loop_exactly(self, case):
         network, embedding, traffic = case
-        array = simulate_phase(network, embedding, traffic, method="array")
-        loop = simulate_phase(network, embedding, traffic, method="loop")
+        with use_context(backend="array"):
+            array = simulate_phase(network, embedding, traffic)
+        with use_context(backend="loop"):
+            loop = simulate_phase(network, embedding, traffic)
         assert array.makespan == loop.makespan
         assert array.per_message_completion == loop.per_message_completion
         assert array.statistics == loop.statistics
@@ -239,11 +245,9 @@ class TestSimulationDifferential:
         network = HostNetwork(host)
         embedding = embed(guest, host)
         traffic = neighbor_exchange_traffic(guest)
-        for method in ("array", "loop"):
-            with pytest.raises(SimulationError):
-                simulate_phase(
-                    network, embedding, traffic, max_events=3, method=method
-                )
+        for backend in ("array", "loop"):
+            with use_context(backend=backend), pytest.raises(SimulationError):
+                simulate_phase(network, embedding, traffic, max_events=3)
 
     def test_cost_model_parameters_thread_through_both_paths(self):
         from repro.netsim import CostModel
@@ -252,8 +256,11 @@ class TestSimulationDifferential:
         network = HostNetwork(host, CostModel(alpha=0.5, bandwidth=4.0))
         embedding = embed(guest, host)
         traffic = neighbor_exchange_traffic(guest, message_size=2.0)
-        array = simulate_phase(network, embedding, traffic, method="array")
-        loop = simulate_phase(network, embedding, traffic, method="loop")
+        # Through the deprecated shim on purpose — it must stay equivalent.
+        with pytest.warns(DeprecationWarning):
+            array = simulate_phase(network, embedding, traffic, method="array")
+        with use_context(backend="loop"):
+            loop = simulate_phase(network, embedding, traffic)
         assert array.makespan == loop.makespan
         assert array.statistics == loop.statistics
 

@@ -1,0 +1,166 @@
+"""Tests for the execution context: resolution order, scoping, the shim."""
+
+import pickle
+
+import pytest
+
+from repro.core.dispatch import embed
+from repro.core.embedding import use_array_path
+from repro.graphs.base import Mesh, Torus
+from repro.runtime import ExecutionContext, current, use_context
+from repro.runtime import context as context_module
+from repro.runtime.context import (
+    accepts_deprecated_method,
+    resolve_backend,
+    set_default_context,
+)
+
+
+class TestExecutionContext:
+    def test_defaults(self):
+        context = ExecutionContext()
+        assert context.backend == "auto"
+        assert context.cache is None
+        assert context.workers is None
+        assert context.shard_size == 64
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(backend="vectorized")
+        with pytest.raises(ValueError):
+            ExecutionContext(workers=-1)
+        with pytest.raises(ValueError):
+            ExecutionContext(shard_size=0)
+
+    def test_resolved_backend_with_numpy(self):
+        assert ExecutionContext(backend="auto").resolved_backend() == "array"
+        assert ExecutionContext(backend="array").resolved_backend() == "array"
+        assert ExecutionContext(backend="loop").resolved_backend() == "loop"
+        # the per-call override (the method= shim) wins over the field
+        assert ExecutionContext(backend="array").resolved_backend("loop") == "loop"
+        with pytest.raises(ValueError):
+            ExecutionContext().resolved_backend("bogus")
+
+    def test_resolved_workers(self):
+        assert ExecutionContext(workers=3).resolved_workers() == 3
+        assert ExecutionContext(workers=0).resolved_workers() == 0
+        assert ExecutionContext().resolved_workers() >= 1
+
+    def test_context_is_picklable(self):
+        context = ExecutionContext(backend="loop", workers=2, shard_size=16)
+        clone = pickle.loads(pickle.dumps(context))
+        assert clone == context
+
+
+class TestScoping:
+    def test_current_defaults_to_auto(self):
+        assert current().backend == "auto"
+
+    def test_use_context_overrides_and_restores(self):
+        assert current().backend == "auto"
+        with use_context(backend="loop") as scoped:
+            assert scoped.backend == "loop"
+            assert current() is scoped
+            assert not use_array_path()
+        assert current().backend == "auto"
+        assert use_array_path()
+
+    def test_nesting_is_innermost_wins(self):
+        with use_context(backend="loop"):
+            with use_context(backend="array"):
+                assert current().backend == "array"
+            assert current().backend == "loop"
+
+    def test_overrides_derive_from_the_active_context(self):
+        with use_context(backend="loop", shard_size=8):
+            with use_context(workers=2):  # backend/shard_size inherited
+                assert current().backend == "loop"
+                assert current().shard_size == 8
+                assert current().workers == 2
+
+    def test_restored_even_when_the_body_raises(self):
+        with pytest.raises(RuntimeError):
+            with use_context(backend="loop"):
+                raise RuntimeError("boom")
+        assert current().backend == "auto"
+
+    def test_full_context_argument(self):
+        context = ExecutionContext(backend="loop", shard_size=4)
+        with use_context(context) as scoped:
+            assert scoped is context
+        with use_context(context, shard_size=16) as scoped:
+            assert scoped.backend == "loop" and scoped.shard_size == 16
+
+    def test_set_default_context_survives_outside_scopes(self):
+        previous = set_default_context(ExecutionContext(backend="loop"))
+        try:
+            assert current().backend == "loop"
+            with use_context(backend="array"):
+                assert current().backend == "array"
+            assert current().backend == "loop"
+        finally:
+            set_default_context(previous)
+        assert current().backend == "auto"
+
+    def test_resolve_backend_module_helper(self):
+        with use_context(backend="loop"):
+            assert resolve_backend() == "loop"
+            assert resolve_backend("array") == "array"
+
+
+class TestMissingNumpyFallback:
+    def test_array_request_degrades_to_loop_with_one_warning(self, monkeypatch):
+        monkeypatch.setattr(context_module, "_HAVE_NUMPY", False)
+        monkeypatch.setattr(context_module, "_warned_numpy_fallback", False)
+        with pytest.warns(RuntimeWarning, match="falls back to the pure-Python"):
+            assert ExecutionContext(backend="array").resolved_backend() == "loop"
+        # second resolution: same fallback, no second warning
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ExecutionContext(backend="auto").resolved_backend() == "loop"
+            assert not use_array_path()
+
+    def test_loop_request_never_warns(self, monkeypatch):
+        monkeypatch.setattr(context_module, "_HAVE_NUMPY", False)
+        monkeypatch.setattr(context_module, "_warned_numpy_fallback", False)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ExecutionContext(backend="loop").resolved_backend() == "loop"
+
+    def test_constructions_still_work_without_numpy_path(self, monkeypatch):
+        monkeypatch.setattr(context_module, "_HAVE_NUMPY", False)
+        monkeypatch.setattr(context_module, "_warned_numpy_fallback", True)
+        embedding = embed(Torus((3, 4)), Mesh((3, 4)))
+        # the loop fallback built a dict-backed embedding without NumPy help
+        assert embedding._host_indices is None
+        assert embedding.dilation() == 2
+
+
+class TestDeprecatedMethodShim:
+    def test_shim_warns_and_scopes_the_backend(self):
+        @accepts_deprecated_method
+        def probe():
+            return current().backend
+
+        assert probe() == "auto"  # method=None: no warning, no scope
+        with pytest.warns(DeprecationWarning, match="probe\\(method=...\\)"):
+            assert probe(method="loop") == "loop"
+        assert current().backend == "auto"
+
+    def test_shim_validates_the_backend_value(self):
+        @accepts_deprecated_method
+        def probe():
+            return None  # pragma: no cover - never reached with a bad value
+
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
+            probe(method="bogus")
+
+    def test_embedding_cost_methods_accept_the_shim(self):
+        embedding = embed(Torus((4, 6)), Mesh((2, 2, 2, 3)))
+        with pytest.warns(DeprecationWarning):
+            loop_dilation = embedding.dilation(method="loop")
+        assert loop_dilation == embedding.dilation()

@@ -12,7 +12,8 @@ from repro.survey import (
     suite_names,
     write_json,
 )
-from repro.survey.runner import STRATEGY_BUILDERS, evaluate_scenario
+from repro.runtime import strategy_names, use_context
+from repro.survey.runner import evaluate_scenario
 from repro.survey.scenarios import SIMULATION_STRATEGIES, SIMULATION_TRAFFIC
 
 
@@ -45,7 +46,7 @@ class TestSimulationScenarios:
         assert Scenario.from_id(scenario.scenario_id) == scenario
 
     def test_strategy_builders_cover_suite_strategies(self):
-        assert set(SIMULATION_STRATEGIES) <= set(STRATEGY_BUILDERS)
+        assert set(SIMULATION_STRATEGIES) <= set(strategy_names())
 
 
 class TestSimulationRunner:
@@ -70,14 +71,24 @@ class TestSimulationRunner:
         assert record.estimated_time is not None
         assert record.estimated_time <= record.makespan + 1e-9
 
-    def test_methods_agree_on_simulation_records(self):
+    def test_backends_agree_on_simulation_records(self):
         scenario = Scenario(
             "torus", (4, 4), "mesh", (2, 2, 2, 2), strategy="random", traffic="transpose"
         )
-        array = evaluate_scenario(scenario, SurveyOptions(method="array"))
-        loop = evaluate_scenario(scenario, SurveyOptions(method="loop"))
+        with use_context(backend="array"):
+            array = evaluate_scenario(scenario, SurveyOptions())
+        with use_context(backend="loop"):
+            loop = evaluate_scenario(scenario, SurveyOptions())
         strip = lambda r: {**r.as_dict(), "elapsed_seconds": None}
         assert strip(array) == strip(loop)
+
+    def test_deprecated_options_method_still_works(self):
+        scenario = Scenario(
+            "torus", (4, 4), "mesh", (2, 2, 2, 2), strategy="paper", traffic="transpose"
+        )
+        with pytest.warns(DeprecationWarning):
+            record = evaluate_scenario(scenario, SurveyOptions(method="loop"))
+        assert record.status == "ok"
 
     def test_paper_beats_baselines_across_the_suite(self):
         report = run_survey(
