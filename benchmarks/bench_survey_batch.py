@@ -1,0 +1,120 @@
+"""BENCH-SURVEY-BATCH: batched shard evaluation vs the per-scenario path.
+
+PR 5's tentpole: the survey engine used to pay full Python overhead per
+scenario — one construction, one traffic build, one ``evaluate_embedding``
+(with a fresh ``edge_index_arrays`` derivation) and one event loop per
+record.  The batched path (:mod:`repro.survey.batch`) groups a shard by
+signature, stacks host-index arrays through fused metric kernels and drives
+every simulation phase through one round-based vectorized event loop.
+
+The floor test runs the **simulation-suite sweep** — the paper's task-mapping
+pairs (the SIM-MAP table scale) crossed with every registered strategy and
+traffic pattern, congestion measured — through both paths:
+
+* the records must be **bit-for-bit identical** (``elapsed_seconds`` timing
+  aside), simulator statistics and makespans included;
+* the batched path must be at least ``SPEEDUP_FLOOR``x faster.
+
+The ``pytest-benchmark`` entries snapshot the batched medians (committed as
+``BENCH_survey.json``); CI replays them and
+``benchmarks/check_bench_regression.py`` fails the build when any median
+slows down by more than 2x — the same gate that guards the netsim kernels.
+Run with ``-s`` to see the measured ratio; refresh the snapshot with
+``--benchmark-json=BENCH_survey.json``.
+"""
+
+import time
+
+from repro.runtime import use_context
+from repro.survey import SurveyOptions, run_survey, scenarios_for_suite
+
+SPEEDUP_FLOOR = 5.0
+
+#: The node budget that pulls in every simulation-suite pair, including the
+#: table-scale task-mapping entries added for this benchmark.
+SUITE_BUDGET = 64
+TABLE_BUDGET = 256
+
+
+def _sweep(max_nodes):
+    scenarios = scenarios_for_suite("simulation", max_nodes=max_nodes)
+    assert scenarios, "the simulation suite is empty"
+    return scenarios
+
+
+def _run(scenarios, *, batch):
+    options = SurveyOptions(
+        workers=1, shard_size=len(scenarios), with_congestion=True
+    )
+    with use_context(batch=batch):
+        return run_survey(scenarios, options)
+
+
+def _strip(record):
+    return {**record.as_dict(), "elapsed_seconds": None}
+
+
+def test_batched_sweep_speedup_and_identical_records():
+    scenarios = _sweep(SUITE_BUDGET)
+
+    reference_seconds = float("inf")
+    for _ in range(2):
+        started = time.perf_counter()
+        reference = _run(scenarios, batch=False)
+        reference_seconds = min(reference_seconds, time.perf_counter() - started)
+
+    batched_seconds = float("inf")
+    for _ in range(3):  # best-of-3 guards the assertion against CI jitter
+        started = time.perf_counter()
+        batched = _run(scenarios, batch=True)
+        batched_seconds = min(batched_seconds, time.perf_counter() - started)
+
+    # Bit-for-bit identical records: costs, statistics, makespans and all.
+    assert [_strip(r) for r in batched.records] == [
+        _strip(r) for r in reference.records
+    ]
+    assert not batched.failed and not batched.unsupported
+
+    speedup = reference_seconds / batched_seconds
+    print(
+        f"\nsimulation-suite sweep ({len(scenarios)} scenarios): "
+        f"per-scenario {reference_seconds:.3f}s, batched {batched_seconds:.3f}s, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batched shard evaluation only {speedup:.1f}x faster than the "
+        f"per-scenario path (floor {SPEEDUP_FLOOR}x) over {len(scenarios)} scenarios"
+    )
+
+
+def test_table_scale_sweep_records_identical():
+    # The 256-node task-mapping pairs: heavier shared simulation, so no
+    # speedup floor here — the identity contract is what must hold at scale.
+    scenarios = _sweep(TABLE_BUDGET)
+    batched = _run(scenarios, batch=True)
+    reference = _run(scenarios, batch=False)
+    assert [_strip(r) for r in batched.records] == [
+        _strip(r) for r in reference.records
+    ]
+
+
+def test_benchmark_batched_simulation_suite(benchmark):
+    scenarios = _sweep(SUITE_BUDGET)
+
+    def sweep():
+        report = _run(scenarios, batch=True)
+        assert not report.failed
+        return len(report.ok)
+
+    assert benchmark(sweep) == len(scenarios)
+
+
+def test_benchmark_batched_table_scale_suite(benchmark):
+    scenarios = _sweep(TABLE_BUDGET)
+
+    def sweep():
+        report = _run(scenarios, batch=True)
+        assert not report.failed
+        return len(report.ok)
+
+    assert benchmark(sweep) == len(scenarios)

@@ -1,20 +1,26 @@
 """Bench-regression gate: fresh benchmark JSON vs the committed floors.
 
-Compares a ``pytest-benchmark --benchmark-json`` artifact (the netsim kernel
-run CI just produced) against the committed perf snapshot
-``BENCH_netsim.json`` and fails when any matching benchmark's median slowed
-down by more than ``--max-slowdown`` (default 2x) — the guard that keeps the
-array kernels from quietly regressing while the suite stays green.
+Compares one or more ``pytest-benchmark --benchmark-json`` artifacts (the
+kernel runs CI just produced) against their committed perf snapshots and
+fails when any matching benchmark's median slowed down by more than
+``--max-slowdown`` (default 2x) — the guard that keeps the array kernels
+from quietly regressing while the suite stays green.
 
 Benchmarks are matched by ``fullname``; entries present on only one side are
 reported but do not gate (new benchmarks are allowed to appear, retired ones
-to disappear).  At least one pair must match, otherwise the gate fails —
-a wholesale rename must not silently disable the comparison.
+to disappear).  At least one pair must match per artifact, otherwise the
+gate fails — a wholesale rename must not silently disable the comparison.
 
-Usage::
+Usage (one artifact, the historical form)::
 
     python benchmarks/check_bench_regression.py bench-netsim.json \
         --baseline BENCH_netsim.json --max-slowdown 2.0
+
+or several artifacts, each against its own committed snapshot (currents and
+baselines pair up positionally)::
+
+    python benchmarks/check_bench_regression.py bench-netsim.json bench-survey.json \
+        --baseline BENCH_netsim.json --baseline BENCH_survey.json
 """
 
 from __future__ import annotations
@@ -35,39 +41,25 @@ def load_medians(path: Path) -> dict:
     }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", type=Path, help="fresh --benchmark-json output")
-    parser.add_argument(
-        "--baseline",
-        type=Path,
-        default=Path("BENCH_netsim.json"),
-        help="committed perf snapshot to compare against",
-    )
-    parser.add_argument(
-        "--max-slowdown",
-        type=float,
-        default=2.0,
-        help="fail when current median > this factor times the baseline median",
-    )
-    args = parser.parse_args(argv)
-
-    baseline = load_medians(args.baseline)
-    current = load_medians(args.current)
+def check_pair(current_path: Path, baseline_path: Path, max_slowdown: float) -> bool:
+    """Gate one (current, baseline) artifact pair; True when it passes."""
+    baseline = load_medians(baseline_path)
+    current = load_medians(current_path)
     shared = sorted(set(baseline) & set(current))
+    print(f"== {current_path} vs {baseline_path}")
     if not shared:
         print(
-            f"FAIL: no benchmark names shared between {args.current} and "
-            f"{args.baseline}; the regression gate has nothing to compare"
+            f"FAIL: no benchmark names shared between {current_path} and "
+            f"{baseline_path}; the regression gate has nothing to compare"
         )
-        return 1
+        return False
 
     regressions = []
     for name in shared:
         ratio = current[name] / baseline[name]
         verdict = "ok"
-        if ratio > args.max_slowdown:
-            verdict = f"REGRESSION (> {args.max_slowdown:.1f}x)"
+        if ratio > max_slowdown:
+            verdict = f"REGRESSION (> {max_slowdown:.1f}x)"
             regressions.append(name)
         print(
             f"{name}: baseline {baseline[name] * 1e3:.2f}ms, "
@@ -80,14 +72,51 @@ def main(argv=None) -> int:
 
     if regressions:
         print(
-            f"\nFAIL: {len(regressions)} of {len(shared)} benchmarks slowed "
-            f"down by more than {args.max_slowdown:.1f}x"
+            f"FAIL: {len(regressions)} of {len(shared)} benchmarks slowed "
+            f"down by more than {max_slowdown:.1f}x"
+        )
+        return False
+    print(f"OK: {len(shared)} benchmarks within {max_slowdown:.1f}x of the floors")
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "current",
+        type=Path,
+        nargs="+",
+        help="fresh --benchmark-json output(s), paired positionally with --baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        action="append",
+        help="committed perf snapshot(s) to compare against "
+        "(default: BENCH_netsim.json for a single current file)",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        help="fail when current median > this factor times the baseline median",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = args.baseline or [Path("BENCH_netsim.json")]
+    if len(baselines) != len(args.current):
+        print(
+            f"FAIL: {len(args.current)} current file(s) but {len(baselines)} "
+            f"--baseline value(s); they pair up positionally"
         )
         return 1
-    print(
-        f"\nOK: {len(shared)} benchmarks within {args.max_slowdown:.1f}x of the floors"
-    )
-    return 0
+
+    ok = True
+    for current, baseline in zip(args.current, baselines):
+        if not check_pair(current, baseline, args.max_slowdown):
+            ok = False
+        print()
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

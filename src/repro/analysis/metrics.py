@@ -13,6 +13,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..core.embedding import Embedding
+from ..numbering.arrays import (
+    compact_index_dtype,
+    require_numpy,
+    stacked_edge_congestion,
+)
 from ..runtime.context import accepts_deprecated_method
 
 __all__ = [
@@ -22,6 +27,10 @@ __all__ = [
     "expansion_cost",
     "EmbeddingReport",
     "evaluate_embedding",
+    "stack_host_index_arrays",
+    "stacked_edge_dilations",
+    "stacked_dilation_summary",
+    "stacked_congestion",
 ]
 
 
@@ -99,4 +108,72 @@ def evaluate_embedding(
         average_dilation=embedding.average_dilation(),
         congestion=embedding.edge_congestion() if with_congestion else None,
         valid=embedding.is_valid(),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Stacked metric kernels (batched survey evaluation)
+# --------------------------------------------------------------------- #
+def stack_host_index_arrays(embeddings, host):
+    """Stack the host-index arrays of same-signature embeddings.
+
+    All embeddings must target ``host`` (and share one guest signature); the
+    result is a ``(batch, size)`` matrix in the smallest sufficient integer
+    dtype (``int32`` whenever the host has fewer than ``2**31`` nodes —
+    :func:`repro.numbering.arrays.compact_index_dtype` is the overflow
+    guard).  Requires NumPy.
+    """
+    np = require_numpy()
+    dtype = compact_index_dtype(max(host.size - 1, 0))
+    return np.stack(
+        [
+            np.asarray(embedding.host_index_array(), dtype=dtype)
+            for embedding in embeddings
+        ]
+    )
+
+
+def stacked_edge_dilations(host, edge_u, edge_v, images):
+    """Per-edge host distances for a whole stack of embeddings at once.
+
+    ``images`` is the ``(batch, size)`` stack of host-index rows and
+    ``edge_u`` / ``edge_v`` the shared guest edge-endpoint ranks; the result
+    is the ``(batch, E)`` ``int64`` distance matrix — row ``b`` equals
+    ``Embedding.edge_dilation_array`` of the ``b``-th embedding exactly.
+    """
+    np = require_numpy()
+    images = np.asarray(images)
+    return host.distance_indices(images[:, edge_u], images[:, edge_v])
+
+
+def stacked_dilation_summary(host, edge_u, edge_v, images):
+    """``(dilation, average_dilation)`` columns for a stack of embeddings.
+
+    One fused pass over the shared edge-index arrays: the ``(batch,)``
+    ``int64`` maxima and ``(batch,)`` ``float64`` means of the stacked
+    per-edge distances.  Both reductions run over the contiguous rows of the
+    distance matrix, so each row's result is bit-for-bit the per-embedding
+    ``dilation()`` / ``average_dilation()`` value.
+    """
+    np = require_numpy()
+    images = np.asarray(images)
+    batch = images.shape[0]
+    edge_u = np.asarray(edge_u)
+    if edge_u.size == 0:
+        return (
+            np.zeros(batch, dtype=np.int64),
+            np.zeros(batch, dtype=np.float64),
+        )
+    dilations = stacked_edge_dilations(host, edge_u, edge_v, images)
+    return dilations.max(axis=1), dilations.mean(axis=1)
+
+
+def stacked_congestion(host, edge_u, edge_v, images):
+    """Edge congestion column for a stack of embeddings (``(batch,)`` ints).
+
+    The survey-facing wrapper of
+    :func:`repro.numbering.arrays.stacked_edge_congestion`.
+    """
+    return stacked_edge_congestion(
+        images, edge_u, edge_v, host.shape, torus=host.is_torus
     )

@@ -12,15 +12,31 @@ from __future__ import annotations
 from ..core.embedding import Embedding
 from ..exceptions import ShapeMismatchError
 from ..graphs.base import CartesianGraph
+from ..numbering.arrays import require_numpy
+from ..runtime.context import use_array_path
 
 __all__ = ["lexicographic_embedding"]
 
 
 def lexicographic_embedding(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
-    """Match natural-order ranks of guest and host nodes."""
+    """Match natural-order ranks of guest and host nodes.
+
+    Under the array backend the host-index array is literally ``arange``;
+    the per-node callable stays as the loop reference (the two are pinned
+    node-for-node by the baseline differential tests).
+    """
     if guest.size != host.size:
         raise ShapeMismatchError(
             f"guest has {guest.size} nodes but host has {host.size}"
+        )
+    if use_array_path():
+        np = require_numpy()
+        return Embedding.from_index_array(
+            guest,
+            host,
+            np.arange(guest.size, dtype=np.int64),
+            strategy="baseline:lexicographic",
+            predicted_dilation=None,
         )
     return Embedding.from_callable(
         guest,

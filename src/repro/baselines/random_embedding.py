@@ -14,6 +14,8 @@ from typing import Optional
 from ..core.embedding import Embedding
 from ..exceptions import ShapeMismatchError
 from ..graphs.base import CartesianGraph
+from ..numbering.arrays import require_numpy
+from ..runtime.context import use_array_path
 
 __all__ = ["random_embedding"]
 
@@ -21,12 +23,30 @@ __all__ = ["random_embedding"]
 def random_embedding(
     guest: CartesianGraph, host: CartesianGraph, *, seed: Optional[int] = 0
 ) -> Embedding:
-    """A seeded uniformly random bijection of guest nodes onto host nodes."""
+    """A seeded uniformly random bijection of guest nodes onto host nodes.
+
+    Both backends draw the identical permutation: ``random.Random.shuffle``
+    only ever swaps positions, so shuffling the rank range produces the same
+    bijection as shuffling the host node tuples — the array path just skips
+    materializing the tuples and the mapping dict.
+    """
     if guest.size != host.size:
         raise ShapeMismatchError(
             f"guest has {guest.size} nodes but host has {host.size}"
         )
     rng = random.Random(seed)
+    if use_array_path():
+        np = require_numpy()
+        permutation = list(range(host.size))
+        rng.shuffle(permutation)
+        return Embedding.from_index_array(
+            guest,
+            host,
+            np.asarray(permutation, dtype=np.int64),
+            strategy="baseline:random",
+            predicted_dilation=None,
+            notes={"seed": seed},
+        )
     host_nodes = list(host.nodes())
     rng.shuffle(host_nodes)
     mapping = {

@@ -225,7 +225,7 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         resume=not args.no_resume,
     )
     cache = _load_cache(args)
-    with use_context(backend=args.method, cache=cache):
+    with use_context(backend=args.method, cache=cache, batch=not args.no_batch):
         report = run_survey(scenarios, options)
     _save_cache(args, cache)
     if report.reused_shard_indices:
@@ -349,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_survey.add_argument(
         "--congestion", action="store_true", help="also measure edge congestion"
+    )
+    p_survey.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="evaluate scenarios one at a time (the cross-checked reference) "
+        "instead of the batched stacked-kernel path",
     )
     p_survey.add_argument(
         "--method",

@@ -48,10 +48,10 @@ from ..exceptions import InvalidEmbeddingError, InvalidRadixError, ShapeMismatch
 from ..graphs.base import CartesianGraph
 from ..graphs.paths import dimension_order_path
 from ..numbering.arrays import (
-    digit_weights,
     digits_to_indices,
     indices_to_digits,
     require_numpy,
+    stacked_edge_congestion,
 )
 from ..runtime.context import accepts_deprecated_method, use_array_path
 from ..types import Node
@@ -401,8 +401,8 @@ class Embedding:
             raise InvalidEmbeddingError(
                 f"image rank {bad} is not a node of the host graph"
             )
-        if np.unique(indices).size != indices.size:
-            values, counts = np.unique(indices, return_counts=True)
+        values, counts = np.unique(indices, return_counts=True)
+        if values.size != indices.size:
             duplicate = self.host.index_node(int(values[counts > 1][0]))
             raise InvalidEmbeddingError(f"image {duplicate!r} is used more than once")
 
@@ -493,62 +493,24 @@ class Embedding:
         return max(load.values()) if load else 0
 
     def _edge_congestion_array(self) -> int:
-        """Vectorized congestion via per-dimension difference arrays.
+        """Vectorized congestion via the stacked difference-array kernel.
 
-        Dimension-ordered routing corrects host dimension ``j`` while
-        dimensions ``< j`` already sit at the target coordinates and
-        dimensions ``> j`` still sit at the source coordinates, so each guest
-        edge loads a contiguous (possibly wrapping) run of dimension-``j``
-        host edges along one axis line.  Interval adds over a
-        ``(lines, coords)`` difference buffer followed by a cumulative sum
-        yield every host edge's load in O(E + |V_H|) per dimension.
+        Delegates to :func:`repro.numbering.arrays.stacked_edge_congestion`
+        with a batch of one, so this method and the survey's batched
+        evaluation share a single implementation.
         """
-        np = require_numpy()
         u, v = self.guest.edge_index_arrays()
         if u.size == 0:
             return 0
-        images = self.host_index_array()
-        shape = self.host.shape
-        weights = digit_weights(shape)
-        source = indices_to_digits(images[u], shape)  # path source A (lower guest rank)
-        target = indices_to_digits(images[v], shape)  # path target B
-        is_torus = self.host.is_torus
-        worst = 0
-        for j, length in enumerate(shape):
-            a = source[:, j]
-            b = target[:, j]
-            # Host position while correcting dimension j: dims < j are
-            # already at the target, dims >= j still at the source.
-            position = np.concatenate([target[:, :j], source[:, j:]], axis=1)
-            flat = position @ weights
-            period = int(weights[j]) * length
-            line = (flat // period) * int(weights[j]) + (flat % int(weights[j]))
-            lines = self.host.size // length
-            if is_torus and length > 2:
-                forward = (b - a) % length
-                backward = (a - b) % length
-                go_forward = forward <= backward
-                start = np.where(go_forward, a, b)
-                run = np.where(go_forward, forward, backward)
-                end = start + run
-                delta = np.zeros((lines, length + 1), dtype=np.int64)
-                wraps = end > length
-                np.add.at(delta, (line, start), 1)
-                np.add.at(delta, (line, np.minimum(end, length)), -1)
-                if wraps.any():
-                    np.add.at(delta, (line[wraps], 0), 1)
-                    np.add.at(delta, (line[wraps], end[wraps] - length), -1)
-                counts = np.cumsum(delta[:, :-1], axis=1)  # edge at coord c: (c, c+1 mod l)
-            else:
-                lo = np.minimum(a, b)
-                hi = np.maximum(a, b)
-                delta = np.zeros((lines, length), dtype=np.int64)
-                np.add.at(delta, (line, lo), 1)
-                np.add.at(delta, (line, hi), -1)
-                counts = np.cumsum(delta[:, :-1], axis=1)
-            if counts.size:
-                worst = max(worst, int(counts.max()))
-        return worst
+        return int(
+            stacked_edge_congestion(
+                self.host_index_array(),
+                u,
+                v,
+                self.host.shape,
+                torus=self.host.is_torus,
+            )[0]
+        )
 
     @accepts_deprecated_method
     def matches_prediction(self, *, measured: Optional[int] = None) -> bool:

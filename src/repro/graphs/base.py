@@ -54,6 +54,13 @@ class CartesianGraph:
     def __init__(self, shape: Iterable[int]):
         self._shape: Shape = as_shape(shape)
         self._base = RadixBase(self._shape)
+        # Lazily derived arrays (node digit table, edge-endpoint ranks,
+        # neighbour matrix).  Graphs are immutable, so once computed they are
+        # never invalidated; all are marked read-only because they are shared
+        # between every embedding/measure that touches this graph object.
+        self._node_digits = None
+        self._edge_arrays = None
+        self._neighbor_matrix = None
 
     # ------------------------------------------------------------------ #
     # Basic metadata
@@ -201,6 +208,62 @@ class CartesianGraph:
                 total += n - n // length
         return total
 
+    def node_digit_array(self):
+        """The ``(n, d)`` digit rows of every node in natural order (cached).
+
+        The all-nodes ``u_L`` table shared by the edge derivation and the
+        batched construction kernels.  Computed once per graph object and
+        returned read-only.  Requires NumPy.
+        """
+        if self._node_digits is None:
+            np = require_numpy()
+            digits = indices_to_digits(np.arange(self.size, dtype=np.int64), self._shape)
+            digits.setflags(write=False)
+            self._node_digits = digits
+        return self._node_digits
+
+    def neighbor_rank_matrix(self):
+        """The ``(n, 2d)`` neighbour ranks of every node, plus a validity mask.
+
+        Column ``2j`` is the dimension-``j`` ``-1``-direction neighbour and
+        column ``2j + 1`` the ``+1`` direction — exactly the order
+        :meth:`neighbors` yields them, with the same handling of mesh
+        boundaries (masked out) and length-2 torus dimensions (the ``+1``
+        wrap duplicates the ``-1`` neighbour and is masked out).  Returns
+        ``(neighbors, valid)``; entries with ``valid`` False are
+        meaningless.  Cached and read-only.  Requires NumPy.
+        """
+        if self._neighbor_matrix is None:
+            np = require_numpy()
+            n = self.size
+            weights = digit_weights(self._shape)
+            digits = self.node_digit_array()
+            ranks = np.arange(n, dtype=np.int64)
+            dimension = self.dimension
+            neighbors = np.empty((n, 2 * dimension), dtype=np.int64)
+            valid = np.zeros((n, 2 * dimension), dtype=bool)
+            for j, length in enumerate(self._shape):
+                coords = digits[:, j]
+                weight = int(weights[j])
+                if self.kind.is_torus:
+                    neighbors[:, 2 * j] = (
+                        ranks + np.where(coords > 0, -1, length - 1) * weight
+                    )
+                    valid[:, 2 * j] = True
+                    neighbors[:, 2 * j + 1] = (
+                        ranks + np.where(coords < length - 1, 1, -(length - 1)) * weight
+                    )
+                    valid[:, 2 * j + 1] = length > 2
+                else:
+                    neighbors[:, 2 * j] = ranks - weight
+                    valid[:, 2 * j] = coords > 0
+                    neighbors[:, 2 * j + 1] = ranks + weight
+                    valid[:, 2 * j + 1] = coords < length - 1
+            neighbors.setflags(write=False)
+            valid.setflags(write=False)
+            self._neighbor_matrix = (neighbors, valid)
+        return self._neighbor_matrix
+
     def edge_index_arrays(self):
         """All edges as a pair of flat ``int64`` rank arrays ``(u, v)``.
 
@@ -208,28 +271,37 @@ class CartesianGraph:
         exactly once with ``u < v`` (natural-order ranks).  The edges are
         grouped by dimension rather than by node, so the *order* differs from
         :meth:`edges`; the multiset of edges is identical, which is what the
-        vectorized cost computations need.  Requires NumPy.
+        vectorized cost computations need.  The pair is derived once per
+        graph object, cached (graphs are immutable — nothing ever
+        invalidates it) and returned read-only, so survey-scale loops that
+        measure many embeddings against the same graph never re-derive it.
+        Requires NumPy.
         """
-        np = require_numpy()
-        n = self.size
-        weights = digit_weights(self._shape)
-        digits = indices_to_digits(np.arange(n, dtype=np.int64), self._shape)
-        sources: List = []
-        targets: List = []
-        for j, length in enumerate(self._shape):
-            weight = int(weights[j])
-            column = digits[:, j]
-            if self.kind.is_torus and length > 2:
-                u = np.arange(n, dtype=np.int64)
-                v = u + np.where(column < length - 1, weight, -(length - 1) * weight)
-            else:
-                u = np.flatnonzero(column < length - 1).astype(np.int64)
-                v = u + weight
-            sources.append(u)
-            targets.append(v)
-        u = np.concatenate(sources)
-        v = np.concatenate(targets)
-        return np.minimum(u, v), np.maximum(u, v)
+        if self._edge_arrays is None:
+            np = require_numpy()
+            n = self.size
+            weights = digit_weights(self._shape)
+            digits = self.node_digit_array()
+            sources: List = []
+            targets: List = []
+            for j, length in enumerate(self._shape):
+                weight = int(weights[j])
+                column = digits[:, j]
+                if self.kind.is_torus and length > 2:
+                    u = np.arange(n, dtype=np.int64)
+                    v = u + np.where(column < length - 1, weight, -(length - 1) * weight)
+                else:
+                    u = np.flatnonzero(column < length - 1).astype(np.int64)
+                    v = u + weight
+                sources.append(u)
+                targets.append(v)
+            u = np.concatenate(sources)
+            v = np.concatenate(targets)
+            u, v = np.minimum(u, v), np.maximum(u, v)
+            u.setflags(write=False)
+            v.setflags(write=False)
+            self._edge_arrays = (u, v)
+        return self._edge_arrays
 
     # ------------------------------------------------------------------ #
     # Distance

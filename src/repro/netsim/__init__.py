@@ -42,13 +42,17 @@ from .traffic import (
     neighbor_exchange_traffic,
     traffic_pattern,
     traffic_pattern_names,
+    traffic_rank_arrays,
     transpose_traffic,
 )
 from .simulator import (
     PhaseStatistics,
     SimulationResult,
     analytic_phase_estimate,
+    simulate_endpoint_phases,
     simulate_phase,
+    simulate_phases,
+    simulate_phases_rounds,
 )
 
 __all__ = [
@@ -66,8 +70,12 @@ __all__ = [
     "all_to_all_in_groups_traffic",
     "traffic_pattern",
     "traffic_pattern_names",
+    "traffic_rank_arrays",
     "PhaseStatistics",
     "SimulationResult",
     "analytic_phase_estimate",
     "simulate_phase",
+    "simulate_phases",
+    "simulate_endpoint_phases",
+    "simulate_phases_rounds",
 ]

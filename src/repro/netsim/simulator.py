@@ -35,12 +35,20 @@ from ..core.embedding import Embedding, use_array_path
 from ..exceptions import SimulationError
 from ..runtime.context import accepts_deprecated_method
 from ..numbering.arrays import indices_to_digits, require_numpy
-from .kernels import accumulate_link_loads, expand_routes
+from .kernels import RouteArrays, accumulate_link_loads, expand_routes
 from .network import DirectedLink, HostNetwork
 from .routing import route_message
 from .traffic import TrafficPattern
 
-__all__ = ["PhaseStatistics", "SimulationResult", "analytic_phase_estimate", "simulate_phase"]
+__all__ = [
+    "PhaseStatistics",
+    "SimulationResult",
+    "analytic_phase_estimate",
+    "simulate_phase",
+    "simulate_phases",
+    "simulate_endpoint_phases",
+    "simulate_phases_rounds",
+]
 
 
 @dataclass(frozen=True)
@@ -103,16 +111,11 @@ def _routes_for(
     return routes
 
 
-def _phase_arrays(network: HostNetwork, embedding: Embedding, traffic: TrafficPattern):
-    """Placed, routed and priced phase data for the vectorized paths.
-
-    Returns ``(space, routes, sizes, occupancy)`` — the directed-link id
-    space, the CSR route arrays, and the per-message size / link-occupancy
-    arrays.
-    """
+def _phase_arrays_from_ranks(
+    network: HostNetwork, embedding: Embedding, source_ranks, target_ranks, sizes
+):
+    """Routed and priced phase data from already-placed guest endpoint ranks."""
     _check_topology(network, embedding)
-    require_numpy()
-    source_ranks, target_ranks, sizes = traffic.endpoint_rank_arrays(embedding.guest.shape)
     images = embedding.host_index_array()
     host_shape = network.topology.shape
     space = network.link_index_space()
@@ -127,8 +130,20 @@ def _phase_arrays(network: HostNetwork, embedding: Embedding, traffic: TrafficPa
     return space, routes, sizes, occupancy
 
 
-def _statistics_from_arrays(space, routes, sizes, occupancy) -> PhaseStatistics:
-    """Fully vectorized analytic statistics (no per-message Python)."""
+def _phase_arrays(network: HostNetwork, embedding: Embedding, traffic: TrafficPattern):
+    """Placed, routed and priced phase data for the vectorized paths.
+
+    Returns ``(space, routes, sizes, occupancy)`` — the directed-link id
+    space, the CSR route arrays, and the per-message size / link-occupancy
+    arrays.
+    """
+    require_numpy()
+    source_ranks, target_ranks, sizes = traffic.endpoint_rank_arrays(embedding.guest.shape)
+    return _phase_arrays_from_ranks(network, embedding, source_ranks, target_ranks, sizes)
+
+
+def _statistics_from_link_loads(routes, occupancy, counts, volume, busy) -> PhaseStatistics:
+    """Reduce per-link load arrays to a :class:`PhaseStatistics`."""
     num_messages = routes.num_messages
     if num_messages == 0:
         return PhaseStatistics(
@@ -143,7 +158,6 @@ def _statistics_from_arrays(space, routes, sizes, occupancy) -> PhaseStatistics:
             estimated_completion_time=0.0,
         )
     hops = routes.hops
-    counts, volume, busy = accumulate_link_loads(space, routes, sizes, occupancy)
     max_link_busy = float(busy.max())
     max_uncontended = float((hops * occupancy).max())
     total_hops = int(hops.sum())
@@ -158,6 +172,14 @@ def _statistics_from_arrays(space, routes, sizes, occupancy) -> PhaseStatistics:
         max_uncontended_message_time=max_uncontended,
         estimated_completion_time=max(max_link_busy, max_uncontended),
     )
+
+
+def _statistics_from_arrays(space, routes, sizes, occupancy) -> PhaseStatistics:
+    """Fully vectorized analytic statistics (no per-message Python)."""
+    if routes.num_messages == 0:
+        return _statistics_from_link_loads(routes, occupancy, None, None, None)
+    counts, volume, busy = accumulate_link_loads(space, routes, sizes, occupancy)
+    return _statistics_from_link_loads(routes, occupancy, counts, volume, busy)
 
 
 @accepts_deprecated_method
@@ -214,6 +236,151 @@ def _statistics_from_routes(model, routes) -> PhaseStatistics:
     )
 
 
+def simulate_phases(phase_inputs, *, max_events: int = 5_000_000) -> List[SimulationResult]:
+    """Simulate many placed phases, sharing one vectorized event loop.
+
+    ``phase_inputs`` is a sequence of ``(network, embedding, traffic)``
+    triples.  Under the array backend every phase is expanded once and all of
+    them advance together through :func:`simulate_phases_rounds` (their link
+    id blocks are disjoint, so the merged loop is exactly the per-phase
+    results — it only amortizes the per-round Python overhead); under the
+    loop backend the phases are simulated one by one with the reference
+    implementation.  Either way the results equal
+    ``[simulate_phase(*p) for p in phase_inputs]`` field for field.
+    """
+    if not use_array_path():
+        return [
+            simulate_phase(network, embedding, traffic, max_events=max_events)
+            for network, embedding, traffic in phase_inputs
+        ]
+    expanded = [
+        _phase_arrays(network, embedding, traffic)
+        for network, embedding, traffic in phase_inputs
+    ]
+    outcomes = simulate_phases_rounds(
+        [(space, routes, occupancy) for space, routes, _sizes, occupancy in expanded],
+        max_events=max_events,
+    )
+    return [
+        SimulationResult(
+            makespan=makespan,
+            statistics=_statistics_from_arrays(space, routes, sizes, occupancy),
+            per_message_completion=tuple(completion),
+        )
+        for (space, routes, sizes, occupancy), (makespan, completion) in zip(
+            expanded, outcomes
+        )
+    ]
+
+
+def simulate_endpoint_phases(
+    phases, *, max_events: int = 5_000_000
+) -> List[SimulationResult]:
+    """Like :func:`simulate_phases`, but from placed guest endpoint ranks.
+
+    ``phases`` is a sequence of ``(network, embedding, (source_ranks,
+    target_ranks, sizes))`` triples — the arrays a
+    :meth:`~repro.netsim.traffic.TrafficPattern.endpoint_rank_arrays` call
+    (or the vectorized generators of
+    :func:`~repro.netsim.traffic.traffic_rank_arrays`) would produce.  This
+    is the batched survey path's entry point: no :class:`Message` tuples
+    exist at any point, all phases sharing one link-index space expand their
+    routes in a single :func:`~repro.netsim.kernels.expand_routes` call
+    (``expand_routes`` is row-wise, so a concatenated batch expands to the
+    concatenation of the per-phase expansions), and every phase advances
+    through one shared round loop.  Array kernels only — the results equal
+    ``simulate_phase`` over the equivalent patterns field for field.
+    """
+    np = require_numpy()
+    groups: Dict[int, Dict] = {}  # one entry per distinct link-index space
+    priced: List = [None] * len(phases)
+    for index, (network, embedding, (source_ranks, target_ranks, sizes)) in enumerate(
+        phases
+    ):
+        _check_topology(network, embedding)
+        space = network.link_index_space()
+        images = embedding.host_index_array()
+        group = groups.setdefault(id(space), {"space": space, "items": []})
+        group["items"].append((index, images[source_ranks], images[target_ranks]))
+        priced[index] = (sizes, network.cost_model.link_occupancy(sizes))
+    routes: List = [None] * len(phases)
+    statistics: List = [None] * len(phases)
+    for group in groups.values():
+        space = group["space"]
+        items = group["items"]
+        shape = space.shape
+        merged = expand_routes(
+            space,
+            indices_to_digits(np.concatenate([src for _, src, _ in items]), shape),
+            indices_to_digits(np.concatenate([dst for _, _, dst in items]), shape),
+        )
+        lower = 0
+        for index, src, _dst in items:
+            upper = lower + src.size
+            hop_lower = int(merged.starts[lower])
+            hop_upper = int(merged.starts[upper])
+            routes[index] = RouteArrays(
+                offsets=merged.offsets[lower:upper],
+                hops=merged.hops[lower:upper],
+                starts=merged.starts[lower : upper + 1] - hop_lower,
+                link_ids=merged.link_ids[hop_lower:hop_upper],
+            )
+            lower = upper
+        # Per-phase link-load statistics from the merged expansion: one
+        # scatter-add per quantity for the whole group, phases separated by
+        # slot-block offsets.  Each phase's hops are contiguous in the
+        # merged arrays and keep their (message, hop) order, so every
+        # (phase, link) bin receives exactly the adds — in exactly the order
+        # — of the per-phase `accumulate_link_loads` scatter, and the float
+        # sums stay bit-for-bit equal.
+        slots = space.num_slots
+        message_counts = np.asarray([src.size for _, src, _ in items], dtype=np.int64)
+        phase_of_hop = np.repeat(
+            np.repeat(np.arange(len(items), dtype=np.int64), message_counts),
+            merged.hops,
+        )
+        grouped_ids = merged.link_ids + phase_of_hop * slots
+        length = len(items) * slots
+        sizes_of_hop = np.repeat(
+            np.concatenate([priced[index][0] for index, _s, _d in items]), merged.hops
+        )
+        occupancy_of_hop = np.repeat(
+            np.concatenate([priced[index][1] for index, _s, _d in items]), merged.hops
+        )
+        counts = np.bincount(grouped_ids, minlength=length).reshape(-1, slots)
+        volume = np.bincount(
+            grouped_ids, weights=sizes_of_hop, minlength=length
+        ).reshape(-1, slots)
+        busy = np.bincount(
+            grouped_ids, weights=occupancy_of_hop, minlength=length
+        ).reshape(-1, slots)
+        for position, (index, _src, _dst) in enumerate(items):
+            statistics[index] = _statistics_from_link_loads(
+                routes[index],
+                priced[index][1],
+                counts[position],
+                volume[position],
+                busy[position],
+            )
+    outcomes = simulate_phases_rounds(
+        [
+            (network.link_index_space(), phase_routes, occupancy)
+            for (network, _e, _t), phase_routes, (_sizes, occupancy) in zip(
+                phases, routes, priced
+            )
+        ],
+        max_events=max_events,
+    )
+    return [
+        SimulationResult(
+            makespan=makespan,
+            statistics=phase_statistics,
+            per_message_completion=tuple(completion),
+        )
+        for phase_statistics, (makespan, completion) in zip(statistics, outcomes)
+    ]
+
+
 @dataclass(order=True)
 class _LinkRequest:
     """A pending hop of a message, ordered for deterministic scheduling."""
@@ -223,10 +390,176 @@ class _LinkRequest:
     hop_index: int = field(compare=False)
 
 
-def _simulate_arrays(space, routes, occupancy, max_events: int) -> Tuple[float, List[float]]:
-    """Event loop keyed by directed-link ids over preallocated route arrays.
+def simulate_phases_rounds(phases, *, max_events: int = 5_000_000):
+    """Round-based vectorized event loop over one or many expanded phases.
 
-    The routes were expanded once into a CSR batch (shared with the analytic
+    ``phases`` is a sequence of ``(space, routes, occupancy)`` triples (the
+    output of the per-phase route expansion); the result is one
+    ``(makespan, per_message_completion)`` pair per phase.  All phases run in
+    a single loop: link ids are offset into disjoint blocks, so the phases
+    cannot interact, and merging them only makes each round's batch larger.
+
+    Each round advances *every* ready message at once instead of popping one
+    heap event per hop.  Correctness relies on the batch window: with
+    ``t_min`` the earliest pending request time and ``occ_min`` the smallest
+    pending occupancy, every request with ``ready < t_min + occ_min`` can be
+    served this round, because any request spawned by the round finishes at
+    ``max(ready, link_free) + occ >= t_min + occ_min`` (float addition is
+    monotone) — strictly after every batch member, exactly where the heap
+    would order it.  Within the round, requests are lexsorted by
+    ``(link, ready, message index)`` — the heap's service order per link —
+    and each link's queue is drained one *queue position* per inner step
+    (``start = max(ready, link_free)``, the same float ops in the same
+    order), so makespans and completion times are bit-for-bit identical to
+    the heap loops.  Degenerate cases where the window collapses (zero
+    occupancy, or times too large for the sum to round up) fall back to
+    serving exactly one request — the global ``(ready, index)`` minimum —
+    per round, which is verbatim heap order.
+
+    The ``max_events`` budget is enforced per phase (an event is one served
+    hop, as in the heap loops); exceeding it raises
+    :class:`~repro.exceptions.SimulationError` for the whole call.
+    """
+    np = require_numpy()
+    makespans = [0.0] * len(phases)
+    completions: List[List[float]] = [[] for _ in phases]
+    live = [index for index, (_, routes, _) in enumerate(phases) if routes.num_messages]
+    if not live:
+        return list(zip(makespans, completions))
+
+    link_offset = 0
+    counts: List[int] = []
+    link_parts, first_parts, last_parts, occ_parts = [], [], [], []
+    for index in live:
+        space, routes, occupancy = phases[index]
+        counts.append(routes.num_messages)
+        link_parts.append(routes.link_ids + link_offset)
+        first_parts.append(routes.starts[:-1])
+        last_parts.append(routes.starts[1:])
+        occ_parts.append(np.asarray(occupancy, dtype=np.float64))
+        link_offset += space.num_slots
+    hop_offsets = np.cumsum([0] + [part.size for part in link_parts[:-1]])
+    link_ids = np.concatenate(link_parts)
+    first_hop = np.concatenate(
+        [part + offset for part, offset in zip(first_parts, hop_offsets)]
+    )
+    last_hop = np.concatenate(
+        [part + offset for part, offset in zip(last_parts, hop_offsets)]
+    )
+    occupancy = np.concatenate(occ_parts)
+    phase_of = np.repeat(np.arange(len(live), dtype=np.int64), counts)
+
+    completion = np.zeros(first_hop.size, dtype=np.float64)
+    link_free = np.zeros(link_offset, dtype=np.float64)
+    events = np.zeros(len(live), dtype=np.int64)
+
+    # The working set, as *aligned* arrays: the global index, ready time,
+    # occupancy and hop pointers of every message with hops left.  All
+    # per-round work happens on these compact arrays (no gathers through the
+    # full message space); completed entries are parked at ready = +inf and
+    # physically compacted once a quarter of the set is dead.  The batch
+    # window uses the one-time global occupancy minimum: messages only ever
+    # leave the working set, so the true pending minimum can only grow, and
+    # a smaller-than-necessary window stays correct — it just splits work
+    # across more rounds.
+    ids = np.flatnonzero(first_hop < last_hop)
+    ready_a = np.zeros(ids.size, dtype=np.float64)
+    occ_a = occupancy[ids]
+    hop_a = first_hop[ids]
+    last_a = last_hop[ids]
+    occ_floor = occ_a.min() if ids.size else 0.0
+    alive = ids.size
+    dead = 0
+    while alive:
+        t_min = ready_a.min()
+        window = t_min + occ_floor
+        if window > t_min:
+            mask = ready_a < window
+        else:
+            # Degenerate window: serve the single (ready, index)-minimal
+            # request this round — verbatim heap semantics, never fast but
+            # always exact.
+            mask = np.zeros(ids.size, dtype=bool)
+            mask[np.flatnonzero(ready_a == t_min)[:1]] = True
+        batch_ids = ids[mask]
+        events += np.bincount(phase_of[batch_ids], minlength=len(live))
+        if (events > max_events).any():
+            raise SimulationError(
+                f"simulation exceeded {max_events} events; the configuration is too large"
+            )
+        hop_b = hop_a[mask]
+        links = link_ids[hop_b]
+        r_b = ready_a[mask]
+        o_b = occ_a[mask]
+        # The heap serves a link's requests by (ready_time, message index);
+        # the batch is ascending by index and the sorts are stable, so the
+        # link id (plus the ready time, when the round spans several ready
+        # times) is the whole key.  One stable integer sort covers the
+        # common uniform-occupancy survey case, where every ready time in
+        # the window equals t_min.
+        if r_b.size and r_b.max() == t_min:
+            order = np.argsort(links, kind="stable")
+        else:
+            order = np.lexsort((r_b, links))
+        s_links = links[order]
+        s_ready = r_b[order]
+        s_occ = o_b[order]
+        positions = np.arange(s_links.size, dtype=np.int64)
+        boundary = np.empty(s_links.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(s_links[1:], s_links[:-1], out=boundary[1:])
+        rank = positions - np.maximum.accumulate(np.where(boundary, positions, 0))
+        # Serve queue position p of every link in lockstep: position 0 may
+        # wait for the link (start = max(ready, link_free)), deeper positions
+        # chain off the freshly updated link_free — the loop's arithmetic,
+        # one vectorized step per queue depth instead of one event per hop.
+        by_rank = np.argsort(rank, kind="stable")
+        rank_counts = np.bincount(rank)
+        bounds = np.concatenate([[0], np.cumsum(rank_counts)])
+        finish = np.empty(s_links.size, dtype=np.float64)
+        for position in range(rank_counts.size):
+            sel = by_rank[bounds[position] : bounds[position + 1]]
+            chosen = s_links[sel]
+            started = np.maximum(s_ready[sel], link_free[chosen])
+            ended = started + s_occ[sel]
+            link_free[chosen] = ended
+            finish[sel] = ended
+        finish_b = np.empty(s_links.size, dtype=np.float64)
+        finish_b[order] = finish
+        hop_b += 1
+        hop_a[mask] = hop_b
+        finished = hop_b == last_a[mask]
+        if finished.any():
+            completion[batch_ids[finished]] = finish_b[finished]
+            finish_b[finished] = np.inf  # park: never batched again
+            done = int(finished.sum())
+            alive -= done
+            dead += done
+        ready_a[mask] = finish_b
+        if dead * 4 >= ids.size and alive:
+            keep = hop_a < last_a
+            ids = ids[keep]
+            ready_a = ready_a[keep]
+            occ_a = occ_a[keep]
+            hop_a = hop_a[keep]
+            last_a = last_a[keep]
+            dead = 0
+
+    offset = 0
+    for position, index in enumerate(live):
+        phase_completion = completion[offset : offset + counts[position]]
+        makespans[index] = float(phase_completion.max()) if counts[position] else 0.0
+        completions[index] = phase_completion.tolist()
+        offset += counts[position]
+    return list(zip(makespans, completions))
+
+
+def _simulate_arrays(space, routes, occupancy, max_events: int) -> Tuple[float, List[float]]:
+    """Heap event loop keyed by directed-link ids over preallocated routes.
+
+    The cross-checked single-phase reference for
+    :func:`simulate_phases_rounds` (which the array backend dispatches to):
+    the routes were expanded once into a CSR batch (shared with the analytic
     statistics); the event loop then only touches flat preallocated
     sequences (`link_free[link_id]`, ``next_hop[message]``) — no
     ``(node, node)`` tuples, no dicts.  Ordering and arithmetic match the
@@ -287,11 +620,17 @@ def simulate_phase(
     backend implementations.
 
     Placement and routing are shared between the analytic statistics and
-    the event loop, so each phase expands its routes exactly once.
+    the event loop, so each phase expands its routes exactly once.  The
+    array backend advances the phase with the round-based vectorized event
+    loop (:func:`simulate_phases_rounds`); the retained heap loops — flat
+    link-id (:func:`_simulate_arrays`) and node-tuple (the loop backend) —
+    are its cross-checked references.
     """
     if use_array_path():
         space, expanded, sizes, occupancy = _phase_arrays(network, embedding, traffic)
-        makespan, completion = _simulate_arrays(space, expanded, occupancy, max_events)
+        ((makespan, completion),) = simulate_phases_rounds(
+            [(space, expanded, occupancy)], max_events=max_events
+        )
         return SimulationResult(
             makespan=makespan,
             statistics=_statistics_from_arrays(space, expanded, sizes, occupancy),

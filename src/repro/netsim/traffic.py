@@ -24,7 +24,12 @@ from typing import Iterator, List, Optional, Tuple
 from ..core.embedding import Embedding
 from ..exceptions import SimulationError
 from ..graphs.base import CartesianGraph
-from ..numbering.arrays import digits_to_indices, indices_to_digits, require_numpy
+from ..numbering.arrays import (
+    digit_weights,
+    digits_to_indices,
+    indices_to_digits,
+    require_numpy,
+)
 from ..runtime.context import use_array_path
 from ..runtime.registry import register_traffic, traffic_names as _registered_names
 from ..types import Node, Shape
@@ -37,6 +42,7 @@ __all__ = [
     "all_to_all_in_groups_traffic",
     "traffic_pattern",
     "traffic_pattern_names",
+    "traffic_rank_arrays",
 ]
 
 
@@ -220,6 +226,101 @@ def all_to_all_in_groups_traffic(
     return TrafficPattern(
         name=f"all-to-all-groups{guest.shape}/{group_size}", messages=tuple(messages)
     )
+
+
+# --------------------------------------------------------------------- #
+# Vectorized endpoint-rank generators
+# --------------------------------------------------------------------- #
+# The builders above materialize one `Message` tuple per task pair — the
+# right representation for inspection and for the loop reference, but pure
+# per-message Python.  The generators below produce the *placed-phase input*
+# (`(source_ranks, target_ranks, sizes)` flat arrays, exactly what
+# `TrafficPattern.endpoint_rank_arrays` would return for the corresponding
+# pattern, message for message in the same order) straight from mixed-radix
+# arithmetic, so batched survey shards never build the tuples at all.  The
+# differential suite pins the two forms equal for every pattern.
+
+
+def _neighbor_exchange_ranks(guest: CartesianGraph, np):
+    """Sources/targets of one message per directed guest edge.
+
+    Reproduces ``guest.edges()`` order exactly — nodes in natural order,
+    neighbours by dimension then direction (wrap neighbours deduplicated for
+    length-2 torus dimensions — the contract of
+    :meth:`CartesianGraph.neighbor_rank_matrix`), edges kept at their
+    lower-rank endpoint — with the two directed messages of each edge
+    adjacent (a->b then b->a), as :func:`neighbor_exchange_traffic` emits
+    them.
+    """
+    neighbors, valid = guest.neighbor_rank_matrix()
+    ranks = np.arange(guest.size, dtype=np.int64)
+    # Each edge once, at its lower-rank endpoint.
+    valid = valid & (neighbors > ranks[:, None])
+    lower = np.broadcast_to(ranks[:, None], neighbors.shape)[valid]
+    upper = neighbors[valid]
+    sources = np.empty(2 * lower.size, dtype=np.int64)
+    targets = np.empty(2 * lower.size, dtype=np.int64)
+    sources[0::2] = lower
+    sources[1::2] = upper
+    targets[0::2] = upper
+    targets[1::2] = lower
+    return sources, targets
+
+
+def _transpose_ranks(guest: CartesianGraph, np):
+    """Sources/targets of the transpose pattern, in natural node order."""
+    digits = guest.node_digit_array()
+    weights = digit_weights(guest.shape)
+    if len(set(guest.shape)) == 1:
+        partners = digits[:, ::-1] @ weights
+    else:
+        lengths = np.asarray(guest.shape, dtype=np.int64)
+        partners = (lengths - 1 - digits) @ weights
+    ranks = np.arange(guest.size, dtype=np.int64)
+    keep = partners != ranks
+    return ranks[keep], partners[keep]
+
+
+def _all_to_all_groups_ranks(guest: CartesianGraph, np):
+    """Sources/targets of the within-group all-to-all, default group size."""
+    group_size = guest.shape[-1]
+    num_groups = guest.size // group_size
+    local_source = np.repeat(np.arange(group_size, dtype=np.int64), group_size)
+    local_target = np.tile(np.arange(group_size, dtype=np.int64), group_size)
+    keep = local_source != local_target
+    local_source = local_source[keep]
+    local_target = local_target[keep]
+    group_starts = np.arange(num_groups, dtype=np.int64)[:, None] * group_size
+    return (
+        (group_starts + local_source[None, :]).ravel(),
+        (group_starts + local_target[None, :]).ravel(),
+    )
+
+
+_RANK_GENERATORS = {
+    "neighbor-exchange": _neighbor_exchange_ranks,
+    "transpose": _transpose_ranks,
+    "all-to-all-groups": _all_to_all_groups_ranks,
+}
+
+
+def traffic_rank_arrays(
+    name: str, guest: CartesianGraph, *, message_size: float = 1.0
+):
+    """``(source_ranks, target_ranks, sizes)`` of a named pattern, or ``None``.
+
+    Equals ``traffic_pattern(name, guest, message_size=...)
+    .endpoint_rank_arrays(guest.shape)`` element for element (and in the same
+    message order), computed without materializing a single
+    :class:`Message`.  Returns ``None`` for patterns without a vectorized
+    generator — callers fall back to the builder.  Requires NumPy.
+    """
+    generator = _RANK_GENERATORS.get(name)
+    if generator is None:
+        return None
+    np = require_numpy()
+    sources, targets = generator(guest, np)
+    return sources, targets, np.full(sources.size, message_size, dtype=np.float64)
 
 
 def traffic_pattern(

@@ -41,6 +41,7 @@ __all__ = [
     "CachedConstruction",
     "ConstructionCache",
     "embedding_cache_key",
+    "edge_arrays_cache_key",
     "family_cache_key",
 ]
 
@@ -68,6 +69,17 @@ def embedding_cache_key(strategy_family: str, guest, host) -> CacheKey:
         host.kind.value,
         tuple(host.shape),
     )
+
+
+def edge_arrays_cache_key(graph) -> CacheKey:
+    """The address of a graph's memoized derived edge-index arrays.
+
+    ``edge_index_arrays`` is a pure function of the graph identity (kind plus
+    shape); memoizing the pair lets batched survey shards — which rebuild
+    graph objects from scenario specs — skip the per-signature re-derivation
+    entirely.
+    """
+    return ("edges", graph.kind.value, tuple(graph.shape))
 
 
 def family_cache_key(guest, host) -> CacheKey:
@@ -239,6 +251,27 @@ class ConstructionCache:
         self.data[family_cache_key(guest, host)] = (
             family if error is None else (family, error)
         )
+
+    # ------------------------------------------------------------------ #
+    # Derived-array entries (memoized per-graph tables)
+    # ------------------------------------------------------------------ #
+    def fetch_edge_arrays(self, graph):
+        """The memoized ``edge_index_arrays`` pair of a graph, or ``None``.
+
+        Derived arrays are pure functions of the graph identity, so they are
+        content-addressed under ``("edges", kind, shape)``.  Like the family
+        entries they are bookkeeping for the embedding memo and do not touch
+        the hit/miss counters.
+        """
+        entry = self.data.get(edge_arrays_cache_key(graph))
+        if isinstance(entry, tuple) and len(entry) == 2:
+            return entry
+        return None
+
+    def store_edge_arrays(self, graph, arrays) -> None:
+        """Memoize a graph's ``(u, v)`` edge-endpoint rank arrays."""
+        u, v = arrays
+        self.data[edge_arrays_cache_key(graph)] = (u, v)
 
     # ------------------------------------------------------------------ #
     # Sharing and persistence

@@ -89,6 +89,12 @@ class ExecutionContext:
         means ``os.cpu_count()``, ``0``/``1`` means sequential in-process.
     shard_size:
         Scenarios per shard — the unit of work handed to one worker.
+    batch:
+        Whether the survey engine evaluates shards through the batched path
+        (:mod:`repro.survey.batch` — stacked metric kernels, one vectorized
+        event loop per shard).  On by default; set ``False`` to force the
+        per-scenario path (the cross-checked reference, and the only path
+        available when the resolved backend is ``"loop"``).
 
     The dataclass is frozen and picklable: survey workers receive the
     parent's context verbatim (the cache dict rides along as the warm
@@ -99,6 +105,7 @@ class ExecutionContext:
     cache: Optional[ConstructionCache] = None
     workers: Optional[int] = None
     shard_size: int = 64
+    batch: bool = True
 
     def __post_init__(self) -> None:
         _validate_backend(self.backend)

@@ -14,6 +14,11 @@ persist the results.
     The :func:`~repro.survey.runner.run_survey` engine —
     ``concurrent.futures`` workers over scenario shards, with optional
     per-shard JSON spills for crash-safe long sweeps.
+``batch``
+    The batched shard evaluator — scenarios grouped by signature, stacked
+    host-index matrices through fused metric kernels and one vectorized
+    event loop per shard.  The default path (``use_context(batch=False)``
+    forces the per-scenario reference).
 ``store``
     :class:`~repro.survey.store.SurveyRecord` and the JSON/CSV result store
     (round-trippable, shard-mergeable).
@@ -21,6 +26,7 @@ persist the results.
 The ``repro survey`` CLI subcommand (:mod:`repro.cli`) fronts the engine.
 """
 
+from .batch import evaluate_shard_batched
 from .scenarios import Scenario, all_pairs, scenarios_for_suite, shapes_up_to, suite_names
 from .runner import SurveyOptions, SurveyReport, run_survey
 from .store import (
@@ -43,6 +49,7 @@ __all__ = [
     "SurveyOptions",
     "SurveyReport",
     "run_survey",
+    "evaluate_shard_batched",
     "SurveyRecord",
     "write_json",
     "read_json",

@@ -1,0 +1,347 @@
+"""Batched survey shard evaluation — no per-scenario Python in the hot loop.
+
+:func:`repro.survey.runner.run_survey` used to pay full Python overhead per
+scenario: one ``embed`` call, one ``evaluate_embedding`` call and a fresh
+``edge_index_arrays`` derivation per record, plus a per-message traffic
+rebuild and one event loop per simulation scenario.  This module evaluates a
+whole *shard* at once instead:
+
+* scenarios are grouped by their ``(guest kind+shape, host kind+shape)``
+  signature; each signature materializes its graphs once, derives (or fetches
+  from the runtime :class:`~repro.runtime.cache.ConstructionCache`) one
+  shared edge-index array, and stacks the signature's host-index arrays into
+  a single ``(batch, size)`` matrix in the smallest sufficient dtype;
+* dilation, average dilation and (optionally) congestion are computed for
+  the whole stack in fused NumPy passes
+  (:mod:`repro.analysis.metrics` stacked kernels) — bit-for-bit the
+  per-scenario values;
+* simulation scenarios share one memoized traffic pattern per
+  ``(pattern, guest signature)`` and one
+  :class:`~repro.netsim.network.HostNetwork` per host signature, and all of
+  a shard's phases advance together through one round-based vectorized event
+  loop (:func:`repro.netsim.simulator.simulate_endpoint_phases`);
+* records are assembled column-wise from the stacked results, in scenario
+  order.
+
+The per-scenario path (:func:`repro.survey.runner.evaluate_scenario`) stays
+as the cross-checked reference — ``use_context(batch=False)`` forces it, and
+the differential suite ``tests/test_survey_batch.py`` pins the two paths'
+records byte-identical (``elapsed_seconds`` timings aside).  Any signature
+group or simulation phase the batched kernels cannot handle falls back to
+the reference path for exactly the affected scenarios, so failure semantics
+(one bad pair must not kill a sweep) are preserved record for record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import (
+    stack_host_index_arrays,
+    stacked_congestion,
+    stacked_dilation_summary,
+)
+from ..exceptions import UnsupportedEmbeddingError
+from ..graphs.base import CartesianGraph, make_graph
+from ..netsim import (
+    HostNetwork,
+    simulate_endpoint_phases,
+    traffic_pattern,
+    traffic_rank_arrays,
+)
+from ..runtime.context import current
+from ..runtime.registry import build_strategy
+from ..types import GraphKind
+from .scenarios import Scenario
+from .store import SurveyRecord
+
+__all__ = ["evaluate_shard_batched"]
+
+#: A graph identity: (kind value, shape) — the unit of graph/traffic sharing.
+GraphSpec = Tuple[str, Tuple[int, ...]]
+
+
+def _shared_edge_arrays(guest: CartesianGraph, cache):
+    """The guest's ``(u, v)`` edge ranks, via the context memo when present."""
+    if cache is not None:
+        arrays = cache.fetch_edge_arrays(guest)
+        if arrays is not None:
+            return arrays
+    arrays = guest.edge_index_arrays()
+    if cache is not None:
+        cache.store_edge_arrays(guest, arrays)
+    return arrays
+
+
+class _ShardState:
+    """Per-shard memo of graphs, networks, traffic patterns and builds."""
+
+    def __init__(self):
+        self.context = current()
+        self.cache = self.context.cache
+        self.graphs: Dict[GraphSpec, CartesianGraph] = {}
+        self.networks: Dict[GraphSpec, HostNetwork] = {}
+        self.patterns: Dict[Tuple[str, GraphSpec], Tuple[str, object]] = {}
+        self.builds: Dict[Tuple[str, GraphSpec, GraphSpec], Tuple[str, object]] = {}
+
+    def graph(self, kind: str, shape) -> CartesianGraph:
+        spec = (kind, tuple(shape))
+        graph = self.graphs.get(spec)
+        if graph is None:
+            graph = make_graph(GraphKind(kind), spec[1])
+            self.graphs[spec] = graph
+        return graph
+
+    def network(self, host: CartesianGraph) -> HostNetwork:
+        spec = (host.kind.value, host.shape)
+        network = self.networks.get(spec)
+        if network is None:
+            network = HostNetwork(host)
+            self.networks[spec] = network
+        return network
+
+    def endpoints(self, name: str, guest: CartesianGraph) -> Tuple[str, object]:
+        """``("ok", (source_ranks, target_ranks, sizes))`` or ``("error", msg)``.
+
+        Memoized per ``(pattern, guest signature)``.  The three built-in
+        patterns come from the vectorized rank generators
+        (:func:`repro.netsim.traffic.traffic_rank_arrays` — no ``Message``
+        tuples); plugin patterns fall back to building the pattern once and
+        converting it, and unknown names memoize the same error message the
+        reference path records.
+        """
+        key = (name, (guest.kind.value, guest.shape))
+        entry = self.patterns.get(key)
+        if entry is None:
+            try:
+                arrays = traffic_rank_arrays(name, guest)
+                if arrays is None:
+                    arrays = traffic_pattern(name, guest).endpoint_rank_arrays(
+                        guest.shape
+                    )
+                entry = ("ok", arrays)
+            except Exception as error:  # noqa: BLE001 - mirrored as an error record
+                entry = ("error", f"{type(error).__name__}: {error}")
+            self.patterns[key] = entry
+        return entry
+
+    def embedding(
+        self, strategy: str, guest: CartesianGraph, host: CartesianGraph
+    ) -> Tuple[str, object]:
+        """``("ok", embedding)``, ``("unsupported", msg)`` or ``("error", msg)``.
+
+        Memoized per ``(strategy, guest, host)`` signature; the underlying
+        builder already memoizes through the context cache when one is
+        installed, so the local dict only removes repeated Python dispatch
+        within the shard.
+        """
+        key = (strategy, (guest.kind.value, guest.shape), (host.kind.value, host.shape))
+        entry = self.builds.get(key)
+        if entry is None:
+            try:
+                entry = ("ok", build_strategy(strategy, guest, host))
+            except UnsupportedEmbeddingError as error:
+                entry = ("unsupported", str(error))
+            except Exception as error:  # noqa: BLE001 - mirrored as an error record
+                entry = ("error", f"{type(error).__name__}: {error}")
+            self.builds[key] = entry
+        return entry
+
+
+def _group_metrics(state: _ShardState, guest, host, embeddings, with_congestion):
+    """Stacked ``strategy row -> (dilation, average, congestion)`` columns.
+
+    ``embeddings`` is the signature group's ``row key -> Embedding`` dict (in
+    insertion order).  One fused pass over the shared edge-index arrays per
+    group; raises only if the stacked kernels themselves fail, in which case
+    the caller falls back to the per-scenario reference for the group.
+    """
+    rows = list(embeddings)
+    edge_u, edge_v = _shared_edge_arrays(guest, state.cache)
+    images = stack_host_index_arrays([embeddings[row] for row in rows], host)
+    dilation, average = stacked_dilation_summary(host, edge_u, edge_v, images)
+    congestion = (
+        stacked_congestion(host, edge_u, edge_v, images) if with_congestion else None
+    )
+    return {
+        row: (
+            int(dilation[offset]),
+            float(average[offset]),
+            int(congestion[offset]) if congestion is not None else None,
+        )
+        for offset, row in enumerate(rows)
+    }
+
+
+def evaluate_shard_batched(
+    scenarios: Sequence[Scenario], options
+) -> List[SurveyRecord]:
+    """Evaluate one shard through the batched kernels (array backend only).
+
+    Returns records in scenario order, byte-identical to
+    ``[evaluate_scenario(s, options) for s in scenarios]`` up to the
+    ``elapsed_seconds`` timing column (batched records carry the per-record
+    share of the shard's wall time).
+    """
+    from .runner import _evaluate_scenario, _record_base  # lazy: runner imports us
+
+    started = time.perf_counter()
+    state = _ShardState()
+    records: List[Optional[SurveyRecord]] = [None] * len(scenarios)
+
+    # ---------------------------------------------------------------- #
+    # Pass 1: resolve graphs and constructions, group by signature.
+    # ---------------------------------------------------------------- #
+    groups: Dict[Tuple[GraphSpec, GraphSpec], Dict] = {}
+    sim_jobs: List[Dict] = []
+    for position, scenario in enumerate(scenarios):
+        guest = state.graph(scenario.guest_kind, scenario.guest_shape)
+        host = state.graph(scenario.host_kind, scenario.host_shape)
+        base = _record_base(scenario, guest, host)
+        # Embedding scenarios always measure the paper dispatcher's
+        # construction (the reference path calls `embed` directly, which is
+        # the registry's "paper" builder); simulation scenarios build the
+        # strategy they name.
+        strategy = scenario.strategy if scenario.traffic else "paper"
+        status, payload = state.embedding(strategy, guest, host)
+        if status != "ok":
+            records[position] = SurveyRecord(status=status, error=payload, **base)
+            continue
+        signature = ((guest.kind.value, guest.shape), (host.kind.value, host.shape))
+        group = groups.setdefault(
+            signature, {"guest": guest, "host": host, "rows": {}, "uses": []}
+        )
+        group["rows"].setdefault(strategy, payload)
+        group["uses"].append((position, strategy, scenario, base))
+        if scenario.traffic:
+            sim_jobs.append(
+                {
+                    "position": position,
+                    "signature": signature,
+                    "strategy": strategy,
+                    "scenario": scenario,
+                    "base": base,
+                    "embedding": payload,
+                    "network": state.network(host),
+                }
+            )
+
+    # ---------------------------------------------------------------- #
+    # Pass 2: stacked metric kernels, one fused pass per signature.
+    # ---------------------------------------------------------------- #
+    metrics: Dict[Tuple[Tuple[GraphSpec, GraphSpec], str], Tuple] = {}
+    for signature, group in groups.items():
+        try:
+            columns = _group_metrics(
+                state, group["guest"], group["host"], group["rows"], options.with_congestion
+            )
+        except Exception:  # noqa: BLE001 - group falls back to the reference path
+            continue
+        for row, values in columns.items():
+            metrics[(signature, row)] = values
+
+    # ---------------------------------------------------------------- #
+    # Pass 3: all simulation phases through one vectorized event loop.
+    # ---------------------------------------------------------------- #
+    outcomes: Dict[int, object] = {}  # position -> SimulationResult | Exception
+    ready_jobs = []
+    for job in sim_jobs:
+        if (job["signature"], job["strategy"]) not in metrics:
+            # The group's stacked metrics already fell back: pass 4 hands
+            # the whole scenario to the reference evaluator, which runs its
+            # own simulation — don't advance the phase twice.
+            continue
+        status, payload = state.endpoints(
+            job["scenario"].traffic, groups[job["signature"]]["guest"]
+        )
+        if status != "ok":
+            records[job["position"]] = SurveyRecord(
+                status="error", error=payload, **job["base"]
+            )
+        else:
+            job["endpoints"] = payload
+            ready_jobs.append(job)
+    if ready_jobs:
+        triples = [
+            (job["network"], job["embedding"], job["endpoints"]) for job in ready_jobs
+        ]
+        try:
+            results = simulate_endpoint_phases(triples)
+        except Exception:  # noqa: BLE001 - isolate the failing phase(s)
+            results = []
+            for triple in triples:
+                try:
+                    results.append(simulate_endpoint_phases([triple])[0])
+                except Exception as error:  # noqa: BLE001
+                    results.append(error)
+        for job, result in zip(ready_jobs, results):
+            outcomes[job["position"]] = result
+
+    # ---------------------------------------------------------------- #
+    # Pass 4: assemble records column-wise, in scenario order.
+    # ---------------------------------------------------------------- #
+    for signature, group in groups.items():
+        for position, strategy, scenario, base in group["uses"]:
+            if records[position] is not None:
+                continue
+            values = metrics.get((signature, strategy))
+            if values is None:
+                # Stacked kernels declined this group: reference path.
+                records[position] = _evaluate_scenario(scenario, options)
+                continue
+            dilation, average, congestion = values
+            embedding = group["rows"][strategy]
+            if not scenario.traffic:
+                records[position] = SurveyRecord(
+                    status="ok",
+                    strategy=embedding.strategy,
+                    predicted_dilation=embedding.predicted_dilation,
+                    dilation=dilation,
+                    average_dilation=average,
+                    congestion=congestion,
+                    matches_prediction=embedding.matches_prediction(measured=dilation),
+                    **base,
+                )
+                continue
+            outcome = outcomes.get(position)
+            if outcome is None or isinstance(outcome, Exception):
+                if isinstance(outcome, UnsupportedEmbeddingError):
+                    records[position] = SurveyRecord(
+                        status="unsupported", error=str(outcome), **base
+                    )
+                elif isinstance(outcome, Exception):
+                    records[position] = SurveyRecord(
+                        status="error",
+                        error=f"{type(outcome).__name__}: {outcome}",
+                        **base,
+                    )
+                else:  # no outcome recorded at all: reference path
+                    records[position] = _evaluate_scenario(scenario, options)
+                continue
+            statistics = outcome.statistics
+            records[position] = SurveyRecord(
+                status="ok",
+                strategy=scenario.strategy,
+                predicted_dilation=embedding.predicted_dilation,
+                dilation=dilation,
+                average_dilation=average,
+                congestion=congestion,
+                matches_prediction=embedding.matches_prediction(measured=dilation),
+                traffic=scenario.traffic,
+                messages=statistics.num_messages,
+                max_hops=statistics.max_hops,
+                max_link_load=statistics.max_link_load_messages,
+                estimated_time=statistics.estimated_completion_time,
+                makespan=outcome.makespan,
+                **base,
+            )
+
+    share = (time.perf_counter() - started) / max(len(scenarios), 1)
+    return [
+        record
+        if record.elapsed_seconds
+        else dataclasses.replace(record, elapsed_seconds=share)
+        for record in records
+    ]

@@ -172,16 +172,26 @@ def evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecor
         return _evaluate_scenario(scenario, options)
 
 
-def _evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecord:
-    guest = scenario.guest_graph()
-    host = scenario.host_graph()
-    base = dict(
+def _record_base(scenario: Scenario, guest, host) -> Dict[str, object]:
+    """The identification columns shared by every record of a scenario.
+
+    One definition for both evaluation paths: the per-scenario reference
+    below and the batched shard evaluator (:mod:`repro.survey.batch`), whose
+    byte-identity contract would silently break if the two drifted.
+    """
+    return dict(
         scenario_id=scenario.scenario_id,
         guest=repr(guest),
         host=repr(host),
         nodes=guest.size,
         guest_edges=guest.num_edges(),
     )
+
+
+def _evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyRecord:
+    guest = scenario.guest_graph()
+    host = scenario.host_graph()
+    base = _record_base(scenario, guest, host)
     started = time.perf_counter()
     try:
         if scenario.traffic:
@@ -243,6 +253,26 @@ def _install_worker_context(context: ExecutionContext) -> None:
     set_default_context(context)
 
 
+def _evaluate_shard(
+    scenarios: Sequence[Scenario], options: SurveyOptions
+) -> List[SurveyRecord]:
+    """Evaluate one shard, batched by default.
+
+    The ambient context routes the shard: ``batch=True`` (the default) with
+    an array-capable backend goes through the stacked kernels of
+    :mod:`repro.survey.batch`; ``use_context(batch=False)`` — or a resolved
+    loop backend — runs the retained per-scenario reference.  Both produce
+    identical records (``elapsed_seconds`` aside), which the differential
+    suite ``tests/test_survey_batch.py`` pins.
+    """
+    context = current()
+    if context.batch and context.use_array():
+        from .batch import evaluate_shard_batched
+
+        return evaluate_shard_batched(scenarios, options)
+    return [_evaluate_scenario(scenario, options) for scenario in scenarios]
+
+
 def _run_shard(
     shard_index: int, scenarios: Sequence[Scenario], options: SurveyOptions
 ) -> Tuple[int, List[SurveyRecord], Dict, Tuple[int, int]]:
@@ -257,12 +287,12 @@ def _run_shard(
     records: List[SurveyRecord]
     delta: Dict = {}
     if cache is None:
-        records = [_evaluate_scenario(scenario, options) for scenario in scenarios]
+        records = _evaluate_shard(scenarios, options)
         counters = (0, 0)
     else:
         known = set(cache.data)
         hits, misses = cache.hits, cache.misses
-        records = [_evaluate_scenario(scenario, options) for scenario in scenarios]
+        records = _evaluate_shard(scenarios, options)
         delta = {key: cache.data[key] for key in cache.data.keys() - known}
         counters = (cache.hits - hits, cache.misses - misses)
     if options.shard_dir is not None:

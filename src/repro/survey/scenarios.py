@@ -252,6 +252,11 @@ def _suite_simulation(max_nodes: int) -> List[Scenario]:
         ("torus", (8, 8), "mesh", (4, 4, 4)),
         ("mesh", (16, 4), "torus", (4, 4, 4)),
         ("torus", (4, 4, 4), "mesh", (8, 8)),
+        # Table-scale task-mapping pairs (the paper's result tables reach
+        # thousands of nodes); included only when the node budget allows.
+        ("torus", (16, 16), "mesh", (4, 4, 4, 4)),
+        ("mesh", (16, 16), "torus", (4, 4, 4, 4)),
+        ("torus", (4, 4, 4, 4), "mesh", (16, 16)),
     ]
     scenarios: List[Scenario] = []
     for guest_kind, guest_shape, host_kind, host_shape in pairs:

@@ -88,3 +88,47 @@ class TestBinaryGray:
     def test_size_mismatch(self):
         with pytest.raises(ShapeMismatchError):
             binary_gray_embedding(Mesh((4, 4)), Hypercube(5))
+
+
+class TestBaselineBackendAgreement:
+    """The vectorized baseline builders must equal the loop reference
+    node-for-node — same contract as the paper's construction kernels."""
+
+    PAIRS = [
+        (Torus((3, 4)), Mesh((2, 6))),
+        (Mesh((2, 2, 3)), Torus((3, 4))),
+        (Torus((2, 2, 2)), Mesh((4, 2))),
+        (Mesh((24,)), Torus((4, 2, 3))),
+        (Hypercube(4), Mesh((4, 4))),
+    ]
+
+    @pytest.mark.parametrize(
+        "builder",
+        [lexicographic_embedding, bfs_order_embedding, random_embedding],
+        ids=["lexicographic", "bfs", "random"],
+    )
+    def test_array_equals_loop_node_for_node(self, builder):
+        from repro.runtime import use_context
+
+        for guest, host in self.PAIRS:
+            with use_context(backend="array"):
+                array = builder(guest, host)
+            with use_context(backend="loop"):
+                loop = builder(guest, host)
+            assert array.mapping == loop.mapping, (builder.__name__, guest, host)
+            assert array.strategy == loop.strategy
+            assert array.notes == loop.notes
+
+    def test_bfs_rank_order_matches_queue_walk(self):
+        from repro.baselines.bfs_embedding import bfs_rank_order
+
+        for graph in [
+            Torus((3, 4)),
+            Mesh((2, 2, 3)),
+            Hypercube(4),
+            Line(17),
+            Mesh((5, 5)),
+            Torus((2, 3, 2, 2)),
+        ]:
+            queue_ranks = [graph.node_index(node) for node in bfs_order(graph)]
+            assert bfs_rank_order(graph).tolist() == queue_ranks, graph

@@ -1,0 +1,410 @@
+"""Differential tests for the batched survey evaluation subsystem.
+
+Two contracts are pinned here:
+
+* **Records** — the batched shard path (`repro.survey.batch`) must produce
+  records *byte-identical* to the per-scenario reference path, across
+  suites, options and backends (``elapsed_seconds`` timings aside), and must
+  reproduce the committed SIM-MAP golden table.
+* **Simulator** — the round-based vectorized event loop must equal the heap
+  loops bit for bit: makespans, per-message completion times and statistics,
+  including with dyadic message sizes (where float ties are exact and
+  tie-breaking order is actually observable), and whether phases run one at
+  a time or merged into one loop.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core.embedding import Embedding
+from repro.exceptions import InvalidEmbeddingError, SimulationError
+from repro.graphs.base import Mesh, Torus, make_graph
+from repro.netsim import (
+    CostModel,
+    HostNetwork,
+    Message,
+    TrafficPattern,
+    simulate_phase,
+    simulate_phases,
+)
+from repro.netsim.simulator import _phase_arrays, _simulate_arrays
+from repro.numbering.arrays import compact_index_dtype
+from repro.runtime import ConstructionCache, ExecutionContext, use_context
+from repro.runtime.cache import edge_arrays_cache_key
+from repro.runtime.registry import build_strategy
+from repro.survey import (
+    Scenario,
+    SurveyOptions,
+    all_pairs,
+    evaluate_shard_batched,
+    read_records,
+    run_survey,
+    scenarios_for_suite,
+)
+from repro.survey.runner import evaluate_scenario
+
+from .strategies import same_size_shape_pairs
+
+
+def strip(record):
+    """A record's canonical dict with the timing column removed."""
+    return {**record.as_dict(), "elapsed_seconds": None}
+
+
+def assert_identical_records(batched, reference):
+    assert [strip(r) for r in batched] == [strip(r) for r in reference]
+
+
+def run_batched(scenarios, options):
+    with use_context(batch=True):
+        return run_survey(scenarios, options)
+
+
+def run_reference(scenarios, options):
+    with use_context(batch=False):
+        return run_survey(scenarios, options)
+
+
+class TestBatchedRecordIdentity:
+    def test_smoke_suite(self):
+        scenarios = scenarios_for_suite("smoke")
+        options = SurveyOptions(workers=1)
+        assert_identical_records(
+            run_batched(scenarios, options).records,
+            run_reference(scenarios, options).records,
+        )
+
+    def test_simulation_suite(self):
+        scenarios = scenarios_for_suite("simulation", max_nodes=48)
+        options = SurveyOptions(workers=1)
+        batched = run_batched(scenarios, options).records
+        assert_identical_records(batched, run_reference(scenarios, options).records)
+        assert all(r.status == "ok" and r.makespan is not None for r in batched)
+
+    def test_exhaustive_pairs_with_congestion(self):
+        scenarios = all_pairs(16)
+        options = SurveyOptions(workers=1, with_congestion=True)
+        batched = run_batched(scenarios, options).records
+        assert_identical_records(batched, run_reference(scenarios, options).records)
+        assert any(r.status == "unsupported" for r in batched)  # covers that path
+        assert all(r.congestion is not None for r in batched if r.status == "ok")
+
+    def test_batched_matches_loop_backend_reference(self):
+        # The strongest form of the contract: stacked kernels vs the
+        # pure-Python per-edge/per-message loops.
+        scenarios = scenarios_for_suite("smoke") + scenarios_for_suite(
+            "simulation", max_nodes=24
+        )
+        options = SurveyOptions(workers=1, with_congestion=True)
+        with use_context(backend="array", batch=True):
+            batched = run_survey(scenarios, options).records
+        with use_context(backend="loop"):
+            loop = run_survey(scenarios, options).records
+        assert_identical_records(batched, loop)
+
+    def test_parallel_batched_matches_sequential_reference(self):
+        scenarios = all_pairs(12)
+        with use_context(batch=True):
+            parallel = run_survey(scenarios, SurveyOptions(workers=2, shard_size=4))
+        assert_identical_records(
+            parallel.records,
+            run_reference(scenarios, SurveyOptions(workers=1)).records,
+        )
+
+    def test_error_and_unsupported_records_identical(self):
+        scenarios = [
+            Scenario("torus", (2, 3, 5), "torus", (5, 6)),  # may be unsupported
+            Scenario(
+                "torus", (4, 6), "mesh", (2, 2, 2, 3), strategy="psychic", traffic="transpose"
+            ),  # unknown strategy -> error record
+            Scenario(
+                "torus", (4, 6), "mesh", (2, 2, 2, 3), strategy="paper", traffic="warp"
+            ),  # unknown traffic -> error record
+        ]
+        options = SurveyOptions(workers=1)
+        batched = evaluate_shard_batched(scenarios, options)
+        reference = [evaluate_scenario(s, options) for s in scenarios]
+        assert_identical_records(batched, reference)
+        assert batched[1].status == "error" and "KeyError" in batched[1].error
+        assert batched[2].status == "error" and "SimulationError" in batched[2].error
+
+    @settings(max_examples=25, deadline=None)
+    @given(pairs=st.lists(same_size_shape_pairs(), min_size=1, max_size=6))
+    def test_hypothesis_shape_pairs_identical(self, pairs):
+        scenarios = []
+        for guest_shape, host_shape in pairs:
+            for guest_kind, host_kind in (("torus", "mesh"), ("mesh", "torus")):
+                scenarios.append(Scenario(guest_kind, guest_shape, host_kind, host_shape))
+        options = SurveyOptions(workers=1, with_congestion=True)
+        assert_identical_records(
+            evaluate_shard_batched(scenarios, options),
+            [evaluate_scenario(s, options) for s in scenarios],
+        )
+
+    def test_shard_resume_accepts_batched_shards(self, tmp_path):
+        scenarios = all_pairs(12)[:6]
+        options = SurveyOptions(workers=1, shard_size=3, shard_dir=str(tmp_path))
+        first = run_batched(scenarios, options)
+        assert first.reused_shard_indices == []
+        # A per-scenario rerun resumes from the batched shard files verbatim.
+        rerun = run_reference(scenarios, options)
+        assert rerun.reused_shard_indices == [0, 1]
+        assert_identical_records(rerun.records, first.records)
+
+
+class TestSimMapGolden:
+    def test_batched_records_reproduce_sim_map_golden(self):
+        fixture = json.loads(
+            (Path(__file__).parent / "golden" / "tab_sim_map.json").read_text()
+        )
+        # The golden's mapping block: neighbour-exchange phases over the
+        # SIM-MAP (task graph, network) pairs, one row per strategy.
+        rows = [row for row in fixture["rows"] if "makespan" in row][:12]
+        pairs = [
+            ("torus", (8, 8), "mesh", (4, 4, 4)),
+            ("mesh", (8, 8), "torus", (4, 4, 4)),
+            ("torus", (4, 4, 4), "mesh", (8, 8)),
+        ]
+        strategies = ("paper", "lexicographic", "bfs", "random")
+        scenarios = [
+            Scenario(gk, gs, hk, hs, strategy=name, traffic="neighbor-exchange")
+            for gk, gs, hk, hs in pairs
+            for name in strategies
+        ]
+        report = run_batched(scenarios, SurveyOptions(workers=1))
+        assert len(report.records) == len(rows)
+        for record, row in zip(report.records, rows):
+            assert record.status == "ok"
+            assert record.strategy == row["strategy"]
+            assert record.dilation == row["dilation"]
+            assert record.max_hops == row["max hops"]
+            assert record.max_link_load == row["max link msgs"]
+            assert round(record.makespan, 1) == row["makespan"]
+
+
+def _placed_phase(draw):
+    guest, host = draw(
+        st.sampled_from(
+            [
+                (Torus((3, 4)), Mesh((2, 2, 3))),
+                (Mesh((2, 2, 3)), Torus((3, 4))),
+                (Torus((3, 4)), Mesh((12,))),
+                (Torus((2, 2, 2)), Mesh((4, 2))),
+                (Mesh((4, 4)), Torus((2, 2, 2, 2))),
+            ]
+        )
+    )
+    embedding = build_strategy(
+        draw(st.sampled_from(["paper", "lexicographic", "random"])), guest, host
+    )
+    nodes = list(guest.nodes())
+    dyadic = st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0])
+    messages = draw(
+        st.lists(
+            st.builds(
+                Message,
+                source=st.sampled_from(nodes),
+                destination=st.sampled_from(nodes),
+                size=dyadic,
+            ),
+            min_size=0,
+            max_size=24,
+        )
+    )
+    model = CostModel(
+        alpha=draw(st.sampled_from([0.0, 0.5, 1.0])),
+        bandwidth=draw(st.sampled_from([1.0, 2.0])),
+    )
+    network = HostNetwork(host, model)
+    traffic = TrafficPattern(name="hypothesis", messages=tuple(messages))
+    return network, embedding, traffic
+
+
+placed_phases = st.composite(_placed_phase)
+
+
+class TestRoundSimulatorEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(placed_phases())
+    def test_rounds_equal_heap_and_loop_with_dyadic_sizes(self, phase):
+        network, embedding, traffic = phase
+        with use_context(backend="array"):
+            rounds = simulate_phase(network, embedding, traffic)
+            space, routes, _sizes, occupancy = _phase_arrays(network, embedding, traffic)
+        heap_makespan, heap_completion = _simulate_arrays(
+            space, routes, occupancy, 5_000_000
+        )
+        with use_context(backend="loop"):
+            loop = simulate_phase(network, embedding, traffic)
+        assert rounds.makespan == heap_makespan == loop.makespan
+        assert rounds.per_message_completion == tuple(heap_completion)
+        assert rounds.per_message_completion == loop.per_message_completion
+        assert rounds.statistics == loop.statistics
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(placed_phases(), min_size=1, max_size=4))
+    def test_merged_phases_equal_individual_phases(self, phases):
+        with use_context(backend="array"):
+            merged = simulate_phases(phases)
+            individual = [simulate_phase(*phase) for phase in phases]
+        assert [result.makespan for result in merged] == [
+            result.makespan for result in individual
+        ]
+        assert [result.per_message_completion for result in merged] == [
+            result.per_message_completion for result in individual
+        ]
+        assert [result.statistics for result in merged] == [
+            result.statistics for result in individual
+        ]
+
+    def test_empty_and_zero_hop_phases(self):
+        guest = host = Torus((2, 2))
+        network = HostNetwork(host)
+        embedding = Embedding.identity(guest, host)
+        node = (0, 0)
+        empty = TrafficPattern(name="empty", messages=())
+        self_loop = TrafficPattern(name="self", messages=(Message(node, node),))
+        with use_context(backend="array"):
+            results = simulate_phases(
+                [(network, embedding, empty), (network, embedding, self_loop)]
+            )
+        assert results[0].makespan == 0.0
+        assert results[0].per_message_completion == ()
+        assert results[1].makespan == 0.0
+        assert results[1].per_message_completion == (0.0,)
+
+    def test_max_events_budget_is_per_phase(self):
+        guest, host = Torus((4, 4)), Mesh((2, 2, 2, 2))
+        network = HostNetwork(host)
+        from repro.netsim import neighbor_exchange_traffic
+
+        traffic = neighbor_exchange_traffic(guest)
+        embedding = build_strategy("paper", guest, host)
+        with use_context(backend="array"):
+            with pytest.raises(SimulationError):
+                simulate_phase(network, embedding, traffic, max_events=3)
+            with pytest.raises(SimulationError):
+                simulate_phases([(network, embedding, traffic)], max_events=3)
+        # A degenerate-window phase (alpha 0, infinite bandwidth collapses
+        # the batch window) still terminates and matches the loop reference.
+        slow = HostNetwork(host, CostModel(alpha=0.0, bandwidth=float("inf")))
+        with use_context(backend="array"):
+            array = simulate_phase(slow, embedding, traffic)
+        with use_context(backend="loop"):
+            loop = simulate_phase(slow, embedding, traffic)
+        assert array.makespan == loop.makespan == 0.0
+        assert array.per_message_completion == loop.per_message_completion
+
+
+class TestDtypeDownsizing:
+    def test_compact_index_dtype_thresholds(self):
+        assert compact_index_dtype(0) is np.int32
+        assert compact_index_dtype(2**31 - 1) is np.int32
+        assert compact_index_dtype(2**31) is np.int64
+        with pytest.raises(ValueError):
+            compact_index_dtype(-1)
+
+    def test_stacked_images_use_int32_at_survey_scale(self):
+        from repro.analysis.metrics import stack_host_index_arrays
+
+        guest, host = Torus((4, 6)), Mesh((2, 2, 2, 3))
+        embeddings = [build_strategy(n, guest, host) for n in ("paper", "lexicographic")]
+        images = stack_host_index_arrays(embeddings, host)
+        assert images.dtype == np.int32
+        assert images.shape == (2, host.size)
+        for row, embedding in zip(images, embeddings):
+            assert (row == embedding.host_index_array()).all()
+
+
+class TestValidateArraySinglePass:
+    def test_validate_runs_one_unique_pass(self, monkeypatch):
+        calls = {"count": 0}
+        real_unique = np.unique
+
+        def counting_unique(*args, **kwargs):
+            calls["count"] += 1
+            return real_unique(*args, **kwargs)
+
+        guest, host = Torus((3, 4)), Mesh((3, 4))
+        embedding = Embedding.from_index_array(
+            guest, host, np.arange(12, dtype=np.int64)
+        )
+        monkeypatch.setattr(np, "unique", counting_unique)
+        embedding.validate()
+        assert calls["count"] == 1
+
+    def test_duplicate_images_still_raise_with_offender(self):
+        guest, host = Torus((3, 4)), Mesh((3, 4))
+        indices = np.arange(12, dtype=np.int64)
+        indices[5] = 7
+        embedding = Embedding.from_index_array(guest, host, indices)
+        with pytest.raises(InvalidEmbeddingError, match="more than once"):
+            embedding.validate()
+
+
+class TestDerivedArrayMemoization:
+    def test_edge_index_arrays_cached_per_graph(self):
+        graph = Torus((3, 4))
+        first = graph.edge_index_arrays()
+        second = graph.edge_index_arrays()
+        assert first[0] is second[0] and first[1] is second[1]
+        assert not first[0].flags.writeable and not first[1].flags.writeable
+        fresh_u, fresh_v = Torus((3, 4)).edge_index_arrays()
+        assert (first[0] == fresh_u).all() and (first[1] == fresh_v).all()
+
+    def test_node_digit_array_cached_and_correct(self):
+        graph = Mesh((2, 3))
+        digits = graph.node_digit_array()
+        assert digits is graph.node_digit_array()
+        assert not digits.flags.writeable
+        assert [tuple(row) for row in digits.tolist()] == list(graph.nodes())
+
+    def test_construction_cache_memoizes_edge_arrays(self):
+        cache = ConstructionCache()
+        graph = Torus((2, 2, 3))
+        assert cache.fetch_edge_arrays(graph) is None
+        cache.store_edge_arrays(graph, graph.edge_index_arrays())
+        u, v = cache.fetch_edge_arrays(make_graph("torus", (2, 2, 3)))
+        expected_u, expected_v = graph.edge_index_arrays()
+        assert (u == expected_u).all() and (v == expected_v).all()
+        # Bookkeeping entries never count as constructions.
+        assert cache.construction_count == 0
+
+    def test_batched_survey_populates_edge_array_memo(self):
+        cache = ConstructionCache()
+        scenarios = scenarios_for_suite("smoke")
+        with use_context(batch=True, cache=cache):
+            report = run_survey(scenarios, SurveyOptions(workers=1))
+        assert not report.failed
+        assert any(key[0] == "edges" for key in cache.data)
+        # The memoized pair round-trips through the key helper.
+        guest = scenarios[0].guest_graph()
+        assert edge_arrays_cache_key(guest) in cache.data
+
+
+class TestContextAndCli:
+    def test_batch_flag_defaults_on_and_pickles(self):
+        import pickle
+
+        context = ExecutionContext()
+        assert context.batch is True
+        off = ExecutionContext(batch=False)
+        assert pickle.loads(pickle.dumps(off)).batch is False
+
+    def test_survey_cli_no_batch_matches_batched(self, tmp_path):
+        batched_path = tmp_path / "batched.json"
+        reference_path = tmp_path / "reference.json"
+        assert main(["survey", "--smoke", "--output", str(batched_path)]) == 0
+        assert (
+            main(["survey", "--smoke", "--no-batch", "--output", str(reference_path)])
+            == 0
+        )
+        assert_identical_records(
+            read_records(batched_path), read_records(reference_path)
+        )
