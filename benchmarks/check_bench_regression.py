@@ -43,8 +43,17 @@ def load_medians(path: Path) -> dict:
 
 def check_pair(current_path: Path, baseline_path: Path, max_slowdown: float) -> bool:
     """Gate one (current, baseline) artifact pair; True when it passes."""
-    baseline = load_medians(baseline_path)
-    current = load_medians(current_path)
+    try:
+        baseline = load_medians(baseline_path)
+        current = load_medians(current_path)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as error:
+        # A missing, truncated or schema-less artifact must fail the gate
+        # loudly instead of crashing CI with a traceback.
+        print(
+            f"FAIL: could not load benchmark medians from {current_path} / "
+            f"{baseline_path}: {error}"
+        )
+        return False
     shared = sorted(set(baseline) & set(current))
     print(f"== {current_path} vs {baseline_path}")
     if not shared:

@@ -5,6 +5,9 @@
     dilation, edge congestion under dimension-ordered routing, expansion
     cost, plus an :class:`~repro.analysis.metrics.EmbeddingReport` bundling
     them for experiment tables.
+``fault_tolerance``
+    Degraded-host measures: deterministic re-embedding around dead host
+    nodes and dilation over surviving-graph BFS distances.
 ``verify``
     Independent checks: injectivity, adjacency-by-adjacency dilation audit,
     spread verification of sequences, and comparison against theorem
@@ -14,6 +17,7 @@
     and the CLI (the paper's "tables" are regenerated in this format).
 """
 
+from .fault_tolerance import fault_dilation_summary, repair_embedding
 from .metrics import (
     EmbeddingReport,
     average_dilation_cost,
@@ -31,6 +35,8 @@ from .report import Table, format_table
 
 __all__ = [
     "EmbeddingReport",
+    "repair_embedding",
+    "fault_dilation_summary",
     "dilation_cost",
     "average_dilation_cost",
     "edge_congestion_cost",

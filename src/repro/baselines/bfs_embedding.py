@@ -83,15 +83,19 @@ def bfs_rank_order(graph: CartesianGraph):
 
 
 def bfs_order_embedding(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
-    """Match breadth-first visit ranks of guest and host nodes."""
-    if guest.size != host.size:
+    """Match breadth-first visit ranks of guest and host nodes.
+
+    A guest smaller than the host uses only the first ``|V_G|`` host nodes
+    in breadth-first order (the ball around the host origin), injectively.
+    """
+    if guest.size > host.size:
         raise ShapeMismatchError(
             f"guest has {guest.size} nodes but host has {host.size}"
         )
     if use_array_path():
         np = require_numpy()
         guest_ranks = bfs_rank_order(guest)
-        host_ranks = bfs_rank_order(host)
+        host_ranks = bfs_rank_order(host)[: guest.size]
         host_indices = np.empty(guest.size, dtype=np.int64)
         host_indices[guest_ranks] = host_ranks
         return Embedding.from_index_array(

@@ -23,9 +23,10 @@ def lexicographic_embedding(guest: CartesianGraph, host: CartesianGraph) -> Embe
 
     Under the array backend the host-index array is literally ``arange``;
     the per-node callable stays as the loop reference (the two are pinned
-    node-for-node by the baseline differential tests).
+    node-for-node by the baseline differential tests).  A guest smaller
+    than the host maps injectively onto the first ``|V_G|`` host ranks.
     """
-    if guest.size != host.size:
+    if guest.size > host.size:
         raise ShapeMismatchError(
             f"guest has {guest.size} nodes but host has {host.size}"
         )

@@ -30,7 +30,7 @@ def random_embedding(
     bijection as shuffling the host node tuples — the array path just skips
     materializing the tuples and the mapping dict.
     """
-    if guest.size != host.size:
+    if guest.size > host.size:
         raise ShapeMismatchError(
             f"guest has {guest.size} nodes but host has {host.size}"
         )
@@ -42,7 +42,7 @@ def random_embedding(
         return Embedding.from_index_array(
             guest,
             host,
-            np.asarray(permutation, dtype=np.int64),
+            np.asarray(permutation[: guest.size], dtype=np.int64),
             strategy="baseline:random",
             predicted_dilation=None,
             notes={"seed": seed},

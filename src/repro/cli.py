@@ -41,8 +41,17 @@ from .core import (
     g_value,
     h_value,
 )
+from .analysis.fault_tolerance import repair_embedding
 from .graphs.base import CartesianGraph, Mesh, make_graph
-from .netsim import CostModel, HostNetwork, simulate_phase, traffic_pattern, traffic_pattern_names
+from .graphs.faults import FaultSpec
+from .netsim import (
+    CostModel,
+    HostNetwork,
+    LinkWeightSpec,
+    simulate_phase,
+    traffic_pattern,
+    traffic_pattern_names,
+)
 from .numbering.graycode import natural_sequence
 from .runtime import ConstructionCache, build_strategy, strategy_names, use_context
 from .survey import (
@@ -180,7 +189,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     guest = parse_graph(args.guest)
     host = parse_graph(args.host)
-    network = HostNetwork(host, CostModel(alpha=args.alpha, bandwidth=args.bandwidth))
+    link_weights = (
+        LinkWeightSpec.from_token(args.link_weights) if args.link_weights else None
+    )
+    faults = FaultSpec.from_token(args.faults).apply(host) if args.faults else None
+    network = HostNetwork(
+        host,
+        CostModel(alpha=args.alpha, bandwidth=args.bandwidth),
+        link_weights=link_weights,
+    )
     cache = _load_cache(args)
     with use_context(backend=args.method, cache=cache):
         traffic = traffic_pattern(args.traffic, guest, message_size=args.message_size)
@@ -192,11 +209,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 embedding = random_embedding(guest, host, seed=args.seed)
             else:
                 embedding = build_strategy(name, guest, host)
-            result = simulate_phase(network, embedding, traffic)
+            if faults is not None:
+                embedding = repair_embedding(embedding, faults)
+            result = simulate_phase(network, embedding, traffic, faults=faults)
             row = {"strategy": name, "dilation": embedding.dilation()}
             row.update(result.as_row())
             rows.append(row)
-    print(format_table(rows, title=f"{traffic.name} of {guest!r} on {host!r}"))
+    title = f"{traffic.name} of {guest!r} on {host!r}"
+    if faults is not None:
+        title += f" with faults {faults.spec.token}"
+    print(format_table(rows, title=title))
     _save_cache(args, cache)
     return 0
 
@@ -291,6 +313,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--bandwidth", type=float, default=1.0, help="link bandwidth")
     p_sim.add_argument("--message-size", type=float, default=1.0, help="message size")
     p_sim.add_argument("--seed", type=int, default=0, help="seed for the random baseline")
+    p_sim.add_argument(
+        "--faults",
+        default=None,
+        help="degrade the host before simulating: a fault token like n1l2s5 "
+        "(1 dead node, 2 dead links, seed 5); cut routes take BFS detours",
+    )
+    p_sim.add_argument(
+        "--link-weights",
+        default=None,
+        help="heterogeneous link latencies: kind[:scale[:seed]] with kind "
+        "uniform, dimension or random (e.g. random:0.5:3)",
+    )
     p_sim.add_argument(
         "--method",
         default="auto",

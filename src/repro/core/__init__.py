@@ -72,6 +72,7 @@ from .bounds import (
 )
 from .dispatch import embed, strategy_family, strategy_for
 from .functional import FunctionalEmbedding, functional_embed
+from .subshape import embed_subshape, find_subshape
 
 __all__ = [
     "Embedding",
@@ -128,4 +129,6 @@ __all__ = [
     "embed",
     "strategy_for",
     "strategy_family",
+    "embed_subshape",
+    "find_subshape",
 ]

@@ -4,6 +4,8 @@ The paper's results are organized by the relationship between the two
 shapes; this module encodes the decision procedure so that a caller can
 simply ask for an embedding and get the best construction the paper offers:
 
+0. guest strictly smaller than host → an injective subshape embedding
+   into an equal-size sub-box of the host (:mod:`repro.core.subshape`);
 1. equal shapes → Lemma 36 (identity or ``T_L``);
 2. shapes that are permutations of each other → permute dimensions
    (plus ``T`` for a torus guest in a mesh host);
@@ -26,7 +28,7 @@ from ..exceptions import (
     ShapeMismatchError,
     UnsupportedEmbeddingError,
 )
-from ..graphs.base import CartesianGraph
+from ..graphs.base import CartesianGraph, Mesh
 from ..numbering.arrays import digits_to_indices, indices_to_digits, require_numpy
 from ..numbering.batch import t_columns
 from ..runtime.cache import embedding_cache_key
@@ -40,6 +42,7 @@ from .lowering import embed_lowering_simple, embed_lowering
 from .reduction import SimpleReductionFactor, find_general_reduction, find_simple_reduction
 from .same_shape import same_shape_embedding, t_vector_value
 from .square import embed_square
+from .subshape import embed_subshape, find_subshape, subshape_inner_shape
 
 __all__ = ["embed", "strategy_for", "strategy_family"]
 
@@ -80,10 +83,17 @@ def strategy_for(guest: CartesianGraph, host: CartesianGraph) -> str:
     Useful for experiment sweeps that only need to know which theorem covers
     a pair of shapes.
     """
-    if guest.size != host.size:
+    if guest.size > host.size:
         raise ShapeMismatchError(
-            f"guest has {guest.size} nodes but host has {host.size}"
+            f"guest has {guest.size} nodes but host has {host.size}; "
+            "the guest must not be larger than the host"
         )
+    if guest.size < host.size:
+        sub = find_subshape(guest.size, host.shape)
+        if sub is None:
+            return "unsupported"
+        inner = strategy_for(guest, Mesh(subshape_inner_shape(sub)))
+        return "unsupported" if inner == "unsupported" else "subshape"
     if guest.shape == host.shape:
         return "same-shape"
     if is_permutation_of(guest.shape, host.shape):
@@ -112,6 +122,7 @@ def strategy_for(guest: CartesianGraph, host: CartesianGraph) -> str:
 #: simple-reduction prefix must be tried before the general ``lowering:``
 #: one, and the ``square-*`` prefixes before the plain ones they extend.
 _STRATEGY_FAMILIES = (
+    ("subshape:", "subshape"),
     ("identity", "same-shape"),
     ("same-shape", "same-shape"),
     ("permute-dimensions", "permute-dimensions"),
@@ -162,15 +173,15 @@ def embed(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
     Raises
     ------
     ShapeMismatchError
-        When the graphs do not have the same number of nodes.
+        When the guest has more nodes than the host.
     UnsupportedEmbeddingError
         When none of the paper's conditions (expansion, reduction, square,
         basic, same-shape) applies to the pair of shapes.
     """
-    if guest.size != host.size:
+    if guest.size > host.size:
         raise ShapeMismatchError(
             f"guest has {guest.size} nodes but host has {host.size}; "
-            "the paper studies same-size embeddings only"
+            "the guest must not be larger than the host"
         )
     cache = current().cache
     if cache is None:
@@ -207,7 +218,10 @@ def embed(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
 
 
 def _dispatch(guest: CartesianGraph, host: CartesianGraph) -> Embedding:
-    """The uncached strategy-selection body of :func:`embed` (equal sizes)."""
+    """The uncached strategy-selection body of :func:`embed`."""
+    if guest.size < host.size:
+        return embed_subshape(guest, host)
+
     if guest.shape == host.shape:
         return same_shape_embedding(guest, host)
 

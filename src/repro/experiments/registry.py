@@ -99,4 +99,5 @@ def _ensure_loaded() -> None:
         square_tables,
         optima_tables,
         simulation_tables,
+        workload_tables,
     )

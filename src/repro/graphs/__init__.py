@@ -18,6 +18,7 @@ from .base import (
     graph_from_spec,
     make_graph,
 )
+from .faults import Faults, FaultSpec
 from .paths import dimension_order_path, shortest_path
 from .hamiltonian import (
     find_hamiltonian_circuit,
@@ -35,6 +36,8 @@ __all__ = [
     "Hypercube",
     "make_graph",
     "graph_from_spec",
+    "FaultSpec",
+    "Faults",
     "shortest_path",
     "dimension_order_path",
     "find_hamiltonian_circuit",

@@ -39,12 +39,16 @@ from .traffic import (
     Message,
     TrafficPattern,
     all_to_all_in_groups_traffic,
+    bursty_traffic,
+    hotspot_traffic,
     neighbor_exchange_traffic,
+    random_permutation_traffic,
     traffic_pattern,
     traffic_pattern_names,
     traffic_rank_arrays,
     transpose_traffic,
 )
+from .weights import LinkWeightSpec, directed_slot_id
 from .simulator import (
     PhaseStatistics,
     SimulationResult,
@@ -68,6 +72,11 @@ __all__ = [
     "neighbor_exchange_traffic",
     "transpose_traffic",
     "all_to_all_in_groups_traffic",
+    "random_permutation_traffic",
+    "hotspot_traffic",
+    "bursty_traffic",
+    "LinkWeightSpec",
+    "directed_slot_id",
     "traffic_pattern",
     "traffic_pattern_names",
     "traffic_rank_arrays",

@@ -26,7 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..exceptions import SimulationError
 from ..graphs.base import CartesianGraph
+from ..graphs.faults import Faults
 from ..numbering.arrays import (
     digit_weights,
     indices_to_digits,
@@ -40,6 +42,8 @@ __all__ = [
     "RouteArrays",
     "expand_routes",
     "accumulate_link_loads",
+    "dead_slot_mask",
+    "apply_fault_detours",
 ]
 
 
@@ -191,14 +195,19 @@ def expand_routes(space: LinkIndexSpace, src_digits, dst_digits) -> RouteArrays:
     return RouteArrays(offsets=offsets, hops=hops, starts=starts, link_ids=link_ids)
 
 
-def accumulate_link_loads(space: LinkIndexSpace, routes: RouteArrays, sizes, occupancy):
+def accumulate_link_loads(
+    space: LinkIndexSpace, routes: RouteArrays, sizes, occupancy, *, hop_occupancy=None
+):
     """Per-directed-link message counts, volume and busy time.
 
     ``sizes`` and ``occupancy`` are per-*message* arrays; each is repeated
     over its message's hops and scatter-added onto the flat link id space
     with ``np.bincount`` (additions happen in ``(message, hop)`` order, the
     same order the loop reference accumulates its dicts, so the float sums
-    agree bit for bit).  Returns ``(counts, volume, busy)`` arrays of length
+    agree bit for bit).  ``hop_occupancy`` (aligned with ``link_ids``)
+    overrides the repeated per-message occupancy for heterogeneous links,
+    where each hop's busy time carries its own link weight.  Returns
+    ``(counts, volume, busy)`` arrays of length
     :attr:`LinkIndexSpace.num_slots`.
     """
     np = require_numpy()
@@ -207,7 +216,101 @@ def accumulate_link_loads(space: LinkIndexSpace, routes: RouteArrays, sizes, occ
     volume = np.bincount(
         routes.link_ids, weights=np.repeat(sizes, routes.hops), minlength=slots
     )
-    busy = np.bincount(
-        routes.link_ids, weights=np.repeat(occupancy, routes.hops), minlength=slots
-    )
+    if hop_occupancy is None:
+        hop_occupancy = np.repeat(occupancy, routes.hops)
+    busy = np.bincount(routes.link_ids, weights=hop_occupancy, minlength=slots)
     return counts, volume, busy
+
+
+def dead_slot_mask(space: LinkIndexSpace, faults: Faults):
+    """Boolean mask over the slot space: True where the directed link is dead.
+
+    Both orientations of every dead undirected link are marked, plus every
+    link into or out of a dead node.  The fault sets are small, so this is a
+    short Python loop over them — the per-hop work stays vectorized in
+    :func:`apply_fault_detours`.
+    """
+    from .weights import directed_slot_id
+
+    np = require_numpy()
+    mask = np.zeros(space.num_slots, dtype=bool)
+    topology = space.topology
+    pairs = set()
+    for u, v in faults.dead_links:
+        pairs.add((u, v))
+        pairs.add((v, u))
+    for rank in faults.dead_nodes:
+        node = topology.index_node(rank)
+        for neighbor in topology.neighbors(node):
+            other = topology.node_index(neighbor)
+            pairs.add((rank, other))
+            pairs.add((other, rank))
+    for u, v in pairs:
+        mask[directed_slot_id(topology, topology.index_node(u), topology.index_node(v))] = True
+    return mask
+
+
+def apply_fault_detours(
+    space: LinkIndexSpace, routes: RouteArrays, faults: Faults, source_ranks, target_ranks
+) -> RouteArrays:
+    """Replace every route cut by the faults with its surviving BFS detour.
+
+    The batched dimension-ordered expansion stays untouched for unaffected
+    messages; cut messages (detected with one mask gather over the expanded
+    hops) are re-routed through the *same* deterministic
+    :meth:`~repro.graphs.faults.Faults.shortest_detour` the loop backend
+    uses, so both backends traverse identical link sequences.  A dead
+    endpoint, or a disconnected pair, raises
+    :class:`~repro.exceptions.SimulationError`.
+
+    The returned ``offsets`` are carried over unchanged (they describe the
+    pristine dimension-ordered plan); ``hops``/``starts``/``link_ids``
+    reflect the actual detoured routes.
+    """
+    np = require_numpy()
+    from .weights import directed_slot_id
+
+    if faults.dead_nodes:
+        dead = np.zeros(space.num_nodes, dtype=bool)
+        dead[list(faults.dead_nodes)] = True
+        if bool(dead[source_ranks].any() or dead[target_ranks].any()):
+            raise SimulationError("a message endpoint is a dead node")
+    if routes.num_messages == 0:
+        return routes
+    mask = dead_slot_mask(space, faults)
+    hop_dead = mask[routes.link_ids]
+    if not bool(hop_dead.any()):
+        return routes
+    m = routes.num_messages
+    message_of_hop = np.repeat(np.arange(m, dtype=np.int64), routes.hops)
+    cut = np.bincount(message_of_hop, weights=hop_dead, minlength=m) > 0
+
+    topology = space.topology
+    pieces = np.split(routes.link_ids, routes.starts[1:-1])
+    for index in np.flatnonzero(cut):
+        ranks = faults.shortest_detour(
+            int(source_ranks[index]), int(target_ranks[index])
+        )
+        if ranks is None:
+            raise SimulationError(
+                "no surviving route between two message endpoints; "
+                "the faults disconnect them"
+            )
+        pieces[int(index)] = np.asarray(
+            [
+                directed_slot_id(
+                    topology, topology.index_node(a), topology.index_node(b)
+                )
+                for a, b in zip(ranks, ranks[1:])
+            ],
+            dtype=np.int64,
+        )
+    hops = np.asarray([piece.size for piece in pieces], dtype=np.int64)
+    starts = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(hops, out=starts[1:])
+    link_ids = (
+        np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64)
+    )
+    return RouteArrays(
+        offsets=routes.offsets, hops=hops, starts=starts, link_ids=link_ids
+    )

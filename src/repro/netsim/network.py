@@ -23,12 +23,25 @@ DirectedLink = Tuple[Node, Node]
 
 
 class HostNetwork:
-    """A parallel machine whose processors form a torus or mesh."""
+    """A parallel machine whose processors form a torus or mesh.
 
-    def __init__(self, topology: CartesianGraph, cost_model: CostModel | None = None):
+    ``link_weights`` (a :class:`~repro.netsim.weights.LinkWeightSpec`, or
+    ``None`` for homogeneous links) assigns every directed link a latency
+    multiplier; a hop then occupies its link for
+    ``cost_model.link_occupancy(size) * weight`` time units.
+    """
+
+    def __init__(
+        self,
+        topology: CartesianGraph,
+        cost_model: CostModel | None = None,
+        link_weights=None,
+    ):
         self._topology = topology
         self._cost_model = cost_model or CostModel()
+        self._link_weights = link_weights
         self._link_space = None
+        self._weight_array = None
 
     @property
     def topology(self) -> CartesianGraph:
@@ -38,6 +51,27 @@ class HostNetwork:
     @property
     def cost_model(self) -> CostModel:
         return self._cost_model
+
+    @property
+    def link_weights(self):
+        """The per-link latency weight spec, or ``None`` for uniform links."""
+        return self._link_weights
+
+    def link_weight(self, source: Node, target: Node) -> float:
+        """Latency multiplier of one directed link (1.0 when unweighted)."""
+        if self._link_weights is None:
+            return 1.0
+        return self._link_weights.weight_of(self._topology, source, target)
+
+    def link_weight_array(self):
+        """Per-slot weights over the link-index space, or ``None`` (cached)."""
+        if self._link_weights is None:
+            return None
+        if self._weight_array is None:
+            self._weight_array = self._link_weights.weight_array(
+                self.link_index_space()
+            )
+        return self._weight_array
 
     @property
     def num_processors(self) -> int:

@@ -35,7 +35,12 @@ from ..core.embedding import Embedding, use_array_path
 from ..exceptions import SimulationError
 from ..runtime.context import accepts_deprecated_method
 from ..numbering.arrays import indices_to_digits, require_numpy
-from .kernels import RouteArrays, accumulate_link_loads, expand_routes
+from .kernels import (
+    RouteArrays,
+    accumulate_link_loads,
+    apply_fault_detours,
+    expand_routes,
+)
 from .network import DirectedLink, HostNetwork
 from .routing import route_message
 from .traffic import TrafficPattern
@@ -97,7 +102,7 @@ def _check_topology(network: HostNetwork, embedding: Embedding) -> None:
 
 
 def _routes_for(
-    network: HostNetwork, embedding: Embedding, traffic: TrafficPattern
+    network: HostNetwork, embedding: Embedding, traffic: TrafficPattern, faults=None
 ) -> List[Tuple[List[DirectedLink], float]]:
     """Per-message loop reference: placed endpoints routed one message at a time.
 
@@ -107,42 +112,75 @@ def _routes_for(
     _check_topology(network, embedding)
     routes: List[Tuple[List[DirectedLink], float]] = []
     for source, destination, size in traffic.placed(embedding):
-        routes.append((route_message(network, source, destination, validate=False), size))
+        routes.append(
+            (
+                route_message(
+                    network, source, destination, validate=False, faults=faults
+                ),
+                size,
+            )
+        )
     return routes
 
 
+def _check_faults(network: HostNetwork, faults) -> None:
+    if faults is not None and faults.graph != network.topology:
+        raise SimulationError(
+            f"faults were materialized for {faults.graph!r}, "
+            f"not {network.topology!r}"
+        )
+
+
 def _phase_arrays_from_ranks(
-    network: HostNetwork, embedding: Embedding, source_ranks, target_ranks, sizes
+    network: HostNetwork, embedding: Embedding, source_ranks, target_ranks, sizes,
+    faults=None,
 ):
     """Routed and priced phase data from already-placed guest endpoint ranks."""
+    np = require_numpy()
     _check_topology(network, embedding)
+    _check_faults(network, faults)
     images = embedding.host_index_array()
     host_shape = network.topology.shape
     space = network.link_index_space()
+    source_images = images[source_ranks]
+    target_images = images[target_ranks]
     routes = expand_routes(
         space,
-        indices_to_digits(images[source_ranks], host_shape),
-        indices_to_digits(images[target_ranks], host_shape),
+        indices_to_digits(source_images, host_shape),
+        indices_to_digits(target_images, host_shape),
     )
+    if faults is not None:
+        routes = apply_fault_detours(space, routes, faults, source_images, target_images)
     # CostModel.link_occupancy is pure arithmetic, so it vectorizes as-is:
     # one source of truth for the per-hop cost on both backend paths.
     occupancy = network.cost_model.link_occupancy(sizes)
-    return space, routes, sizes, occupancy
+    weights = network.link_weight_array()
+    hop_occupancy = None
+    if weights is not None:
+        hop_occupancy = np.repeat(occupancy, routes.hops) * weights[routes.link_ids]
+    return space, routes, sizes, occupancy, hop_occupancy
 
 
-def _phase_arrays(network: HostNetwork, embedding: Embedding, traffic: TrafficPattern):
+def _phase_arrays(
+    network: HostNetwork, embedding: Embedding, traffic: TrafficPattern, faults=None
+):
     """Placed, routed and priced phase data for the vectorized paths.
 
-    Returns ``(space, routes, sizes, occupancy)`` — the directed-link id
-    space, the CSR route arrays, and the per-message size / link-occupancy
-    arrays.
+    Returns ``(space, routes, sizes, occupancy, hop_occupancy)`` — the
+    directed-link id space, the CSR route arrays (fault detours applied),
+    the per-message size / link-occupancy arrays, and the per-hop occupancy
+    (``None`` for homogeneous links, where the per-message value repeats).
     """
     require_numpy()
     source_ranks, target_ranks, sizes = traffic.endpoint_rank_arrays(embedding.guest.shape)
-    return _phase_arrays_from_ranks(network, embedding, source_ranks, target_ranks, sizes)
+    return _phase_arrays_from_ranks(
+        network, embedding, source_ranks, target_ranks, sizes, faults=faults
+    )
 
 
-def _statistics_from_link_loads(routes, occupancy, counts, volume, busy) -> PhaseStatistics:
+def _statistics_from_link_loads(
+    routes, occupancy, counts, volume, busy, hop_occupancy=None
+) -> PhaseStatistics:
     """Reduce per-link load arrays to a :class:`PhaseStatistics`."""
     num_messages = routes.num_messages
     if num_messages == 0:
@@ -159,7 +197,19 @@ def _statistics_from_link_loads(routes, occupancy, counts, volume, busy) -> Phas
         )
     hops = routes.hops
     max_link_busy = float(busy.max())
-    max_uncontended = float((hops * occupancy).max())
+    if hop_occupancy is None:
+        max_uncontended = float((hops * occupancy).max())
+    else:
+        # Heterogeneous links: a message's uncontended time is the sum of its
+        # per-hop occupancies.  bincount adds in hop order, matching the loop
+        # reference's sequential accumulation float for float.
+        np = require_numpy()
+        message_of_hop = np.repeat(np.arange(num_messages, dtype=np.int64), hops)
+        max_uncontended = float(
+            np.bincount(
+                message_of_hop, weights=hop_occupancy, minlength=num_messages
+            ).max()
+        )
     total_hops = int(hops.sum())
     return PhaseStatistics(
         num_messages=num_messages,
@@ -174,12 +224,18 @@ def _statistics_from_link_loads(routes, occupancy, counts, volume, busy) -> Phas
     )
 
 
-def _statistics_from_arrays(space, routes, sizes, occupancy) -> PhaseStatistics:
+def _statistics_from_arrays(
+    space, routes, sizes, occupancy, hop_occupancy=None
+) -> PhaseStatistics:
     """Fully vectorized analytic statistics (no per-message Python)."""
     if routes.num_messages == 0:
         return _statistics_from_link_loads(routes, occupancy, None, None, None)
-    counts, volume, busy = accumulate_link_loads(space, routes, sizes, occupancy)
-    return _statistics_from_link_loads(routes, occupancy, counts, volume, busy)
+    counts, volume, busy = accumulate_link_loads(
+        space, routes, sizes, occupancy, hop_occupancy=hop_occupancy
+    )
+    return _statistics_from_link_loads(
+        routes, occupancy, counts, volume, busy, hop_occupancy=hop_occupancy
+    )
 
 
 @accepts_deprecated_method
@@ -187,6 +243,8 @@ def analytic_phase_estimate(
     network: HostNetwork,
     embedding: Embedding,
     traffic: TrafficPattern,
+    *,
+    faults=None,
 ) -> PhaseStatistics:
     """Hop counts, link loads and the standard completion-time lower bound.
 
@@ -196,16 +254,31 @@ def analytic_phase_estimate(
     identical statistics (the scatter-add visits hops in the same
     ``(message, hop)`` order the loop adds them, so even the float sums
     agree bit for bit).
+
+    With ``faults`` (a materialized :class:`~repro.graphs.faults.Faults` of
+    the host topology), cut routes take their BFS detours; heterogeneous
+    per-link weights come from the network's ``link_weights`` spec.
     """
     if use_array_path():
-        return _statistics_from_arrays(*_phase_arrays(network, embedding, traffic))
+        return _statistics_from_arrays(
+            *_phase_arrays(network, embedding, traffic, faults=faults)
+        )
+    _check_faults(network, faults)
     return _statistics_from_routes(
-        network.cost_model, _routes_for(network, embedding, traffic)
+        network.cost_model,
+        _routes_for(network, embedding, traffic, faults=faults),
+        link_weight=network.link_weight if network.link_weights is not None else None,
     )
 
 
-def _statistics_from_routes(model, routes) -> PhaseStatistics:
-    """Loop-reference analytic statistics over per-message route lists."""
+def _statistics_from_routes(model, routes, link_weight=None) -> PhaseStatistics:
+    """Loop-reference analytic statistics over per-message route lists.
+
+    ``link_weight`` (a ``(source, target) -> float`` callable, or ``None``)
+    prices heterogeneous links: each hop's occupancy is the model occupancy
+    times its link's weight, and a message's uncontended time accumulates
+    hop by hop.
+    """
     link_messages: Dict[DirectedLink, int] = {}
     link_volume: Dict[DirectedLink, float] = {}
     link_busy: Dict[DirectedLink, float] = {}
@@ -216,11 +289,21 @@ def _statistics_from_routes(model, routes) -> PhaseStatistics:
         hops = len(links)
         total_hops += hops
         max_hops = max(max_hops, hops)
-        max_uncontended = max(max_uncontended, model.uncontended_time(size, hops))
-        for link in links:
-            link_messages[link] = link_messages.get(link, 0) + 1
-            link_volume[link] = link_volume.get(link, 0.0) + size
-            link_busy[link] = link_busy.get(link, 0.0) + model.link_occupancy(size)
+        if link_weight is None:
+            max_uncontended = max(max_uncontended, model.uncontended_time(size, hops))
+            for link in links:
+                link_messages[link] = link_messages.get(link, 0) + 1
+                link_volume[link] = link_volume.get(link, 0.0) + size
+                link_busy[link] = link_busy.get(link, 0.0) + model.link_occupancy(size)
+        else:
+            uncontended = 0.0
+            for link in links:
+                occupancy = model.link_occupancy(size) * link_weight(*link)
+                uncontended += occupancy
+                link_messages[link] = link_messages.get(link, 0) + 1
+                link_volume[link] = link_volume.get(link, 0.0) + size
+                link_busy[link] = link_busy.get(link, 0.0) + occupancy
+            max_uncontended = max(max_uncontended, uncontended)
     num_messages = len(routes)
     max_link_busy = max(link_busy.values(), default=0.0)
     return PhaseStatistics(
@@ -258,18 +341,24 @@ def simulate_phases(phase_inputs, *, max_events: int = 5_000_000) -> List[Simula
         for network, embedding, traffic in phase_inputs
     ]
     outcomes = simulate_phases_rounds(
-        [(space, routes, occupancy) for space, routes, _sizes, occupancy in expanded],
+        [
+            (space, routes, occupancy, hop_occupancy)
+            for space, routes, _sizes, occupancy, hop_occupancy in expanded
+        ],
         max_events=max_events,
     )
     return [
         SimulationResult(
             makespan=makespan,
-            statistics=_statistics_from_arrays(space, routes, sizes, occupancy),
+            statistics=_statistics_from_arrays(
+                space, routes, sizes, occupancy, hop_occupancy
+            ),
             per_message_completion=tuple(completion),
         )
-        for (space, routes, sizes, occupancy), (makespan, completion) in zip(
-            expanded, outcomes
-        )
+        for (space, routes, sizes, occupancy, hop_occupancy), (
+            makespan,
+            completion,
+        ) in zip(expanded, outcomes)
     ]
 
 
@@ -298,6 +387,11 @@ def simulate_endpoint_phases(
         phases
     ):
         _check_topology(network, embedding)
+        if network.link_weights is not None:
+            raise SimulationError(
+                "simulate_endpoint_phases does not support weighted links; "
+                "use simulate_phase per phase instead"
+            )
         space = network.link_index_space()
         images = embedding.host_index_array()
         group = groups.setdefault(id(space), {"space": space, "items": []})
@@ -394,7 +488,10 @@ def simulate_phases_rounds(phases, *, max_events: int = 5_000_000):
     """Round-based vectorized event loop over one or many expanded phases.
 
     ``phases`` is a sequence of ``(space, routes, occupancy)`` triples (the
-    output of the per-phase route expansion); the result is one
+    output of the per-phase route expansion) — or 4-tuples with a trailing
+    per-*hop* occupancy array (aligned with ``routes.link_ids``) for
+    heterogeneous links; a ``None`` fourth element means homogeneous, where
+    each message's occupancy simply repeats over its hops.  The result is one
     ``(makespan, per_message_completion)`` pair per phase.  All phases run in
     a single loop: link ids are offset into disjoint blocks, so the phases
     cannot interact, and merging them only makes each round's batch larger.
@@ -423,7 +520,7 @@ def simulate_phases_rounds(phases, *, max_events: int = 5_000_000):
     np = require_numpy()
     makespans = [0.0] * len(phases)
     completions: List[List[float]] = [[] for _ in phases]
-    live = [index for index, (_, routes, _) in enumerate(phases) if routes.num_messages]
+    live = [index for index, entry in enumerate(phases) if entry[1].num_messages]
     if not live:
         return list(zip(makespans, completions))
 
@@ -431,12 +528,19 @@ def simulate_phases_rounds(phases, *, max_events: int = 5_000_000):
     counts: List[int] = []
     link_parts, first_parts, last_parts, occ_parts = [], [], [], []
     for index in live:
-        space, routes, occupancy = phases[index]
+        entry = phases[index]
+        space, routes, occupancy = entry[0], entry[1], entry[2]
+        hop_part = entry[3] if len(entry) > 3 else None
         counts.append(routes.num_messages)
         link_parts.append(routes.link_ids + link_offset)
         first_parts.append(routes.starts[:-1])
         last_parts.append(routes.starts[1:])
-        occ_parts.append(np.asarray(occupancy, dtype=np.float64))
+        # The loop works in per-hop occupancy throughout; for homogeneous
+        # links the per-message value repeats over its hops, producing the
+        # exact same floats the per-message form would gather.
+        if hop_part is None:
+            hop_part = np.repeat(np.asarray(occupancy, dtype=np.float64), routes.hops)
+        occ_parts.append(np.asarray(hop_part, dtype=np.float64))
         link_offset += space.num_slots
     hop_offsets = np.cumsum([0] + [part.size for part in link_parts[:-1]])
     link_ids = np.concatenate(link_parts)
@@ -446,7 +550,7 @@ def simulate_phases_rounds(phases, *, max_events: int = 5_000_000):
     last_hop = np.concatenate(
         [part + offset for part, offset in zip(last_parts, hop_offsets)]
     )
-    occupancy = np.concatenate(occ_parts)
+    hop_occupancy = np.concatenate(occ_parts)
     phase_of = np.repeat(np.arange(len(live), dtype=np.int64), counts)
 
     completion = np.zeros(first_hop.size, dtype=np.float64)
@@ -464,10 +568,9 @@ def simulate_phases_rounds(phases, *, max_events: int = 5_000_000):
     # across more rounds.
     ids = np.flatnonzero(first_hop < last_hop)
     ready_a = np.zeros(ids.size, dtype=np.float64)
-    occ_a = occupancy[ids]
     hop_a = first_hop[ids]
     last_a = last_hop[ids]
-    occ_floor = occ_a.min() if ids.size else 0.0
+    occ_floor = hop_occupancy.min() if hop_occupancy.size else 0.0
     alive = ids.size
     dead = 0
     while alive:
@@ -490,7 +593,7 @@ def simulate_phases_rounds(phases, *, max_events: int = 5_000_000):
         hop_b = hop_a[mask]
         links = link_ids[hop_b]
         r_b = ready_a[mask]
-        o_b = occ_a[mask]
+        o_b = hop_occupancy[hop_b]
         # The heap serves a link's requests by (ready_time, message index);
         # the batch is ascending by index and the sorts are stable, so the
         # link id (plus the ready time, when the round spans several ready
@@ -540,7 +643,6 @@ def simulate_phases_rounds(phases, *, max_events: int = 5_000_000):
             keep = hop_a < last_a
             ids = ids[keep]
             ready_a = ready_a[keep]
-            occ_a = occ_a[keep]
             hop_a = hop_a[keep]
             last_a = last_a[keep]
             dead = 0
@@ -554,7 +656,9 @@ def simulate_phases_rounds(phases, *, max_events: int = 5_000_000):
     return list(zip(makespans, completions))
 
 
-def _simulate_arrays(space, routes, occupancy, max_events: int) -> Tuple[float, List[float]]:
+def _simulate_arrays(
+    space, routes, occupancy, max_events: int, hop_occupancy=None
+) -> Tuple[float, List[float]]:
     """Heap event loop keyed by directed-link ids over preallocated routes.
 
     The cross-checked single-phase reference for
@@ -565,12 +669,14 @@ def _simulate_arrays(space, routes, occupancy, max_events: int) -> Tuple[float, 
     ``(node, node)`` tuples, no dicts.  Ordering and arithmetic match the
     loop reference exactly: the heap orders by
     ``(ready_time, message_index)`` and each hop costs the same
-    ``alpha + size/bandwidth`` float.
+    ``alpha + size/bandwidth`` float.  ``hop_occupancy`` (aligned with
+    ``routes.link_ids``) prices heterogeneous links per hop.
     """
     num_messages = routes.num_messages
     link_ids = routes.link_ids.tolist()
     starts = routes.starts.tolist()
     occupancies = occupancy.tolist()
+    hop_costs = None if hop_occupancy is None else hop_occupancy.tolist()
     link_free = [0.0] * space.num_slots
     next_hop = starts[:-1].copy()
     completion = [0.0] * num_messages
@@ -591,7 +697,8 @@ def _simulate_arrays(space, routes, occupancy, max_events: int) -> Tuple[float, 
         link = link_ids[hop]
         free_at = link_free[link]
         start = ready_time if ready_time >= free_at else free_at
-        finish = start + occupancies[index]
+        cost = occupancies[index] if hop_costs is None else hop_costs[hop]
+        finish = start + cost
         link_free[link] = finish
         next_hop[index] = hop + 1
         if hop + 1 < starts[index + 1]:
@@ -609,6 +716,7 @@ def simulate_phase(
     traffic: TrafficPattern,
     *,
     max_events: int = 5_000_000,
+    faults=None,
 ) -> SimulationResult:
     """Discrete-event store-and-forward simulation of one communication phase.
 
@@ -625,21 +733,32 @@ def simulate_phase(
     loop (:func:`simulate_phases_rounds`); the retained heap loops — flat
     link-id (:func:`_simulate_arrays`) and node-tuple (the loop backend) —
     are its cross-checked references.
+
+    ``faults`` (a materialized :class:`~repro.graphs.faults.Faults` of the
+    host topology) reroutes cut messages over BFS detours; heterogeneous
+    per-link weights come from the network's ``link_weights`` spec and
+    scale each hop's occupancy.
     """
     if use_array_path():
-        space, expanded, sizes, occupancy = _phase_arrays(network, embedding, traffic)
+        space, expanded, sizes, occupancy, hop_occupancy = _phase_arrays(
+            network, embedding, traffic, faults=faults
+        )
         ((makespan, completion),) = simulate_phases_rounds(
-            [(space, expanded, occupancy)], max_events=max_events
+            [(space, expanded, occupancy, hop_occupancy)], max_events=max_events
         )
         return SimulationResult(
             makespan=makespan,
-            statistics=_statistics_from_arrays(space, expanded, sizes, occupancy),
+            statistics=_statistics_from_arrays(
+                space, expanded, sizes, occupancy, hop_occupancy
+            ),
             per_message_completion=tuple(completion),
         )
 
+    _check_faults(network, faults)
     model = network.cost_model
-    routes = _routes_for(network, embedding, traffic)
-    statistics = _statistics_from_routes(model, routes)
+    link_weight = network.link_weight if network.link_weights is not None else None
+    routes = _routes_for(network, embedding, traffic, faults=faults)
+    statistics = _statistics_from_routes(model, routes, link_weight=link_weight)
     link_free_at: Dict[DirectedLink, float] = {}
     completion = [0.0] * len(routes)
 
@@ -662,7 +781,10 @@ def simulate_phase(
         links, size = routes[request.message_index]
         link = links[request.hop_index]
         start = max(request.ready_time, link_free_at.get(link, 0.0))
-        finish = start + model.link_occupancy(size)
+        if link_weight is None:
+            finish = start + model.link_occupancy(size)
+        else:
+            finish = start + model.link_occupancy(size) * link_weight(*link)
         link_free_at[link] = finish
         if request.hop_index + 1 < len(links):
             heapq.heappush(

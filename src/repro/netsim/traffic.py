@@ -18,6 +18,7 @@ against; :func:`traffic_pattern` is the package-local resolver over it.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
@@ -40,6 +41,9 @@ __all__ = [
     "neighbor_exchange_traffic",
     "transpose_traffic",
     "all_to_all_in_groups_traffic",
+    "random_permutation_traffic",
+    "hotspot_traffic",
+    "bursty_traffic",
     "traffic_pattern",
     "traffic_pattern_names",
     "traffic_rank_arrays",
@@ -229,6 +233,104 @@ def all_to_all_in_groups_traffic(
 
 
 # --------------------------------------------------------------------- #
+# Randomized / adversarial workloads
+# --------------------------------------------------------------------- #
+# The three patterns below stress embeddings from directions the structured
+# workloads above cannot: a seeded random permutation (no locality at all),
+# a hotspot sink (maximal contention on one processor's links) and seeded
+# traffic bursts (sudden fan-in).  Each draws its endpoint *ranks* from a
+# pure-Python helper seeded by a string key — PYTHONHASHSEED-independent —
+# that both the tuple builder and the vectorized rank generator call, so the
+# two forms agree message for message by construction.
+
+_BURSTY_BURSTS = 3
+
+
+def _random_permutation_pairs(guest: CartesianGraph, seed: int):
+    rng = random.Random(f"random-permutation|{seed}|{guest.shape}")
+    targets = list(range(guest.size))
+    rng.shuffle(targets)
+    return [(source, target) for source, target in enumerate(targets) if source != target]
+
+
+def _hotspot_pairs(guest: CartesianGraph):
+    return [(source, 0) for source in range(1, guest.size)]
+
+
+def _bursty_pairs(guest: CartesianGraph, seed: int):
+    rng = random.Random(f"bursty|{seed}|{guest.shape}")
+    size = guest.size
+    pairs = []
+    for _ in range(_BURSTY_BURSTS):
+        target = rng.randrange(size)
+        senders = rng.sample(range(size), max(1, size // 4))
+        pairs.extend((sender, target) for sender in senders if sender != target)
+    return pairs
+
+
+def _pattern_from_pairs(guest: CartesianGraph, name: str, pairs, message_size: float):
+    messages = tuple(
+        Message(guest.index_node(source), guest.index_node(target), message_size)
+        for source, target in pairs
+    )
+    return TrafficPattern(name=name, messages=messages)
+
+
+@register_traffic("random-permutation")
+def random_permutation_traffic(
+    guest: CartesianGraph, *, message_size: float = 1.0, seed: int = 0
+) -> TrafficPattern:
+    """Each task sends one message under a seeded random permutation.
+
+    The classic adversarial workload for locality-preserving placements:
+    endpoints are uniformly scrambled, so hop counts concentrate around the
+    host's mean distance regardless of the embedding — like
+    :func:`transpose_traffic`, a negative control, but an *average-case* one
+    (fixed points are dropped).
+    """
+    return _pattern_from_pairs(
+        guest,
+        f"random-permutation{guest.shape}/s{seed}",
+        _random_permutation_pairs(guest, seed),
+        message_size,
+    )
+
+
+@register_traffic("hotspot")
+def hotspot_traffic(
+    guest: CartesianGraph, *, message_size: float = 1.0
+) -> TrafficPattern:
+    """Every other task sends one message to task 0 (the hotspot sink).
+
+    Maximal fan-in: the sink's incident links serialize all traffic, so the
+    makespan measures how the embedding spreads the sink's neighbourhood
+    rather than its dilation — contention-dominated by design.
+    """
+    return _pattern_from_pairs(
+        guest, f"hotspot{guest.shape}", _hotspot_pairs(guest), message_size
+    )
+
+
+@register_traffic("bursty")
+def bursty_traffic(
+    guest: CartesianGraph, *, message_size: float = 1.0, seed: int = 0
+) -> TrafficPattern:
+    """Seeded traffic bursts: a quarter of the tasks fan in on one target.
+
+    Three bursts per phase; each draws a target and ``max(1, size // 4)``
+    distinct senders from a seeded generator (self-messages dropped), giving
+    repeated sudden fan-in — the transient congestion regime between the
+    steady hotspot and the uniform permutation.
+    """
+    return _pattern_from_pairs(
+        guest,
+        f"bursty{guest.shape}/s{seed}",
+        _bursty_pairs(guest, seed),
+        message_size,
+    )
+
+
+# --------------------------------------------------------------------- #
 # Vectorized endpoint-rank generators
 # --------------------------------------------------------------------- #
 # The builders above materialize one `Message` tuple per task pair — the
@@ -297,10 +399,34 @@ def _all_to_all_groups_ranks(guest: CartesianGraph, np):
     )
 
 
+def _pairs_to_rank_arrays(pairs, np):
+    """Rank-pair list -> the two flat endpoint arrays (shared seeded draws)."""
+    if not pairs:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy()
+    array = np.asarray(pairs, dtype=np.int64)
+    return np.ascontiguousarray(array[:, 0]), np.ascontiguousarray(array[:, 1])
+
+
+def _random_permutation_rank_arrays(guest: CartesianGraph, np):
+    return _pairs_to_rank_arrays(_random_permutation_pairs(guest, 0), np)
+
+
+def _hotspot_rank_arrays(guest: CartesianGraph, np):
+    return _pairs_to_rank_arrays(_hotspot_pairs(guest), np)
+
+
+def _bursty_rank_arrays(guest: CartesianGraph, np):
+    return _pairs_to_rank_arrays(_bursty_pairs(guest, 0), np)
+
+
 _RANK_GENERATORS = {
     "neighbor-exchange": _neighbor_exchange_ranks,
     "transpose": _transpose_ranks,
     "all-to-all-groups": _all_to_all_groups_ranks,
+    "random-permutation": _random_permutation_rank_arrays,
+    "hotspot": _hotspot_rank_arrays,
+    "bursty": _bursty_rank_arrays,
 }
 
 

@@ -197,6 +197,12 @@ def evaluate_shard_batched(
     groups: Dict[Tuple[GraphSpec, GraphSpec], Dict] = {}
     sim_jobs: List[Dict] = []
     for position, scenario in enumerate(scenarios):
+        if scenario.faults:
+            # Degraded-host scenarios repair around a per-scenario fault
+            # mask — nothing to share across the shard — so they take the
+            # reference path wholesale (its record, byte for byte).
+            records[position] = _evaluate_scenario(scenario, options)
+            continue
         guest = state.graph(scenario.guest_kind, scenario.guest_shape)
         host = state.graph(scenario.host_kind, scenario.host_shape)
         base = _record_base(scenario, guest, host)

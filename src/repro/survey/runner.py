@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.fault_tolerance import fault_dilation_summary, repair_embedding
 from ..analysis.metrics import evaluate_embedding
 from ..core.dispatch import embed
 from ..exceptions import UnsupportedEmbeddingError
@@ -183,8 +184,54 @@ def _record_base(scenario: Scenario, guest, host) -> Dict[str, object]:
         scenario_id=scenario.scenario_id,
         guest=repr(guest),
         host=repr(host),
-        nodes=guest.size,
+        nodes=host.size,
         guest_edges=guest.num_edges(),
+        guest_size=guest.size,
+        faults=scenario.faults or None,
+    )
+
+
+def _evaluate_fault_scenario(
+    scenario: Scenario, guest, host, base, options: SurveyOptions, started: float
+) -> SurveyRecord:
+    """Build on the pristine host, degrade, repair, re-measure.
+
+    The named strategy is constructed (and cached) for the *pristine* host;
+    the scenario's fault spec then knocks out nodes/links, the embedding is
+    repaired around the dead images and the dilation columns report distances
+    over the *surviving* links — the paper-construction decay measurement.
+    ``congestion`` and ``matches_prediction`` stay ``None``: neither is
+    defined on a degraded host.  With ``traffic`` set, the store-and-forward
+    simulation runs fault-aware on the repaired embedding.
+    """
+    embedding = build_strategy(scenario.strategy, guest, host)
+    faults = scenario.fault_spec().apply(host)
+    repaired = repair_embedding(embedding, faults)
+    dilation, average_dilation = fault_dilation_summary(repaired, faults)
+    columns: Dict[str, object] = {}
+    if scenario.traffic:
+        pattern = traffic_pattern(scenario.traffic, guest)
+        result = simulate_phase(HostNetwork(host), repaired, pattern, faults=faults)
+        statistics = result.statistics
+        columns = dict(
+            traffic=scenario.traffic,
+            messages=statistics.num_messages,
+            max_hops=statistics.max_hops,
+            max_link_load=statistics.max_link_load_messages,
+            estimated_time=statistics.estimated_completion_time,
+            makespan=result.makespan,
+        )
+    return SurveyRecord(
+        status="ok",
+        strategy=scenario.strategy,
+        predicted_dilation=embedding.predicted_dilation,
+        dilation=dilation,
+        average_dilation=average_dilation,
+        congestion=None,
+        matches_prediction=None,
+        elapsed_seconds=time.perf_counter() - started,
+        **columns,
+        **base,
     )
 
 
@@ -194,6 +241,10 @@ def _evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyReco
     base = _record_base(scenario, guest, host)
     started = time.perf_counter()
     try:
+        if scenario.faults:
+            return _evaluate_fault_scenario(
+                scenario, guest, host, base, options, started
+            )
         if scenario.traffic:
             embedding = build_strategy(scenario.strategy, guest, host)
             pattern = traffic_pattern(scenario.traffic, guest)

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..graphs.base import CartesianGraph, make_graph
+from ..graphs.faults import FaultSpec
 from ..types import GraphKind, Shape
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "suite_names",
     "SIMULATION_STRATEGIES",
     "SIMULATION_TRAFFIC",
+    "FAULT_STRATEGIES",
 ]
 
 _KIND_PAIRS: Tuple[Tuple[str, str], ...] = (
@@ -47,14 +49,22 @@ _KIND_PAIRS: Tuple[Tuple[str, str], ...] = (
 class Scenario:
     """One guest/host pair of a survey, identified by kinds and shapes.
 
-    Two scenario flavours share the type:
+    Three scenario flavours share the type:
 
     * *embedding scenarios* (``traffic == ""``, the default) — embed with the
-      paper's dispatcher and measure the vectorized costs;
+      paper's dispatcher and measure the vectorized costs.  The guest may be
+      strictly smaller than the host (an *expansion* pair): the dispatcher
+      then produces an injective sub-embedding;
     * *simulation scenarios* (``traffic`` names a pattern of
       :func:`repro.netsim.traffic.traffic_pattern`) — build the embedding
       named by ``strategy`` (the paper's dispatcher or a baseline), place the
-      traffic on the host network and run the store-and-forward simulation.
+      traffic on the host network and run the store-and-forward simulation;
+    * *fault scenarios* (``faults`` carries a
+      :class:`~repro.graphs.faults.FaultSpec` token like ``n1l2s5``) — build
+      the strategy on the pristine host, knock out the spec's nodes/links,
+      repair the embedding around the dead images and measure the degraded
+      dilation over surviving routes; with ``traffic`` also set, the phase
+      simulation runs fault-aware (BFS detours around cut routes).
     """
 
     guest_kind: str
@@ -63,14 +73,18 @@ class Scenario:
     host_shape: Shape
     strategy: str = "paper"
     traffic: str = ""
+    faults: str = ""
 
     @property
     def scenario_id(self) -> str:
         """Canonical id (stable sort key), e.g. ``torus:4,6->mesh:2,2,2,3``;
-        simulation scenarios append ``|<strategy>|<traffic>``."""
+        simulation scenarios append ``|<strategy>|<traffic>`` and fault
+        scenarios ``|<strategy>|<traffic>|<faults>`` (traffic may be empty)."""
         guest = ",".join(str(length) for length in self.guest_shape)
         host = ",".join(str(length) for length in self.host_shape)
         base = f"{self.guest_kind}:{guest}->{self.host_kind}:{host}"
+        if self.faults:
+            return f"{base}|{self.strategy}|{self.traffic}|{self.faults}"
         if self.traffic:
             return f"{base}|{self.strategy}|{self.traffic}"
         return base
@@ -86,12 +100,20 @@ class Scenario:
     def host_graph(self) -> CartesianGraph:
         return make_graph(GraphKind(self.host_kind), self.host_shape)
 
+    def fault_spec(self) -> Optional[FaultSpec]:
+        """The parsed :class:`FaultSpec`, or ``None`` for pristine scenarios."""
+        return FaultSpec.from_token(self.faults) if self.faults else None
+
     @classmethod
     def from_id(cls, scenario_id: str) -> "Scenario":
         """Parse the :attr:`scenario_id` format back into a Scenario."""
-        strategy, traffic = "paper", ""
+        strategy, traffic, faults = "paper", "", ""
         if "|" in scenario_id:
-            scenario_id, strategy, traffic = scenario_id.split("|", 2)
+            parts = scenario_id.split("|")
+            if len(parts) == 4:
+                scenario_id, strategy, traffic, faults = parts
+            else:
+                scenario_id, strategy, traffic = parts
         guest_text, host_text = scenario_id.split("->", 1)
         guest_kind, guest_shape = guest_text.split(":", 1)
         host_kind, host_shape = host_text.split(":", 1)
@@ -102,6 +124,7 @@ class Scenario:
             host_shape=tuple(int(p) for p in host_shape.split(",")),
             strategy=strategy,
             traffic=traffic,
+            faults=faults,
         )
 
 
@@ -232,7 +255,14 @@ SIMULATION_TRAFFIC: Tuple[str, ...] = (
     "neighbor-exchange",
     "transpose",
     "all-to-all-groups",
+    "random-permutation",
+    "hotspot",
+    "bursty",
 )
+
+#: Strategies crossed into the degraded-host suite — the paper's dispatcher
+#: against the re-mapping baselines, all repaired around the same faults.
+FAULT_STRATEGIES: Tuple[str, ...] = ("paper", "bfs", "random")
 
 
 def _suite_simulation(max_nodes: int) -> List[Scenario]:
@@ -277,6 +307,62 @@ def _suite_simulation(max_nodes: int) -> List[Scenario]:
     return scenarios
 
 
+def _suite_expansion() -> List[Scenario]:
+    """Unequal-size pairs: a smaller guest sub-embedded into a larger host.
+
+    Every supported pair routes through the dispatcher's ``subshape``
+    strategy (componentwise sub-box plus an inner same-size embed); the two
+    no-sub-box pairs stay in the suite to pin the graceful ``unsupported``
+    record.
+    """
+    pairs = [
+        ("torus", (2, 3), "mesh", (3, 4)),     # 6 tasks on 12 processors
+        ("mesh", (4,), "torus", (3, 3)),       # line into a larger torus
+        ("torus", (2, 2, 2), "mesh", (4, 4)),  # cube into a square
+        ("mesh", (3, 3), "torus", (4, 3)),     # same-width sub-box
+        ("torus", (4, 4), "mesh", (4, 5)),     # one spare column
+        ("torus", (6,), "mesh", (3, 3)),       # ring via h_L in a sub-box
+        ("mesh", (8,), "mesh", (3, 4)),        # line in a 4x2 sub-box
+        ("mesh", (2, 6), "mesh", (4, 4)),      # no sub-box: unsupported
+        ("mesh", (24,), "mesh", (5, 5)),       # no sub-box: unsupported
+    ]
+    return [Scenario(gk, gs, hk, hs) for gk, gs, hk, hs in pairs]
+
+
+def _suite_faults() -> List[Scenario]:
+    """Degraded hosts: seeded node/link knockouts, repair and re-measurement.
+
+    Same-size pairs use link-only faults (no free processors to repair onto);
+    expansion pairs add node faults, exercised against every re-mapping
+    strategy.  One traffic scenario runs the fault-aware store-and-forward
+    simulation end to end.
+    """
+    entries = [
+        # (pair, fault token): link-only on the same-size pair, node+link on
+        # the expansion pairs (their free processors absorb repairs).
+        (("torus", (3, 4), "mesh", (3, 4)), "n0l2s7"),
+        (("torus", (2, 3), "mesh", (3, 4)), "n1l1s5"),
+        (("mesh", (8,), "mesh", (3, 4)), "n2l0s3"),
+    ]
+    scenarios = [
+        Scenario(gk, gs, hk, hs, strategy=strategy, faults=token)
+        for (gk, gs, hk, hs), token in entries
+        for strategy in FAULT_STRATEGIES
+    ]
+    scenarios.append(
+        Scenario(
+            "torus",
+            (2, 3),
+            "mesh",
+            (3, 4),
+            strategy="paper",
+            traffic="neighbor-exchange",
+            faults="n1l1s5",
+        )
+    )
+    return scenarios
+
+
 def _suite_figures() -> List[Scenario]:
     """The worked figures of the paper (Figures 10-12 plus the abstract pair)."""
     pairs = [
@@ -306,9 +392,22 @@ def scenarios_for_suite(suite: str, *, max_nodes: int = 64) -> List[Scenario]:
         return _suite_figures()
     if suite == "simulation":
         return _suite_simulation(max_nodes)
+    if suite == "expansion":
+        return _suite_expansion()
+    if suite == "faults":
+        return _suite_faults()
     raise ValueError(f"unknown suite {suite!r}; choose from {', '.join(suite_names())}")
 
 
 def suite_names() -> List[str]:
     """The named suites accepted by :func:`scenarios_for_suite`."""
-    return ["exhaustive", "smoke", "basic", "squares", "figures", "simulation"]
+    return [
+        "exhaustive",
+        "smoke",
+        "basic",
+        "squares",
+        "figures",
+        "simulation",
+        "expansion",
+        "faults",
+    ]

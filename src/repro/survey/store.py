@@ -52,6 +52,10 @@ FIELDS = (
     "makespan",
     "elapsed_seconds",
     "error",
+    # Appended by the fault/expansion axes; records written before these
+    # columns existed load with them as None (`from_dict` uses .get()).
+    "faults",
+    "guest_size",
 )
 
 
@@ -90,6 +94,8 @@ class SurveyRecord:
     makespan: Optional[float] = None
     elapsed_seconds: float = 0.0
     error: Optional[str] = None
+    faults: Optional[str] = None
+    guest_size: Optional[int] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form in canonical key order (JSON object / CSV row)."""
@@ -135,6 +141,7 @@ def _csv_cell(value: object) -> object:
 _CSV_PARSERS = {
     "nodes": int,
     "guest_edges": int,
+    "guest_size": int,
     "predicted_dilation": int,
     "dilation": int,
     "congestion": int,

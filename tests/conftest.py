@@ -13,10 +13,13 @@ from repro.graphs.base import Mesh, Torus
 
 from .strategies import (  # noqa: F401  (re-exported for the test modules)
     MAX_PROPERTY_SIZE,
+    fault_specs,
     graph_kinds,
+    link_weight_specs,
     same_size_shape_pairs,
     small_even_shapes,
     small_shapes,
+    unequal_size_shape_pairs,
 )
 
 

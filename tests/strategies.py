@@ -11,6 +11,8 @@ import math
 
 from hypothesis import strategies as st
 
+from repro.graphs.faults import FaultSpec
+from repro.netsim.weights import LinkWeightSpec
 from repro.types import GraphKind
 from repro.utils.intmath import prime_factorization
 
@@ -20,6 +22,9 @@ __all__ = [
     "small_even_shapes",
     "graph_kinds",
     "same_size_shape_pairs",
+    "unequal_size_shape_pairs",
+    "fault_specs",
+    "link_weight_specs",
 ]
 
 
@@ -91,3 +96,38 @@ def same_size_shape_pairs(draw, **kwargs):
         math.prod(order[start:stop]) for start, stop in zip(bounds, bounds[1:])
     )
     return guest, host
+
+
+@st.composite
+def unequal_size_shape_pairs(draw, **kwargs):
+    """Random (guest shape, host shape) pairs with ``Π guest < Π host``.
+
+    Two independent shapes, ordered by node count; equal products bump the
+    host's first length so the guest is always *strictly* smaller — the
+    input space of the expansion (sub-embedding) axis.
+    """
+    first = draw(small_shapes(**kwargs))
+    second = draw(small_shapes(**kwargs))
+    guest, host = sorted((first, second), key=math.prod)
+    if math.prod(guest) == math.prod(host):
+        host = (host[0] + 1,) + host[1:]
+    return guest, host
+
+
+@st.composite
+def fault_specs(draw, *, max_nodes: int = 2, max_links: int = 3):
+    """Seeded fault masks, biased toward small knockouts (never all-zero)."""
+    num_nodes = draw(st.integers(min_value=0, max_value=max_nodes))
+    num_links = draw(st.integers(min_value=0, max_value=max_links))
+    if num_nodes == 0 and num_links == 0:
+        num_links = 1
+    seed = draw(st.integers(min_value=0, max_value=999))
+    return FaultSpec(num_nodes=num_nodes, num_links=num_links, seed=seed)
+
+
+link_weight_specs = st.builds(
+    LinkWeightSpec,
+    kind=st.sampled_from(["uniform", "dimension", "random"]),
+    scale=st.sampled_from([0.25, 0.5, 1.0, 2.0]),
+    seed=st.integers(min_value=0, max_value=99),
+)

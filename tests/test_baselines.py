@@ -24,9 +24,14 @@ class TestLexicographic:
         embedding = lexicographic_embedding(Line(6), Mesh((2, 3)))
         assert embedding.map_index(4) == (1, 1)
 
-    def test_size_mismatch(self):
+    def test_guest_larger_than_host(self):
         with pytest.raises(ShapeMismatchError):
-            lexicographic_embedding(Line(5), Mesh((2, 3)))
+            lexicographic_embedding(Line(7), Mesh((2, 3)))
+
+    def test_smaller_guest_is_injective(self):
+        embedding = lexicographic_embedding(Line(5), Mesh((2, 3)))
+        embedding.validate()
+        assert len(set(embedding.mapping.values())) == 5
 
     def test_paper_beats_lexicographic_on_line_guest(self):
         host = Mesh((4, 2, 3))
@@ -45,9 +50,14 @@ class TestRandom:
         assert a.mapping == b.mapping
         assert a.mapping != c.mapping
 
-    def test_size_mismatch(self):
+    def test_guest_larger_than_host(self):
         with pytest.raises(ShapeMismatchError):
-            random_embedding(Line(5), Mesh((2, 3)))
+            random_embedding(Line(7), Mesh((2, 3)))
+
+    def test_smaller_guest_is_injective(self):
+        embedding = random_embedding(Line(5), Mesh((2, 3)), seed=3)
+        embedding.validate()
+        assert len(set(embedding.mapping.values())) == 5
 
     def test_paper_beats_random(self):
         guest, host = Torus((4, 4)), Mesh((4, 4))
@@ -66,9 +76,16 @@ class TestBfs:
         embedding.validate()
         assert embedding.is_bijective()
 
-    def test_size_mismatch(self):
+    def test_guest_larger_than_host(self):
         with pytest.raises(ShapeMismatchError):
-            bfs_order_embedding(Line(5), Mesh((2, 3)))
+            bfs_order_embedding(Line(7), Mesh((2, 3)))
+
+    def test_smaller_guest_uses_bfs_ball_around_origin(self):
+        embedding = bfs_order_embedding(Line(5), Mesh((2, 3)))
+        embedding.validate()
+        images = set(embedding.mapping.values())
+        assert len(images) == 5
+        assert (0, 0) in images
 
 
 class TestBinaryGray:

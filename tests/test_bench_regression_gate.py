@@ -1,0 +1,148 @@
+"""Tests for the bench-regression gate (benchmarks/check_bench_regression.py).
+
+The gate is a standalone script (not part of the installed package), so it
+is loaded straight from its file path.  Pinned here: median extraction,
+the >max-slowdown firing, multi-pair positional matching, and the graceful
+FAIL on malformed or missing snapshot artifacts.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.smoke
+
+_SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _artifact(path: Path, medians: dict) -> Path:
+    """Write a minimal pytest-benchmark JSON document."""
+    document = {
+        "benchmarks": [
+            {"fullname": name, "stats": {"median": median}}
+            for name, median in medians.items()
+        ]
+    }
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return path
+
+
+class TestLoadMedians:
+    def test_extracts_fullname_to_median(self, tmp_path):
+        path = _artifact(tmp_path / "bench.json", {"suite::a": 0.5, "suite::b": 0.25})
+        assert gate.load_medians(path) == {"suite::a": 0.5, "suite::b": 0.25}
+
+    def test_document_without_benchmarks_is_empty(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{}", encoding="utf-8")
+        assert gate.load_medians(path) == {}
+
+
+class TestCheckPair:
+    def test_within_floor_passes(self, tmp_path, capsys):
+        baseline = _artifact(tmp_path / "base.json", {"k": 0.10})
+        current = _artifact(tmp_path / "cur.json", {"k": 0.15})
+        assert gate.check_pair(current, baseline, 2.0) is True
+        assert "OK: 1 benchmarks" in capsys.readouterr().out
+
+    def test_gate_fires_above_max_slowdown(self, tmp_path, capsys):
+        baseline = _artifact(tmp_path / "base.json", {"k": 0.10, "steady": 1.0})
+        current = _artifact(tmp_path / "cur.json", {"k": 0.25, "steady": 1.0})
+        assert gate.check_pair(current, baseline, 2.0) is False
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "FAIL: 1 of 2 benchmarks" in out
+
+    def test_exactly_at_the_floor_passes(self, tmp_path):
+        baseline = _artifact(tmp_path / "base.json", {"k": 0.10})
+        current = _artifact(tmp_path / "cur.json", {"k": 0.20})
+        assert gate.check_pair(current, baseline, 2.0) is True
+
+    def test_no_shared_names_fails(self, tmp_path, capsys):
+        baseline = _artifact(tmp_path / "base.json", {"old": 0.1})
+        current = _artifact(tmp_path / "cur.json", {"new": 0.1})
+        assert gate.check_pair(current, baseline, 2.0) is False
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_one_sided_names_are_reported_but_do_not_gate(self, tmp_path, capsys):
+        baseline = _artifact(tmp_path / "base.json", {"k": 0.1, "retired": 0.1})
+        current = _artifact(tmp_path / "cur.json", {"k": 0.1, "fresh": 9.9})
+        assert gate.check_pair(current, baseline, 2.0) is True
+        out = capsys.readouterr().out
+        assert "baseline-only benchmark not in current run: retired" in out
+        assert "new benchmark without a committed floor: fresh" in out
+
+
+class TestMalformedSnapshots:
+    def test_missing_file_fails_gracefully(self, tmp_path, capsys):
+        current = _artifact(tmp_path / "cur.json", {"k": 0.1})
+        assert gate.check_pair(current, tmp_path / "absent.json", 2.0) is False
+        assert "FAIL: could not load benchmark medians" in capsys.readouterr().out
+
+    def test_truncated_json_fails_gracefully(self, tmp_path, capsys):
+        baseline = _artifact(tmp_path / "base.json", {"k": 0.1})
+        broken = tmp_path / "cur.json"
+        broken.write_text('{"benchmarks": [{"fullname', encoding="utf-8")
+        assert gate.check_pair(broken, baseline, 2.0) is False
+        assert "FAIL" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            {"benchmarks": [{"fullname": "k"}]},            # stats missing
+            {"benchmarks": [{"stats": {"median": 0.1}}]},   # fullname missing
+            {"benchmarks": {"not": "a list"}},              # wrong container
+        ],
+    )
+    def test_schema_violations_fail_gracefully(self, tmp_path, capsys, document):
+        baseline = _artifact(tmp_path / "base.json", {"k": 0.1})
+        broken = tmp_path / "cur.json"
+        broken.write_text(json.dumps(document), encoding="utf-8")
+        assert gate.check_pair(broken, baseline, 2.0) is False
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_multi_pair_all_passing(self, tmp_path):
+        args = []
+        baselines = []
+        for name in ("netsim", "survey"):
+            args.append(str(_artifact(tmp_path / f"cur-{name}.json", {name: 0.1})))
+            baselines += [
+                "--baseline",
+                str(_artifact(tmp_path / f"base-{name}.json", {name: 0.1})),
+            ]
+        assert gate.main(args + baselines) == 0
+
+    def test_one_regressing_pair_fails_the_run(self, tmp_path, capsys):
+        good_base = _artifact(tmp_path / "base-a.json", {"a": 0.1})
+        good_cur = _artifact(tmp_path / "cur-a.json", {"a": 0.1})
+        bad_base = _artifact(tmp_path / "base-b.json", {"b": 0.1})
+        bad_cur = _artifact(tmp_path / "cur-b.json", {"b": 0.9})
+        args = [str(good_cur), str(bad_cur), "--baseline", str(good_base), "--baseline", str(bad_base)]
+        assert gate.main(args) == 1
+        out = capsys.readouterr().out
+        assert "OK" in out and "REGRESSION" in out
+
+    def test_mismatched_pair_counts_fail(self, tmp_path, capsys):
+        current = _artifact(tmp_path / "cur.json", {"k": 0.1})
+        base = _artifact(tmp_path / "base.json", {"k": 0.1})
+        args = [str(current), str(current), "--baseline", str(base)]
+        assert gate.main(args) == 1
+        assert "pair up positionally" in capsys.readouterr().out
+
+    def test_max_slowdown_is_configurable(self, tmp_path):
+        baseline = _artifact(tmp_path / "base.json", {"k": 0.10})
+        current = _artifact(tmp_path / "cur.json", {"k": 0.19})
+        assert gate.main([str(current), "--baseline", str(baseline)]) == 0
+        assert (
+            gate.main(
+                [str(current), "--baseline", str(baseline), "--max-slowdown", "1.5"]
+            )
+            == 1
+        )

@@ -180,7 +180,7 @@ def test_backend_validation_still_applies():
     with pytest.raises(ValueError), use_context(backend="vectorized"):
         embed(Mesh((2, 2)), Mesh((2, 2)))
     with use_context(backend="array"), pytest.raises(ShapeMismatchError):
-        embed(Mesh((2, 2)), Mesh((2, 3)))
+        embed(Mesh((2, 3)), Mesh((2, 2)))
 
 
 def test_deprecated_method_kwarg_installs_scoped_backend():

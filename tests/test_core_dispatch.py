@@ -6,6 +6,8 @@ from repro.core.dispatch import embed, strategy_for
 from repro.exceptions import ShapeMismatchError, UnsupportedEmbeddingError
 from repro.graphs.base import Hypercube, Line, Mesh, Ring, Torus
 
+pytestmark = pytest.mark.smoke
+
 
 class TestStrategySelection:
     def test_same_shape(self):
@@ -38,7 +40,15 @@ class TestStrategySelection:
 
     def test_size_mismatch(self):
         with pytest.raises(ShapeMismatchError):
-            strategy_for(Mesh((2, 2)), Mesh((2, 3)))
+            strategy_for(Mesh((2, 3)), Mesh((2, 2)))
+
+    def test_subshape(self):
+        assert strategy_for(Mesh((2, 2)), Mesh((2, 3))) == "subshape"
+        assert strategy_for(Torus((2, 3)), Mesh((3, 4))) == "subshape"
+
+    def test_subshape_unsupported_when_no_subbox_fits(self):
+        # 24 has no factorization into extents <= 5, so no sub-box matches.
+        assert strategy_for(Mesh((24,)), Mesh((5, 5))) == "unsupported"
 
 
 class TestEmbedDispatcher:
@@ -86,9 +96,16 @@ class TestEmbedDispatcher:
         with pytest.raises(UnsupportedEmbeddingError):
             embed(Mesh((4, 9, 5)), Mesh((6, 30)))
 
-    def test_size_mismatch_raises(self):
+    def test_guest_larger_than_host_raises(self):
         with pytest.raises(ShapeMismatchError):
-            embed(Mesh((3, 3)), Mesh((3, 4)))
+            embed(Mesh((3, 4)), Mesh((3, 3)))
+
+    def test_smaller_guest_embeds_injectively(self):
+        embedding = embed(Mesh((3, 3)), Mesh((3, 4)))
+        embedding.validate()
+        assert embedding.strategy.startswith("subshape:")
+        assert len(set(embedding.mapping.values())) == 9
+        assert embedding.dilation() == 1
 
     def test_permuted_torus_guest_into_mesh_host(self):
         embedding = embed(Torus((3, 5)), Mesh((5, 3)))

@@ -79,9 +79,9 @@ class TestAgreementOnFixedPairs:
 
     def test_size_mismatch_raises_in_both(self):
         with pytest.raises(ShapeMismatchError):
-            strategy_for(Mesh((2, 2)), Mesh((2, 3)))
+            strategy_for(Mesh((2, 3)), Mesh((2, 2)))
         with pytest.raises(ShapeMismatchError):
-            embed(Mesh((2, 2)), Mesh((2, 3)))
+            embed(Mesh((2, 3)), Mesh((2, 2)))
 
 
 @settings(max_examples=120, deadline=None)

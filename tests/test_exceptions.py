@@ -14,6 +14,8 @@ from repro.exceptions import (
     UnsupportedEmbeddingError,
 )
 
+pytestmark = pytest.mark.smoke
+
 
 ALL_EXCEPTIONS = [
     InvalidShapeError,
@@ -52,4 +54,4 @@ class TestHierarchy:
         with pytest.raises(ValueError):
             Mesh((0,))
         with pytest.raises(ValueError):
-            embed(Mesh((2, 2)), Mesh((2, 3)))
+            embed(Mesh((2, 3)), Mesh((2, 2)))

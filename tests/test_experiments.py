@@ -30,6 +30,7 @@ EXPECTED_IDS = {
     "TAB-OPTIMA",
     "APP-EPS",
     "SIM-MAP",
+    "WORKLOADS",
 }
 
 

@@ -36,6 +36,11 @@ from repro.experiments.square_tables import (
     square_increasing_rows,
     square_lowering_rows,
 )
+from repro.experiments.workload_tables import (
+    expansion_rows,
+    fault_rows,
+    hotspot_rows,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -59,6 +64,9 @@ TABLES = {
     "tab_square_lowering": lambda: square_lowering_rows(),
     "tab_square_increasing": lambda: square_increasing_rows(),
     "tab_sim_map": _sim_map_rows,
+    "tab_expansion": expansion_rows,
+    "tab_faults": fault_rows,
+    "tab_hotspot": hotspot_rows,
 }
 
 

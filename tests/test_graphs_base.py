@@ -10,6 +10,8 @@ from repro.types import GraphKind, ShapedGraphSpec
 
 from .conftest import small_shapes
 
+pytestmark = pytest.mark.smoke
+
 
 class TestConstruction:
     def test_figure1_torus(self):

@@ -1,0 +1,85 @@
+"""No-NumPy degradation for the fault/expansion/traffic axes.
+
+With NumPy unavailable every new workload path — sub-embedding dispatch,
+fault repair and degraded dilation, weighted fault-aware simulation, the
+survey records for all of it — must complete on the pure-Python loop
+backend, announced by exactly one RuntimeWarning for the whole session.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analysis.fault_tolerance import fault_dilation_summary, repair_embedding
+from repro.core.dispatch import embed
+from repro.graphs.base import Mesh, Torus
+from repro.graphs.faults import FaultSpec
+from repro.netsim.network import HostNetwork
+from repro.netsim.simulator import simulate_phase
+from repro.netsim.traffic import neighbor_exchange_traffic, traffic_pattern
+from repro.netsim.weights import LinkWeightSpec
+from repro.runtime import context as context_module
+from repro.runtime import use_context
+from repro.survey.runner import SurveyOptions, evaluate_scenario
+from repro.survey.scenarios import Scenario
+
+pytestmark = pytest.mark.smoke
+
+
+class TestNoNumpyWorkloads:
+    def test_new_axes_degrade_to_loop_with_one_warning(self, monkeypatch):
+        monkeypatch.setattr(context_module, "_HAVE_NUMPY", False)
+        monkeypatch.setattr(context_module, "_warned_numpy_fallback", False)
+        guest, host = Torus((2, 3)), Mesh((3, 4))
+        with pytest.warns(RuntimeWarning, match="falls back to the pure-Python") as caught:
+            with use_context(backend="auto"):
+                # Expansion: the sub-embedding builds dict-backed, no arrays.
+                embedding = embed(guest, host)
+                assert embedding.strategy.startswith("subshape:")
+                assert embedding._host_indices is None
+                assert embedding.dilation() >= 1
+                # Faults: repair and degraded dilation over pure-Python BFS.
+                faults = FaultSpec(1, 1, 5).apply(host)
+                repaired = repair_embedding(embedding, faults)
+                dilation, average = fault_dilation_summary(repaired, faults)
+                assert dilation >= 1 and average > 0
+                # Weighted fault-aware simulation on the heap event loop.
+                network = HostNetwork(
+                    host, link_weights=LinkWeightSpec("dimension", 0.5)
+                )
+                result = simulate_phase(
+                    network,
+                    repaired,
+                    neighbor_exchange_traffic(guest),
+                    faults=faults,
+                )
+                assert result.makespan > 0
+                # Adversarial traffic builders are pure Python already.
+                assert len(traffic_pattern("hotspot", guest).messages) == guest.size - 1
+        runtime_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(runtime_warnings) == 1
+
+    def test_survey_records_for_new_suites_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(context_module, "_HAVE_NUMPY", False)
+        monkeypatch.setattr(context_module, "_warned_numpy_fallback", True)
+        options = SurveyOptions(workers=1)
+        expansion = evaluate_scenario(Scenario("torus", (2, 3), "mesh", (3, 4)), options)
+        assert expansion.status == "ok"
+        assert expansion.guest_size == 6 and expansion.nodes == 12
+        fault = evaluate_scenario(
+            Scenario("torus", (2, 3), "mesh", (3, 4), faults="n1l1s5"), options
+        )
+        assert fault.status == "ok"
+        assert fault.faults == "n1l1s5"
+        assert fault.dilation >= 1
+
+    def test_loop_backend_request_stays_silent(self, monkeypatch):
+        monkeypatch.setattr(context_module, "_HAVE_NUMPY", False)
+        monkeypatch.setattr(context_module, "_warned_numpy_fallback", False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with use_context(backend="loop"):
+                embedding = embed(Mesh((8,)), Mesh((3, 4)))
+                assert embedding.strategy.startswith("subshape:")

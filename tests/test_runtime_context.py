@@ -15,6 +15,8 @@ from repro.runtime.context import (
     set_default_context,
 )
 
+pytestmark = pytest.mark.smoke
+
 
 class TestExecutionContext:
     def test_defaults(self):

@@ -19,6 +19,8 @@ from repro.runtime.registry import (
     traffic_names,
 )
 
+pytestmark = pytest.mark.smoke
+
 PAIR = (Torus((4, 6)), Mesh((2, 2, 2, 3)))
 
 
@@ -35,6 +37,9 @@ class TestRegistryMechanics:
             "neighbor-exchange",
             "transpose",
             "all-to-all-groups",
+            "random-permutation",
+            "hotspot",
+            "bursty",
         )
 
     def test_duplicate_registration_rejected(self):

@@ -236,9 +236,11 @@ class TestRoundSimulatorEquivalence:
         network, embedding, traffic = phase
         with use_context(backend="array"):
             rounds = simulate_phase(network, embedding, traffic)
-            space, routes, _sizes, occupancy = _phase_arrays(network, embedding, traffic)
+            space, routes, _sizes, occupancy, hop_occupancy = _phase_arrays(
+                network, embedding, traffic
+            )
         heap_makespan, heap_completion = _simulate_arrays(
-            space, routes, occupancy, 5_000_000
+            space, routes, occupancy, 5_000_000, hop_occupancy
         )
         with use_context(backend="loop"):
             loop = simulate_phase(network, embedding, traffic)

@@ -1,0 +1,199 @@
+"""Interop tests: survey artifacts written before the fault/expansion axes.
+
+PR 6 appended ``faults`` and ``guest_size`` to the record schema and a
+fourth segment to scenario ids.  Shard files and CSV/JSON artifacts written
+*before* that must keep loading, merging and satisfying crash-resume — the
+whole point of ``SurveyRecord.from_dict`` defaulting missing columns to
+``None``.
+"""
+
+import json
+
+import pytest
+
+from repro.survey.runner import SurveyOptions, run_survey
+from repro.survey.scenarios import Scenario, scenarios_for_suite
+from repro.survey.store import (
+    FIELDS,
+    SurveyRecord,
+    merge_shards,
+    read_csv,
+    read_json,
+    write_csv,
+    write_json,
+)
+
+pytestmark = pytest.mark.smoke
+
+#: The record schema as it was before the fault/expansion columns landed.
+PRE_PR6_FIELDS = tuple(field for field in FIELDS if field not in ("faults", "guest_size"))
+
+
+def _strip_new_columns(path) -> None:
+    """Rewrite a shard file as a pre-PR-6 writer would have produced it."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["records"] = [
+        {key: row[key] for key in PRE_PR6_FIELDS} for row in payload["records"]
+    ]
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+
+class TestScenarioIdCompat:
+    def test_plain_embedding_id_round_trips(self):
+        scenario = Scenario("torus", (4, 6), "mesh", (2, 2, 2, 3))
+        assert scenario.scenario_id == "torus:4,6->mesh:2,2,2,3"
+        assert Scenario.from_id(scenario.scenario_id) == scenario
+
+    def test_three_part_simulation_id_round_trips(self):
+        scenario = Scenario(
+            "torus", (3, 4), "mesh", (3, 4), strategy="bfs", traffic="transpose"
+        )
+        assert scenario.scenario_id == "torus:3,4->mesh:3,4|bfs|transpose"
+        assert Scenario.from_id(scenario.scenario_id) == scenario
+
+    def test_four_part_fault_id_round_trips_with_empty_traffic(self):
+        scenario = Scenario("torus", (2, 3), "mesh", (3, 4), faults="n1l1s5")
+        assert scenario.scenario_id == "torus:2,3->mesh:3,4|paper||n1l1s5"
+        assert Scenario.from_id(scenario.scenario_id) == scenario
+        assert Scenario.from_id(scenario.scenario_id).fault_spec().token == "n1l1s5"
+
+    def test_every_suite_scenario_id_round_trips(self):
+        for suite in ("smoke", "expansion", "faults"):
+            for scenario in scenarios_for_suite(suite):
+                assert Scenario.from_id(scenario.scenario_id) == scenario
+
+
+class TestOldArtifactsLoad:
+    def test_pre_pr6_json_loads_with_none_new_columns(self, tmp_path):
+        record = SurveyRecord(
+            scenario_id="torus:3,4->mesh:3,4",
+            guest="torus:3,4",
+            host="mesh:3,4",
+            nodes=12,
+            guest_edges=24,
+            status="ok",
+            strategy="same-shape",
+            dilation=2,
+            average_dilation=1.5,
+        )
+        path = write_json([record], tmp_path / "old.json")
+        _strip_new_columns(path)
+        [loaded] = read_json(path)
+        assert loaded.scenario_id == record.scenario_id
+        assert loaded.dilation == 2
+        assert loaded.faults is None
+        assert loaded.guest_size is None
+
+    def test_old_and_new_shards_merge(self, tmp_path):
+        old = write_json(
+            [
+                SurveyRecord(
+                    scenario_id="a->b",
+                    guest="a",
+                    host="b",
+                    nodes=4,
+                    guest_edges=4,
+                    status="ok",
+                )
+            ],
+            tmp_path / "shard-0000.json",
+        )
+        _strip_new_columns(old)
+        new = write_json(
+            [
+                SurveyRecord(
+                    scenario_id="c->d|paper||n1l1s5",
+                    guest="c",
+                    host="d",
+                    nodes=12,
+                    guest_edges=7,
+                    status="ok",
+                    faults="n1l1s5",
+                    guest_size=6,
+                )
+            ],
+            tmp_path / "shard-0001.json",
+        )
+        merged = merge_shards([old, new])
+        assert [r.scenario_id for r in merged] == ["a->b", "c->d|paper||n1l1s5"]
+        assert merged[0].faults is None and merged[1].faults == "n1l1s5"
+
+    def test_csv_round_trips_new_columns_and_their_absence(self, tmp_path):
+        records = [
+            SurveyRecord(
+                scenario_id="x->y|paper||n2l0s3",
+                guest="x",
+                host="y",
+                nodes=12,
+                guest_edges=7,
+                status="ok",
+                dilation=3,
+                average_dilation=1.25,
+                faults="n2l0s3",
+                guest_size=8,
+            ),
+            SurveyRecord(
+                scenario_id="x->y",
+                guest="x",
+                host="y",
+                nodes=12,
+                guest_edges=24,
+                status="unsupported",
+                error="no construction",
+            ),
+        ]
+        path = write_csv(records, tmp_path / "records.csv")
+        loaded = read_csv(path)
+        assert loaded == records
+
+
+class TestResumeInterop:
+    def test_pre_pr6_shard_files_satisfy_resume(self, tmp_path):
+        scenarios = [
+            Scenario("torus", (3, 4), "mesh", (3, 4)),
+            Scenario("mesh", (2, 3, 4), "mesh", (4, 3, 2)),
+        ]
+        options = SurveyOptions(workers=1, shard_size=2, shard_dir=str(tmp_path))
+        first = run_survey(scenarios, options)
+        assert first.reused_shard_indices == []
+        # Age the shard file back to the pre-PR-6 schema, then resume.
+        _strip_new_columns(tmp_path / "shard-0000.json")
+        second = run_survey(scenarios, options)
+        assert second.reused_shard_indices == [0]
+        assert [r.scenario_id for r in second.records] == [
+            r.scenario_id for r in first.records
+        ]
+        for fresh, resumed in zip(first.records, second.records):
+            assert resumed.dilation == fresh.dilation
+            assert resumed.average_dilation == fresh.average_dilation
+            # The aged file predates the new columns: they resume as None.
+            assert resumed.faults is None and resumed.guest_size is None
+
+    def test_changed_scenario_list_recomputes(self, tmp_path):
+        scenarios = [Scenario("torus", (3, 4), "mesh", (3, 4))]
+        options = SurveyOptions(workers=1, shard_size=1, shard_dir=str(tmp_path))
+        run_survey(scenarios, options)
+        other = [Scenario("torus", (4, 3), "mesh", (3, 4))]
+        report = run_survey(other, options)
+        assert report.reused_shard_indices == []
+        assert report.records[0].scenario_id == "torus:4,3->mesh:3,4"
+
+
+class TestNewSuitesEndToEnd:
+    def test_expansion_suite_runs_and_persists(self, tmp_path):
+        report = run_survey(
+            scenarios_for_suite("expansion"), SurveyOptions(workers=1)
+        )
+        assert len(report.unsupported) == 2
+        assert all(r.guest_size is not None for r in report.records)
+        path = write_json(report.records, tmp_path / "expansion.json")
+        assert read_json(path) == report.records
+
+    def test_faults_suite_runs_and_persists(self, tmp_path):
+        report = run_survey(scenarios_for_suite("faults"), SurveyOptions(workers=1))
+        assert len(report.ok) == len(report.records)
+        assert all(r.faults for r in report.records)
+        simulated = [r for r in report.records if r.traffic]
+        assert len(simulated) == 1 and simulated[0].makespan is not None
+        path = write_csv(report.records, tmp_path / "faults.csv")
+        assert read_csv(path) == report.records

@@ -12,6 +12,8 @@ from repro.types import (
     shape_size,
 )
 
+pytestmark = pytest.mark.smoke
+
 
 class TestAsShape:
     def test_valid_shape(self):
