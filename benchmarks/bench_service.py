@@ -1,0 +1,214 @@
+"""BENCH-SERVICE: resident daemon + request coalescing vs cold one-shots.
+
+PR 7's tentpole: ``repro serve`` keeps one warm
+:class:`~repro.runtime.cache.ConstructionCache` and the cached graph arrays
+resident and answers queries over HTTP, coalescing concurrent requests into
+one stacked batched-survey pass.  The cold baseline models the pre-service
+workflow — a fresh process per request (fresh service, cold cache, one
+request, tear down), exactly what ``repro embed`` costs per invocation.
+
+The floor test drives a concurrent load generator (per-thread persistent
+:class:`~repro.service.ServiceClient` connections) against a resident daemon
+and asserts:
+
+* every response is byte-identical to the per-request reference path
+  (``elapsed_seconds`` aside);
+* requests really coalesced (max batch size > 1 under concurrency);
+* warm sustained throughput is at least ``WARM_SPEEDUP_FLOOR``x the cold
+  single-request baseline, with p50/p99 latency reported.
+
+The ``pytest-benchmark`` entries snapshot the two regimes (committed as
+``BENCH_service.json``); CI replays them and
+``benchmarks/check_bench_regression.py`` fails the build when any median
+slows down by more than 2x.  Run with ``-s`` to see throughput and latency;
+refresh the snapshot with ``--benchmark-json=BENCH_service.json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import repro
+from repro.service import ReproService, ServiceClient, ServiceRequest, serve
+from repro.survey.runner import SurveyOptions, evaluate_scenario
+
+WARM_SPEEDUP_FLOOR = 5.0
+
+#: The load mix: one hot signature (coalesces) plus a second pair and a
+#: simulation so the daemon exercises grouping, not just repetition.
+MIX = [
+    {"op": "embed", "guest": "torus:4,6", "host": "mesh:2,2,2,3"},
+    {"op": "embed", "guest": "torus:4,6", "host": "mesh:2,2,2,3"},
+    {"op": "embed", "guest": "ring:16", "host": "mesh:4,4"},
+    {
+        "op": "simulate",
+        "guest": "torus:4,4",
+        "host": "mesh:2,2,2,2",
+        "traffic": "transpose",
+    },
+]
+
+LOAD_THREADS = 8
+LOAD_REQUESTS = 96
+
+
+def cold_single_request(payload):
+    """One request with a fresh in-process service and cold cache."""
+    with ReproService(window=0.0) as service:
+        record, _ = service.handle(ServiceRequest.from_dict(payload))
+    return record
+
+
+#: One-shot worker for the cold *process* baseline: what every request cost
+#: before the daemon existed — a full interpreter start, the numpy import,
+#: a cold cache, one answer, exit.
+_COLD_PROCESS_CODE = """\
+import json, sys
+from repro.service import ReproService, ServiceRequest
+payload = json.loads(sys.argv[1])
+with ReproService(window=0.0) as service:
+    record, _ = service.handle(ServiceRequest.from_dict(payload))
+print(record.status)
+"""
+
+
+def cold_process_request(payload):
+    """Answer one request from a fresh Python process (the pre-daemon cost)."""
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src_dir, env.get("PYTHONPATH")) if part
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", _COLD_PROCESS_CODE, json.dumps(payload)],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return completed.stdout.strip()
+
+
+def reference_record(payload):
+    request = ServiceRequest.from_dict(payload)
+    options = SurveyOptions(workers=1, with_congestion=request.congestion)
+    return evaluate_scenario(request.scenario(), options)
+
+
+def _strip(record_dict):
+    return {
+        key: value for key, value in record_dict.items() if key != "elapsed_seconds"
+    }
+
+
+class ResidentDaemon:
+    """A served ``ReproService`` on an ephemeral port, plus its base URL."""
+
+    def __init__(self, window=0.002):
+        self.service = ReproService(window=window)
+        self.server = serve(self.service, "127.0.0.1", 0)
+        threading.Thread(target=self.server.serve_forever, daemon=True).start()
+        host, port = self.server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def run_load(url, total=LOAD_REQUESTS, threads=LOAD_THREADS):
+    """Fire ``total`` mixed requests from ``threads`` workers; collect latencies."""
+    payloads = [MIX[index % len(MIX)] for index in range(total)]
+    responses = [None] * total
+    latencies = [0.0] * total
+
+    def worker(indices):
+        with ServiceClient(url, timeout=60.0) as client:
+            for index in indices:
+                started = time.perf_counter()
+                responses[index] = client.invoke(payloads[index])
+                latencies[index] = time.perf_counter() - started
+
+    lanes = [range(lane, total, threads) for lane in range(threads)]
+    started = time.perf_counter()
+    with ThreadPoolExecutor(threads) as pool:
+        for future in [pool.submit(worker, lane) for lane in lanes]:
+            future.result()
+    elapsed = time.perf_counter() - started
+    return payloads, responses, latencies, elapsed
+
+
+def quantile(values, fraction):
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def test_warm_daemon_beats_cold_single_requests():
+    # Cold: a fresh process per request, averaged over the mix (best-of-2
+    # per payload guards the ratio against one slow outlier).
+    cold_seconds = 0.0
+    for payload in MIX:
+        per_request = float("inf")
+        for _ in range(2):
+            started = time.perf_counter()
+            status = cold_process_request(payload)
+            per_request = min(per_request, time.perf_counter() - started)
+        assert status == "ok"
+        cold_seconds += per_request
+    cold_rps = len(MIX) / cold_seconds
+
+    with ResidentDaemon() as daemon:
+        run_load(daemon.url, total=len(MIX) * 4)  # warm-up: fill the cache
+        payloads, responses, latencies, elapsed = run_load(daemon.url)
+        stats = daemon.service.stats_snapshot()
+    warm_rps = len(responses) / elapsed
+
+    # Byte-identity under concurrency and coalescing.
+    for payload, response in zip(payloads, responses):
+        assert _strip(response["record"]) == _strip(reference_record(payload).as_dict())
+    assert stats["coalescer"]["max_batch_size"] > 1, "load never coalesced"
+
+    p50 = quantile(latencies, 0.50) * 1e3
+    p99 = quantile(latencies, 0.99) * 1e3
+    speedup = warm_rps / cold_rps
+    print(
+        f"\nservice load ({len(responses)} requests, {LOAD_THREADS} threads): "
+        f"cold {cold_rps:.0f} req/s, warm {warm_rps:.0f} req/s "
+        f"({speedup:.1f}x), p50 {p50:.2f}ms, p99 {p99:.2f}ms, "
+        f"max batch {stats['coalescer']['max_batch_size']}"
+    )
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm daemon only {speedup:.1f}x the cold baseline "
+        f"(floor {WARM_SPEEDUP_FLOOR}x): cold {cold_rps:.0f} req/s, "
+        f"warm {warm_rps:.0f} req/s"
+    )
+
+
+def test_benchmark_cold_single_request(benchmark):
+    record = benchmark(cold_single_request, MIX[0])
+    assert record.status == "ok"
+
+
+def test_benchmark_warm_sustained_load(benchmark):
+    with ResidentDaemon() as daemon:
+        run_load(daemon.url, total=len(MIX) * 4)  # warm-up
+
+        def sustained():
+            _, responses, _, _ = run_load(daemon.url, total=32, threads=LOAD_THREADS)
+            assert all(response["ok"] for response in responses)
+            return len(responses)
+
+        assert benchmark(sustained) == 32

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands:
+Subcommands:
 
 ``embed``
     Build an embedding between two graphs given as ``kind:shape`` strings
@@ -22,11 +22,21 @@ Four subcommands:
     up to a node budget, or a named suite mirroring the paper's tables, or
     the ``simulation`` suite that sweeps strategy × traffic pairs through
     the store-and-forward simulator — and write the results to JSON/CSV.
+
+``serve``
+    Run the long-lived embedding service: one warm construction cache and
+    resident graph arrays, answering embed/simulate queries over HTTP with
+    async request coalescing (see :mod:`repro.service`).
+
+``invoke``
+    Query a running ``repro serve`` daemon — one embed/simulate request, or
+    the ``/stats`` counters — through the thin client SDK.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -72,26 +82,21 @@ def parse_graph(spec: str) -> CartesianGraph:
 
     The 1-dimensional and hypercube conveniences of the paper are accepted as
     well: ``ring:<n>`` (a 1-D torus), ``line:<n>`` (a 1-D mesh) and
-    ``hypercube:<d>`` (shape ``(2, ..., 2)`` with ``d`` dimensions).
+    ``hypercube:<d>`` (shape ``(2, ..., 2)`` with ``d`` dimensions).  The
+    parse itself is the service protocol's (one grammar for CLI and wire).
     """
+    from .service.protocol import ProtocolError, parse_graph_spec
+
     try:
-        kind_text, shape_text = spec.split(":", 1)
-        kind_text = kind_text.strip().lower()
-        shape = tuple(int(part) for part in shape_text.split(",") if part.strip())
-        if kind_text == "ring":
-            (size,) = shape
-            return make_graph(GraphKind.TORUS, (size,))
-        if kind_text == "line":
-            (size,) = shape
-            return make_graph(GraphKind.MESH, (size,))
-        if kind_text == "hypercube":
-            (dimension,) = shape
-            return make_graph(GraphKind.TORUS, (2,) * dimension)
-        return make_graph(GraphKind(kind_text), shape)
+        kind, shape = parse_graph_spec(spec)
+        return make_graph(GraphKind(kind), shape)
     except Exception as error:
-        raise argparse.ArgumentTypeError(
-            f"could not parse graph spec {spec!r}: expected e.g. 'torus:4,6' ({error})"
-        ) from error
+        message = (
+            str(error)
+            if isinstance(error, ProtocolError)
+            else f"could not parse graph spec {spec!r}: expected e.g. 'torus:4,6' ({error})"
+        )
+        raise argparse.ArgumentTypeError(message) from error
 
 
 def _load_cache(args: argparse.Namespace):
@@ -276,6 +281,98 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .service import ReproService, serve
+
+    service = ReproService(
+        backend=args.method,
+        cache_path=args.cache,
+        window=args.window / 1000.0,
+        max_batch=args.max_batch,
+        snapshot_interval=args.snapshot_interval,
+    )
+    server = serve(service, args.host, args.port)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro service listening on http://{bound_host}:{bound_port} "
+        f"(backend {service.context.resolved_backend()}, "
+        f"window {args.window:g}ms, max batch {args.max_batch}, "
+        f"cache {args.cache or 'in-memory'})",
+        flush=True,
+    )
+
+    # SIGTERM (supervisors, `kill`) takes the same clean-shutdown path as
+    # Ctrl-C.  Daemons launched from non-interactive shells with `&` start
+    # with SIGINT *ignored* (POSIX job control), so SIGTERM is the only
+    # reliable way to stop them with a final cache snapshot.
+    def _request_shutdown(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _request_shutdown)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _cmd_invoke(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        if args.op == "health":
+            print(json.dumps(client.health(), indent=1))
+            return 0
+        if args.op == "stats":
+            print(json.dumps(client.stats(), indent=1))
+            return 0
+        for name in ("guest", "host"):
+            if getattr(args, name) is None:
+                print(f"invoke {args.op} requires --{name}", file=sys.stderr)
+                return 2
+        if args.op == "embed":
+            response = client.embed(args.guest, args.host, congestion=args.congestion)
+        else:
+            response = client.simulate(
+                args.guest, args.host, strategy=args.strategy, traffic=args.traffic
+            )
+    except ServiceError as error:
+        print(f"service error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(
+            f"could not reach the service at {args.url} ({error}); "
+            "is `repro serve` running?",
+            file=sys.stderr,
+        )
+        return 1
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(response, indent=1))
+        return 0
+    record = response["record"]
+    row = {
+        key: value
+        for key, value in record.items()
+        if value is not None and key not in ("scenario_id", "error")
+    }
+    meta = response["meta"]
+    print(format_table([row], title=f"{args.op}: {record['scenario_id']}"))
+    print(
+        f"answered in a batch of {meta['batch_size']} "
+        f"(coalesced: {meta['coalesced']})"
+    )
+    return 0 if record["status"] == "ok" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="torus-mesh-embed",
@@ -408,13 +505,99 @@ def build_parser() -> argparse.ArgumentParser:
         help="tiny deterministic run (suite 'smoke', sequential) for CI",
     )
     p_survey.set_defaults(func=_cmd_survey)
+
+    p_serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived embedding service (HTTP, request coalescing)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port (default 8642; 0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--window",
+        type=float,
+        default=5.0,
+        help="request-coalescing window in milliseconds (default 5)",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="hard cap on coalesced batch size (default 256)",
+    )
+    p_serve.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto", "array", "loop"),
+        help="runtime backend of the resident execution context",
+    )
+    p_serve.add_argument(
+        "--cache",
+        default=None,
+        help="construction-cache file; warm-started on boot and snapshotted "
+        "atomically while serving",
+    )
+    p_serve.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=30.0,
+        help="minimum seconds between periodic cache snapshots (default 30)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_invoke = subparsers.add_parser(
+        "invoke", help="query a running `repro serve` daemon"
+    )
+    p_invoke.add_argument(
+        "op",
+        choices=("embed", "simulate", "stats", "health"),
+        help="request to send",
+    )
+    p_invoke.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="service URL (default http://127.0.0.1:8642)",
+    )
+    p_invoke.add_argument("--guest", default=None, help="guest graph, e.g. torus:4,6")
+    p_invoke.add_argument("--host", default=None, help="host graph, e.g. mesh:2,2,2,3")
+    p_invoke.add_argument(
+        "--strategy",
+        default="paper",
+        help="embedding strategy for simulate (default: the paper dispatcher)",
+    )
+    p_invoke.add_argument(
+        "--traffic",
+        default="neighbor-exchange",
+        help="traffic pattern for simulate (default neighbor-exchange)",
+    )
+    p_invoke.add_argument(
+        "--congestion", action="store_true", help="also measure edge congestion"
+    )
+    p_invoke.add_argument(
+        "--timeout", type=float, default=60.0, help="request timeout in seconds"
+    )
+    p_invoke.add_argument(
+        "--json", action="store_true", help="print the raw JSON response"
+    )
+    p_invoke.set_defaults(func=_cmd_invoke)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Ctrl-C during a sharded survey used to traceback and could leave
+        # pool workers running; the runner cancels its queued shards on the
+        # way out, and the conventional 128+SIGINT exit code is returned.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

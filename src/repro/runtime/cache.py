@@ -31,11 +31,13 @@ the same store.
 from __future__ import annotations
 
 import pickle
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from ..numbering.arrays import HAVE_NUMPY
+from ..utils.atomicio import atomic_write
 
 __all__ = [
     "CachedConstruction",
@@ -290,26 +292,48 @@ class ConstructionCache:
         return added
 
     def save(self, path: PathLike) -> Path:
-        """Persist the backing dict (pickle) for the next invocation."""
+        """Persist the backing dict (pickle) for the next invocation.
+
+        The pickle is written atomically (temp file + ``os.replace``), so a
+        kill mid-save leaves the previous snapshot intact instead of a torn
+        file that cold-starts every later run.  This also makes periodic
+        snapshots from the long-running service safe against readers.
+        """
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("wb") as handle:
+        with atomic_write(path, mode="wb") as handle:
             pickle.dump(self.data, handle, protocol=pickle.HIGHEST_PROTOCOL)
         return path
 
     @classmethod
     def load(cls, path: PathLike) -> "ConstructionCache":
         """A cache warm-started from :meth:`save` output; empty when the file
-        is missing or unreadable (a torn write must not kill a run)."""
+        is missing or unreadable (a torn write must not kill a run).
+
+        A present-but-corrupt file warns before cold-starting: silently
+        losing a warm cache costs every construction of the next sweep, so
+        the degradation should be visible.
+        """
         path = Path(path)
         if not path.is_file():
             return cls()
         try:
             with path.open("rb") as handle:
                 data = pickle.load(handle)
-        except Exception:  # noqa: BLE001 - any corrupt byte stream cold-starts
+        except Exception as error:  # noqa: BLE001 - any corrupt byte stream cold-starts
+            warnings.warn(
+                f"construction cache {path} is unreadable "
+                f"({type(error).__name__}: {error}); starting cold",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return cls()
         if not isinstance(data, dict):
+            warnings.warn(
+                f"construction cache {path} holds {type(data).__name__!s}, "
+                "not a cache dict; starting cold",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return cls()
         return cls(data)
 

@@ -1,0 +1,155 @@
+"""Thin client SDK for the embedding service.
+
+:class:`ServiceClient` speaks the JSON protocol of
+:mod:`repro.service.server` over a persistent HTTP/1.1 connection
+(stdlib ``http.client`` — keep-alive matters for the load-generator
+benchmark, where a fresh TCP handshake per request would dominate).  One
+client holds one connection, so share clients across requests but not
+across threads; the load generator gives each worker thread its own.
+
+>>> from repro.service import ServiceClient
+>>> client = ServiceClient("http://127.0.0.1:8642")
+>>> client.embed("torus:4,6", "mesh:2,2,2,3")["record"]["dilation"]
+1
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+import urllib.parse
+from typing import Dict, Optional
+
+from .server import DEFAULT_PORT
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A request the service refused or failed; carries the response payload."""
+
+    def __init__(self, message: str, status: int = 0, payload: Optional[Dict] = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """A blocking JSON client bound to one service URL."""
+
+    def __init__(
+        self,
+        url: str = f"http://127.0.0.1:{DEFAULT_PORT}",
+        timeout: float = 60.0,
+    ):
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"only http:// service URLs are supported, got {url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or DEFAULT_PORT
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        response = None
+        # One transparent retry on a dropped keep-alive connection.
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(
+                    method,
+                    path,
+                    body=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = self._connection.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        assert response is not None
+        try:
+            document = json.loads(data)
+        except ValueError as error:
+            raise ServiceError(
+                f"non-JSON response from {self.host}:{self.port}: {error}",
+                status=response.status,
+            ) from error
+        if response.status >= 400 or not document.get("ok", False):
+            raise ServiceError(
+                document.get("error", f"HTTP {response.status}"),
+                status=response.status,
+                payload=document,
+            )
+        return document
+
+    def close(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            finally:
+                self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Verbs
+    # ------------------------------------------------------------------ #
+    def invoke(self, payload: Dict) -> Dict:
+        """POST an explicit-``op`` request dict; returns the response document."""
+        return self._request("POST", "/invoke", payload)
+
+    def embed(self, guest: str, host: str, *, congestion: bool = False) -> Dict:
+        """Embed-and-measure a pair; returns ``{"record": ..., "meta": ...}``."""
+        return self._request(
+            "POST", "/embed", {"guest": guest, "host": host, "congestion": congestion}
+        )
+
+    def simulate(
+        self,
+        guest: str,
+        host: str,
+        *,
+        strategy: str = "paper",
+        traffic: str = "neighbor-exchange",
+    ) -> Dict:
+        """Simulate one traffic phase; returns ``{"record": ..., "meta": ...}``."""
+        return self._request(
+            "POST",
+            "/simulate",
+            {"guest": guest, "host": host, "strategy": strategy, "traffic": traffic},
+        )
+
+    def stats(self) -> Dict:
+        """The server's ``GET /stats`` counters."""
+        return self._request("GET", "/stats")["stats"]
+
+    def health(self) -> Dict:
+        return self._request("GET", "/health")
+
+    def wait_until_ready(self, timeout: float = 10.0, interval: float = 0.05) -> None:
+        """Poll ``/health`` until the daemon answers (or raise after timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.health()
+                return
+            except (ServiceError, OSError, socket.timeout):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)

@@ -1,0 +1,235 @@
+"""The async request coalescer — many concurrent requests, one kernel pass.
+
+The batched survey layer (:mod:`repro.survey.batch`) already answers *many
+same-signature queries* in one fused stacked-kernel pass; what a server adds
+is the gathering.  :class:`RequestCoalescer` runs a private asyncio event
+loop on a background thread and turns a stream of individually submitted
+requests into evaluation batches:
+
+* the first request of a batch opens a *collection window* (a few
+  milliseconds); every request arriving inside the window — or until
+  ``max_batch`` is reached — joins the batch;
+* the batch is handed to a single-threaded evaluation executor (the
+  evaluator owns shared mutable state — the resident construction cache —
+  so evaluation is deliberately serialized);
+* while a batch evaluates, the collector is already gathering the next one,
+  so under sustained load batch sizes grow with throughput instead of the
+  window length — natural backpressure, no tuning.
+
+Submission is thread-safe (``submit`` is called from HTTP handler threads)
+and returns a ``concurrent.futures.Future`` that resolves to whatever the
+evaluator produced for that request.  The coalescer never inspects results:
+grouping by signature, stacking and record assembly all live in the
+evaluator (:meth:`repro.service.server.ReproService._evaluate_batch` →
+:func:`repro.survey.runner.evaluate_shard`), which keeps the coalesced path
+byte-identical to the per-request reference by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = ["CoalescerClosed", "RequestCoalescer"]
+
+
+class CoalescerClosed(RuntimeError):
+    """Raised by :meth:`RequestCoalescer.submit` after :meth:`close`."""
+
+
+class _Pending:
+    """One submitted request waiting for its batch to evaluate."""
+
+    __slots__ = ("request", "future", "enqueued_at")
+
+    def __init__(self, request: object):
+        self.request = request
+        self.future: Future = Future()
+        self.enqueued_at = time.perf_counter()
+
+
+class RequestCoalescer:
+    """Collect requests over a short window and evaluate them as one batch.
+
+    Parameters
+    ----------
+    evaluate_batch:
+        ``(requests) -> results`` — called on the evaluation thread with the
+        collected requests (in arrival order) and expected to return one
+        result per request, positionally.  A raised exception fails every
+        future of the batch.
+    window:
+        Seconds the collector keeps gathering after the first request of a
+        batch arrives.
+    max_batch:
+        Hard batch-size cap; a full batch dispatches before the window ends.
+    """
+
+    def __init__(
+        self,
+        evaluate_batch: Callable[[Sequence[object]], Sequence[object]],
+        *,
+        window: float = 0.005,
+        max_batch: int = 256,
+    ):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window = window
+        self.max_batch = max_batch
+        self._evaluate_batch = evaluate_batch
+        self._closed = threading.Event()
+        self._lock = threading.Lock()
+        self.batches = 0
+        self.coalesced_batches = 0
+        self.max_batch_size = 0
+        self.requests_batched = 0
+        self.batch_size_histogram: Dict[int, int] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-eval"
+        )
+        self._loop = asyncio.new_event_loop()
+        self._queue: Optional[asyncio.Queue] = None
+        self._collector: Optional[asyncio.Task] = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-service-coalescer", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+
+    # ------------------------------------------------------------------ #
+    # Event-loop thread
+    # ------------------------------------------------------------------ #
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._queue = asyncio.Queue()
+        self._collector = self._loop.create_task(self._collect())
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    async def _collect(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_event_loop()
+        while True:
+            first = await self._queue.get()
+            batch: List[_Pending] = [first]
+            deadline = loop.time() + self.window
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(self._queue.get(), remaining))
+                except asyncio.TimeoutError:
+                    break
+            # Await the evaluation so a slow batch back-pressures into a
+            # *bigger* next batch (requests keep queueing meanwhile) instead
+            # of a pile-up of queued single-request batches.  Evaluation
+            # itself runs on the executor thread, never on the loop.
+            try:
+                await loop.run_in_executor(self._executor, self._dispatch, batch)
+            except asyncio.CancelledError:
+                # close() cancelled the collector mid-evaluation: the
+                # executor still finishes the in-flight batch (close joins
+                # it); nothing to unwind here.
+                raise
+
+    # ------------------------------------------------------------------ #
+    # Evaluation thread
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, batch: List[_Pending]) -> None:
+        with self._lock:
+            self.batches += 1
+            self.requests_batched += len(batch)
+            self.max_batch_size = max(self.max_batch_size, len(batch))
+            if len(batch) > 1:
+                self.coalesced_batches += 1
+            size = len(batch)
+            self.batch_size_histogram[size] = self.batch_size_histogram.get(size, 0) + 1
+        try:
+            results = list(self._evaluate_batch([item.request for item in batch]))
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"evaluator returned {len(results)} results for "
+                    f"{len(batch)} requests"
+                )
+        except Exception as error:  # noqa: BLE001 - fail the whole batch's futures
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(error)
+            return
+        for item, result in zip(batch, results):
+            if not item.future.done():
+                item.future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # Caller-facing API (any thread)
+    # ------------------------------------------------------------------ #
+    def submit(self, request: object) -> Future:
+        """Enqueue a request; the future resolves to the evaluator's result."""
+        if self._closed.is_set():
+            raise CoalescerClosed("the coalescer is closed")
+        item = _Pending(request)
+
+        def _enqueue() -> None:
+            assert self._queue is not None
+            if self._closed.is_set():
+                if not item.future.done():
+                    item.future.set_exception(
+                        CoalescerClosed("the coalescer is closed")
+                    )
+                return
+            self._queue.put_nowait(item)
+
+        self._loop.call_soon_threadsafe(_enqueue)
+        return item.future
+
+    def batch_stats(self) -> Dict[str, object]:
+        """Counters of the batches formed so far (thread-safe snapshot)."""
+        with self._lock:
+            mean = self.requests_batched / self.batches if self.batches else 0.0
+            return {
+                "batches": self.batches,
+                "coalesced_batches": self.coalesced_batches,
+                "max_batch_size": self.max_batch_size,
+                "mean_batch_size": round(mean, 3),
+                "batch_size_histogram": {
+                    str(size): count
+                    for size, count in sorted(self.batch_size_histogram.items())
+                },
+            }
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop collecting, fail queued requests, finish the in-flight batch."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+
+        def _shutdown() -> None:
+            assert self._queue is not None and self._collector is not None
+            self._collector.cancel()
+            while not self._queue.empty():
+                item = self._queue.get_nowait()
+                if not item.future.done():
+                    item.future.set_exception(
+                        CoalescerClosed("the coalescer is closed")
+                    )
+            self._loop.call_soon(self._loop.stop)
+
+        self._loop.call_soon_threadsafe(_shutdown)
+        self._thread.join(timeout)
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "RequestCoalescer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,337 @@
+"""Embedding-as-a-service: the resident evaluator and its HTTP front end.
+
+:class:`ReproService` is the long-running core: it owns **one** warm
+:class:`~repro.runtime.context.ExecutionContext` — resident
+:class:`~repro.runtime.cache.ConstructionCache`, cached graph arrays,
+batched evaluation on — for the whole process lifetime, and answers
+requests through the async coalescer (:mod:`repro.service.coalescer`):
+requests collected over a window are converted to survey scenarios and
+evaluated by :func:`repro.survey.runner.evaluate_shard`, i.e. grouped by
+``(guest kind+shape, host kind+shape)`` signature, stacked into
+``(batch, size)`` matrices and answered by one
+``stacked_dilation_summary``/stacked-congestion/vectorized-event-loop pass.
+Responses are therefore byte-identical to the per-request reference path —
+the same contract the batched survey layer pins.
+
+Observability: every request's end-to-end latency (queue wait included),
+batch-size counters from the coalescer and the resident cache's hit/miss
+traffic are exposed on ``GET /stats``.
+
+Persistence: with a ``cache_path``, the resident cache is snapshotted
+atomically (temp file + ``os.replace``, see :mod:`repro.utils.atomicio`)
+at most every ``snapshot_interval`` seconds — after the batch that crossed
+the interval — and once more on :meth:`ReproService.close`, so a killed
+daemon restarts warm.
+
+The HTTP front end is deliberately stdlib-only
+(:class:`http.server.ThreadingHTTPServer`): handler threads block on the
+coalescer future while the event loop gathers their batch.
+
+Endpoints::
+
+    POST /embed     {"guest": "torus:4,6", "host": "mesh:2,2,2,3", ...}
+    POST /simulate  {"guest": ..., "host": ..., "strategy": ..., "traffic": ...}
+    POST /invoke    {"op": "embed"|"simulate", ...}   (explicit-op form)
+    GET  /stats     counters: latency quantiles, batch sizes, cache traffic
+    GET  /health    liveness probe
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..runtime.cache import ConstructionCache
+from ..runtime.context import ExecutionContext, use_context
+from ..survey.runner import SurveyOptions, evaluate_shard
+from ..survey.store import SurveyRecord
+from .coalescer import RequestCoalescer
+from .protocol import ProtocolError, ServiceRequest
+
+__all__ = ["DEFAULT_PORT", "ReproService", "ServiceHTTPServer", "serve"]
+
+#: Default TCP port of ``repro serve`` (and of the client SDK).
+DEFAULT_PORT = 8642
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """The nearest-rank ``q``-quantile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[index]
+
+
+class ServiceStats:
+    """Thread-safe request/latency counters of one service instance."""
+
+    def __init__(self, latency_window: int = 4096):
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.requests = 0
+        self.failures = 0  # futures that resolved with an exception
+        self._latencies: deque = deque(maxlen=latency_window)
+
+    def observe_request(self, seconds: float, failed: bool = False) -> None:
+        with self._lock:
+            self.requests += 1
+            if failed:
+                self.failures += 1
+            else:
+                self._latencies.append(seconds)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            latencies = sorted(self._latencies)
+            return {
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "requests": self.requests,
+                "failures": self.failures,
+                "latency_ms": {
+                    "count": len(latencies),
+                    "p50": round(_quantile(latencies, 0.50) * 1e3, 3),
+                    "p90": round(_quantile(latencies, 0.90) * 1e3, 3),
+                    "p99": round(_quantile(latencies, 0.99) * 1e3, 3),
+                    "max": round(latencies[-1] * 1e3, 3) if latencies else 0.0,
+                },
+            }
+
+
+class ReproService:
+    """The resident evaluator: one warm context, one coalescer, counters.
+
+    Parameters
+    ----------
+    backend:
+        Runtime backend of the resident context (``"auto"`` resolves to the
+        array kernels when NumPy is present; the loop backend still serves,
+        through the per-scenario reference path).
+    cache / cache_path:
+        The resident construction cache, or a pickle path to warm-start it
+        from (and snapshot it back to).  With neither, a fresh in-memory
+        cache lives for the service lifetime.
+    window / max_batch:
+        Coalescing knobs, forwarded to :class:`RequestCoalescer`.
+    snapshot_interval:
+        Minimum seconds between periodic cache snapshots (``cache_path``
+        only); ``0`` snapshots after every batch.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "auto",
+        cache: Optional[ConstructionCache] = None,
+        cache_path: Optional[str] = None,
+        window: float = 0.005,
+        max_batch: int = 256,
+        snapshot_interval: float = 30.0,
+    ):
+        if cache is None:
+            cache = (
+                ConstructionCache.load(cache_path)
+                if cache_path is not None
+                else ConstructionCache()
+            )
+        self.context = ExecutionContext(backend=backend, cache=cache, batch=True)
+        self.cache_path = cache_path
+        self.snapshot_interval = snapshot_interval
+        self._last_snapshot = time.monotonic()
+        self._snapshotted_entries = len(cache)
+        self.stats = ServiceStats()
+        self.coalescer = RequestCoalescer(
+            self._evaluate_batch, window=window, max_batch=max_batch
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    def submit(self, request: ServiceRequest):
+        """Enqueue a request; the future resolves to ``(record, batch_size)``."""
+        started = time.perf_counter()
+        future = self.coalescer.submit(request)
+
+        def _observe(done) -> None:
+            self.stats.observe_request(
+                time.perf_counter() - started, failed=done.exception() is not None
+            )
+
+        future.add_done_callback(_observe)
+        return future
+
+    def handle(self, request: ServiceRequest) -> Tuple[SurveyRecord, int]:
+        """Blocking :meth:`submit` — the HTTP handler's code path."""
+        return self.submit(request).result()
+
+    def _evaluate_batch(
+        self, requests: Sequence[ServiceRequest]
+    ) -> List[Tuple[SurveyRecord, int]]:
+        """Answer one coalesced batch through the batched survey evaluator.
+
+        Requests become scenarios and run as one shard (grouped by signature
+        and stacked inside :func:`evaluate_shard`); the congestion flag is
+        an evaluation *option*, not part of the stacking signature, so the
+        batch splits into at most two shard passes.  Runs on the coalescer's
+        single evaluation thread — the only thread that touches the resident
+        cache — under the resident context.
+        """
+        records: List[Optional[SurveyRecord]] = [None] * len(requests)
+        for congestion in (False, True):
+            positions = [
+                index
+                for index, request in enumerate(requests)
+                if request.congestion is congestion
+            ]
+            if not positions:
+                continue
+            scenarios = [requests[index].scenario() for index in positions]
+            options = SurveyOptions(
+                workers=1, shard_size=len(scenarios), with_congestion=congestion
+            )
+            with use_context(self.context):
+                shard_records = evaluate_shard(scenarios, options)
+            for index, record in zip(positions, shard_records):
+                records[index] = record
+        self._maybe_snapshot()
+        return [(record, len(requests)) for record in records]
+
+    # ------------------------------------------------------------------ #
+    # Cache snapshots
+    # ------------------------------------------------------------------ #
+    def _maybe_snapshot(self, force: bool = False) -> bool:
+        """Atomically snapshot the resident cache when due; True if written.
+
+        Called on the evaluation thread after each batch (and from
+        :meth:`close`), so saves never race evaluation.  Skips when nothing
+        new was memoized since the last snapshot.
+        """
+        cache = self.context.cache
+        if self.cache_path is None or cache is None:
+            return False
+        if not force:
+            if time.monotonic() - self._last_snapshot < self.snapshot_interval:
+                return False
+        if len(cache) == self._snapshotted_entries:
+            return False
+        cache.save(self.cache_path)
+        self._last_snapshot = time.monotonic()
+        self._snapshotted_entries = len(cache)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Observability and lifecycle
+    # ------------------------------------------------------------------ #
+    def stats_snapshot(self) -> Dict[str, object]:
+        """The ``GET /stats`` document."""
+        document = self.stats.snapshot()
+        document["coalescer"] = self.coalescer.batch_stats()
+        document["backend"] = self.context.resolved_backend()
+        cache = self.context.cache
+        document["cache"] = {
+            "constructions": cache.construction_count if cache is not None else 0,
+            "entries": len(cache) if cache is not None else 0,
+            "hits": cache.hits if cache is not None else 0,
+            "misses": cache.misses if cache is not None else 0,
+            "path": self.cache_path,
+        }
+        return document
+
+    def close(self) -> None:
+        """Stop the coalescer and take a final cache snapshot."""
+        if self._closed:
+            return
+        self._closed = True
+        self.coalescer.close()
+        self._maybe_snapshot(force=True)
+
+    def __enter__(self) -> "ReproService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# HTTP front end
+# ---------------------------------------------------------------------- #
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ReproService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: ReproService):
+        super().__init__(address, _RequestHandler)
+        self.service = service
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServiceHTTPServer
+
+    # The daemon logs through /stats, not per-request stderr lines.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/health":
+            self._send_json(200, {"ok": True, "status": "serving"})
+        elif self.path == "/stats":
+            self._send_json(
+                200, {"ok": True, "stats": self.server.service.stats_snapshot()}
+            )
+        else:
+            self._send_json(404, {"ok": False, "error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path not in ("/embed", "/simulate", "/invoke"):
+            self._send_json(404, {"ok": False, "error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if self.path != "/invoke" and isinstance(payload, dict):
+                payload.setdefault("op", self.path[1:])
+            request = ServiceRequest.from_dict(payload)
+        except (ProtocolError, ValueError) as error:
+            self._send_json(400, {"ok": False, "error": str(error)})
+            return
+        try:
+            record, batch_size = self.server.service.handle(request)
+        except Exception as error:  # noqa: BLE001 - surface, don't kill the thread
+            self._send_json(
+                500, {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            )
+            return
+        self._send_json(
+            200,
+            {
+                "ok": True,
+                "record": record.as_dict(),
+                "meta": {"batch_size": batch_size, "coalesced": batch_size > 1},
+            },
+        )
+
+
+def serve(
+    service: ReproService, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+) -> ServiceHTTPServer:
+    """Bind the HTTP front end; the caller drives ``serve_forever()``.
+
+    ``port=0`` binds an ephemeral port (tests and benchmarks); the bound
+    address is ``server.server_address``.
+    """
+    return ServiceHTTPServer((host, port), service)

@@ -50,6 +50,7 @@ __all__ = [
     "SurveyReport",
     "run_survey",
     "evaluate_scenario",
+    "evaluate_shard",
 ]
 
 
@@ -304,7 +305,7 @@ def _install_worker_context(context: ExecutionContext) -> None:
     set_default_context(context)
 
 
-def _evaluate_shard(
+def evaluate_shard(
     scenarios: Sequence[Scenario], options: SurveyOptions
 ) -> List[SurveyRecord]:
     """Evaluate one shard, batched by default.
@@ -315,6 +316,9 @@ def _evaluate_shard(
     loop backend — runs the retained per-scenario reference.  Both produce
     identical records (``elapsed_seconds`` aside), which the differential
     suite ``tests/test_survey_batch.py`` pins.
+
+    Public because the service layer (:mod:`repro.service`) answers whole
+    coalesced request batches through exactly this routing.
     """
     context = current()
     if context.batch and context.use_array():
@@ -338,12 +342,12 @@ def _run_shard(
     records: List[SurveyRecord]
     delta: Dict = {}
     if cache is None:
-        records = _evaluate_shard(scenarios, options)
+        records = evaluate_shard(scenarios, options)
         counters = (0, 0)
     else:
         known = set(cache.data)
         hits, misses = cache.hits, cache.misses
-        records = _evaluate_shard(scenarios, options)
+        records = evaluate_shard(scenarios, options)
         delta = {key: cache.data[key] for key in cache.data.keys() - known}
         counters = (cache.hits - hits, cache.misses - misses)
     if options.shard_dir is not None:
@@ -444,16 +448,24 @@ def _run_survey(scenarios: Sequence[Scenario], options: SurveyOptions) -> Survey
                 pool.submit(_run_shard, index, shard, options)
                 for index, shard in pending
             ]
-            for future in as_completed(futures):
-                index, records, delta, (hits, misses) = future.result()
-                results[index] = records
-                if context.cache is not None:
-                    # Fold the worker's memo traffic back into the parent:
-                    # new entries keep the cache growing across shards, and
-                    # the counters keep `--cache` reporting truthful.
-                    context.cache.merge(delta)
-                    context.cache.hits += hits
-                    context.cache.misses += misses
+            try:
+                for future in as_completed(futures):
+                    index, records, delta, (hits, misses) = future.result()
+                    results[index] = records
+                    if context.cache is not None:
+                        # Fold the worker's memo traffic back into the parent:
+                        # new entries keep the cache growing across shards, and
+                        # the counters keep `--cache` reporting truthful.
+                        context.cache.merge(delta)
+                        context.cache.hits += hits
+                        context.cache.misses += misses
+            except KeyboardInterrupt:
+                # Ctrl-C mid-sweep: drop the queued shards and stop handing
+                # work to the pool, so the interpreter isn't left waiting on
+                # workers for scenarios nobody will read.  Finished shard
+                # files (if any) make the next run a resume, not a restart.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
     if options.shard_dir is not None:
         shard_paths = [
             str(Path(options.shard_dir) / f"shard-{index:04d}.json")

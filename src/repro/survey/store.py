@@ -15,6 +15,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from ..utils.atomicio import atomic_write
+
 __all__ = [
     "SurveyRecord",
     "write_json",
@@ -108,15 +110,19 @@ class SurveyRecord:
 
 
 def write_json(records: Sequence[SurveyRecord], path: PathLike) -> Path:
-    """Write records as a JSON document (list of objects plus a count header)."""
+    """Write records as a JSON document (list of objects plus a count header).
+
+    The write is atomic (temp file + ``os.replace``): a kill mid-write leaves
+    the previous document intact instead of a torn shard that silently fails
+    the resume check and costs a full recompute.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "format": "repro-survey/1",
         "count": len(records),
         "records": [record.as_dict() for record in records],
     }
-    with path.open("w", encoding="utf-8") as handle:
+    with atomic_write(path) as handle:
         json.dump(payload, handle, indent=1)
         handle.write("\n")
     return path
@@ -138,6 +144,22 @@ def _csv_cell(value: object) -> object:
     return value
 
 
+def _parse_bool_cell(text: str) -> bool:
+    """Parse a CSV boolean cell case-insensitively.
+
+    The writer emits lowercase ``true``/``false``, but legacy files and
+    hand-edited spreadsheets carry ``True``/``FALSE`` etc.; treating anything
+    but exactly ``"true"`` as ``False`` silently flipped those records.
+    Unrecognized text raises instead of guessing.
+    """
+    lowered = text.strip().lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    raise ValueError(f"unrecognized boolean cell {text!r}; expected true/false")
+
+
 _CSV_PARSERS = {
     "nodes": int,
     "guest_edges": int,
@@ -152,19 +174,24 @@ _CSV_PARSERS = {
     "estimated_time": float,
     "makespan": float,
     "elapsed_seconds": float,
-    "matches_prediction": lambda text: text == "true",
+    "matches_prediction": _parse_bool_cell,
 }
 
 
 def write_csv(records: Sequence[SurveyRecord], path: PathLike) -> Path:
-    """Write records as a CSV table with the :data:`FIELDS` columns."""
+    """Write records as a CSV table with the :data:`FIELDS` columns.
+
+    Atomic like :func:`write_json`: the table appears all at once or not at
+    all, never truncated mid-row.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8", newline="") as handle:
+    with atomic_write(path, newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=list(FIELDS))
         writer.writeheader()
         for record in records:
-            writer.writerow({key: _csv_cell(value) for key, value in record.as_dict().items()})
+            writer.writerow(
+                {key: _csv_cell(value) for key, value in record.as_dict().items()}
+            )
     return path
 
 

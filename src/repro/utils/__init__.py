@@ -11,8 +11,12 @@ Submodules
     prime factorization, and the property proved in Lemma 50 of the paper.
 ``validation``
     Argument validation helpers that raise the library's exceptions.
+``atomicio``
+    Atomic file replacement (same-directory temp file + ``os.replace``) so
+    killed writers never leave torn artifacts.
 """
 
+from .atomicio import atomic_write
 from .listops import (
     apply_permutation,
     compose_permutations,
@@ -35,6 +39,7 @@ from .intmath import (
 )
 
 __all__ = [
+    "atomic_write",
     "apply_permutation",
     "compose_permutations",
     "concat",

@@ -1,0 +1,70 @@
+"""Atomic file replacement — torn-write protection for every artifact writer.
+
+Survey shard files, merged result documents and construction-cache pickles
+are all written by long-running processes that can be killed at any byte
+(Ctrl-C mid-sweep, OOM, a pre-empted CI runner).  Writing in place turns
+such a kill into a *torn file*: a shard that silently fails the resume
+check and costs a full recompute, or a cache pickle that cold-starts the
+next invocation.
+
+:func:`atomic_write` closes that window.  The payload is written to a
+temporary file **in the same directory** as the destination (same
+filesystem, so the final rename cannot degrade to a copy) and moved over
+the destination with :func:`os.replace` — atomic on POSIX and Windows —
+only after the handle has been flushed and closed.  A crash at any earlier
+point leaves the previous file intact and at worst a stray ``*.tmp``
+sibling, never a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator, Optional, Union
+
+__all__ = ["atomic_write"]
+
+PathLike = Union[str, Path]
+
+
+@contextmanager
+def atomic_write(
+    path: PathLike,
+    mode: str = "w",
+    encoding: Optional[str] = "utf-8",
+    newline: Optional[str] = None,
+) -> Iterator[IO]:
+    """Open a temp file that replaces ``path`` atomically on clean exit.
+
+    ``mode`` is ``"w"`` for text or ``"wb"`` for binary (``encoding`` and
+    ``newline`` apply to text mode only).  Parent directories are created.
+    If the body raises, the temp file is removed and the destination is
+    left exactly as it was.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_write mode must be 'w' or 'wb', got {mode!r}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        if mode == "wb":
+            handle = os.fdopen(descriptor, mode)
+        else:
+            handle = os.fdopen(descriptor, mode, encoding=encoding, newline=newline)
+        try:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        finally:
+            handle.close()
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise

@@ -2,6 +2,7 @@
 
 import json
 import pickle
+import warnings
 
 import pytest
 
@@ -142,14 +143,20 @@ class TestSharingAndPersistence:
             embed(guest, host)
         assert loaded.hits == 1
 
-    def test_load_missing_or_corrupt_file_yields_empty_cache(self, tmp_path):
-        assert len(ConstructionCache.load(tmp_path / "absent.pkl")) == 0
+    def test_load_missing_file_yields_empty_cache_silently(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(ConstructionCache.load(tmp_path / "absent.pkl")) == 0
+
+    def test_load_corrupt_file_warns_and_starts_cold(self, tmp_path):
         torn = tmp_path / "torn.pkl"
         torn.write_bytes(b"\x80\x04 this is not a pickle")
-        assert len(ConstructionCache.load(torn)) == 0
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert len(ConstructionCache.load(torn)) == 0
         not_a_dict = tmp_path / "list.pkl"
         not_a_dict.write_bytes(pickle.dumps([1, 2, 3]))
-        assert len(ConstructionCache.load(not_a_dict)) == 0
+        with pytest.warns(RuntimeWarning, match="not a cache dict"):
+            assert len(ConstructionCache.load(not_a_dict)) == 0
 
 
 class TestGoldenIdentityWithCaching:
