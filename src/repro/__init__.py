@@ -62,10 +62,17 @@ from .core import (
     strategy_for,
 )
 
+# The deliberate public surface (PR 8): `repro.api` bundles the facade
+# entry points — embed/measure/simulate/run_survey/optimize plus context
+# and cache helpers — with signatures pinned by tests/test_api_surface.py.
+from . import api
+
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # public facade
+    "api",
     # exceptions
     "ReproError",
     "InvalidShapeError",

@@ -31,6 +31,7 @@ __all__ = [
     "stacked_edge_dilations",
     "stacked_dilation_summary",
     "stacked_congestion",
+    "stacked_objective_components",
 ]
 
 
@@ -166,6 +167,31 @@ def stacked_dilation_summary(host, edge_u, edge_v, images):
         )
     dilations = stacked_edge_dilations(host, edge_u, edge_v, images)
     return dilations.max(axis=1), dilations.mean(axis=1)
+
+
+def stacked_objective_components(host, edge_u, edge_v, images, *, with_congestion):
+    """Objective columns for a stack of embeddings, in one fused pass.
+
+    Returns ``(dilation_max, dilation_total, congestion)`` — three ``(batch,)``
+    ``int64`` columns (``congestion`` is ``None`` unless requested).  This is
+    the scoring kernel of the embedding optimizer
+    (:mod:`repro.optimize.search`): the whole candidate population is priced
+    by one pass over the shared edge-index arrays, with no per-candidate
+    Python.  Each row's values are bit-for-bit the per-embedding
+    ``dilation()`` / ``sum(edge dilations)`` / ``edge_congestion()``.
+    """
+    np = require_numpy()
+    images = np.asarray(images)
+    batch = images.shape[0]
+    edge_u = np.asarray(edge_u)
+    if edge_u.size == 0:
+        zeros = np.zeros(batch, dtype=np.int64)
+        return zeros, zeros.copy(), (zeros.copy() if with_congestion else None)
+    dilations = stacked_edge_dilations(host, edge_u, edge_v, images)
+    congestion = (
+        stacked_congestion(host, edge_u, edge_v, images) if with_congestion else None
+    )
+    return dilations.max(axis=1), dilations.sum(axis=1), congestion
 
 
 def stacked_congestion(host, edge_u, edge_v, images):

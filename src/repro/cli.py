@@ -23,6 +23,12 @@ Subcommands:
     the ``simulation`` suite that sweeps strategy × traffic pairs through
     the store-and-forward simulator — and write the results to JSON/CSV.
 
+``optimize``
+    Search for a low-cost embedding of one pair with the population-based
+    optimizer (:mod:`repro.optimize`): seeded from the paper's construction
+    and the baselines, scored generation-by-generation by the stacked batch
+    kernels, persisting the best embedding found through ``--cache``.
+
 ``serve``
     Run the long-lived embedding service: one warm construction cache and
     resident graph arrays, answering embed/simulate queries over HTTP with
@@ -52,6 +58,7 @@ from .core import (
     h_value,
 )
 from .analysis.fault_tolerance import repair_embedding
+from .exceptions import UnsupportedEmbeddingError
 from .graphs.base import CartesianGraph, Mesh, make_graph
 from .graphs.faults import FaultSpec
 from .netsim import (
@@ -111,10 +118,28 @@ def _save_cache(args: argparse.Namespace, cache) -> None:
     if cache is None:
         return
     cache.save(args.cache)
+    optima = f", {cache.optimum_count} optima" if cache.optimum_count else ""
     print(
-        f"construction cache: {cache.construction_count} constructions "
-        f"({cache.hits} hits this run) -> {args.cache}"
+        f"construction cache: {cache.construction_count} constructions"
+        f"{optima} ({cache.hits} hits this run) -> {args.cache}"
     )
+
+
+def _package_version() -> str:
+    """The installed distribution's version, or the source tree's fallback.
+
+    ``importlib.metadata`` answers for pip-installed environments; a source
+    checkout run via ``PYTHONPATH=src`` has no distribution metadata, so the
+    package's own ``__version__`` is the fallback.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro-torus-mesh-embeddings")
+    except Exception:
+        from . import __version__
+
+        return __version__
 
 
 def _cmd_embed(args: argparse.Namespace) -> int:
@@ -281,11 +306,61 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from .optimize import OptimizeOptions, optimize_embedding
+
+    guest = parse_graph(args.guest)
+    host = parse_graph(args.host)
+    options = OptimizeOptions(
+        objective=args.objective,
+        budget=args.budget,
+        population=args.population,
+        seed=args.seed,
+        schedule=args.schedule,
+    )
+    cache = _load_cache(args)
+    try:
+        with use_context(backend=args.method, cache=cache):
+            result = optimize_embedding(guest, host, options)
+    except UnsupportedEmbeddingError as error:
+        print(f"cannot search this pair: {error}", file=sys.stderr)
+        return 2
+    row = {
+        "guest": repr(guest),
+        "host": repr(host),
+        "objective": args.objective,
+        "value": result.objective,
+        "dilation": result.dilation,
+        "congestion": "-" if result.congestion is None else result.congestion,
+        "steps": result.steps,
+        "evaluations": result.evaluations,
+        "seeded from": result.provenance,
+        "improved": "yes" if result.improved else "no",
+    }
+    print(format_table([row], title="Embedding search"))
+    if result.improved:
+        print(
+            f"search beat its best seed: objective {result.objective} "
+            f"< {result.baseline_objective}"
+        )
+    else:
+        print(
+            f"search matched its best seed (objective {result.objective}; "
+            "the constructions look tight on this pair)"
+        )
+    _save_cache(args, cache)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
+    from .optimize import register_optimized_strategy
     from .service import ReproService, serve
 
+    # Long-lived daemon: let clients request `strategy="optimized"` simulate
+    # runs; the searches warm-start from (and persist to) the service cache.
+    register_optimized_strategy()
     service = ReproService(
         backend=args.method,
         cache_path=args.cache,
@@ -377,6 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="torus-mesh-embed",
         description="Embeddings among toruses and meshes (Ma & Tao, ICPP 1987) — reproduction CLI",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
+        help="print the package version and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -505,6 +586,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="tiny deterministic run (suite 'smoke', sequential) for CI",
     )
     p_survey.set_defaults(func=_cmd_survey)
+
+    p_opt = subparsers.add_parser(
+        "optimize",
+        help="search for a low-cost embedding with the population optimizer",
+    )
+    p_opt.add_argument("--guest", required=True, help="guest graph, e.g. torus:8x8")
+    p_opt.add_argument("--host", required=True, help="host graph, e.g. mesh:8x8")
+    p_opt.add_argument(
+        "--objective",
+        default="combined",
+        choices=("dilation", "congestion", "combined"),
+        help="cost to minimize (default: combined dilation + congestion)",
+    )
+    p_opt.add_argument(
+        "--budget",
+        type=int,
+        default=2000,
+        help="candidate-evaluation budget (default 2000)",
+    )
+    p_opt.add_argument(
+        "--population",
+        type=int,
+        default=16,
+        help="target population size (default 16)",
+    )
+    p_opt.add_argument("--seed", type=int, default=0, help="search RNG seed")
+    p_opt.add_argument(
+        "--schedule",
+        default="anneal",
+        choices=("anneal", "greedy"),
+        help="acceptance schedule: simulated annealing or greedy hill-climb",
+    )
+    p_opt.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto", "array", "loop"),
+        help="runtime backend (stacked-kernel search vs pure-Python reference)",
+    )
+    p_opt.add_argument(
+        "--cache",
+        default=None,
+        help="construction-cache file; a stored optimum warm-starts the "
+        "search and the best embedding found is persisted back",
+    )
+    p_opt.set_defaults(func=_cmd_optimize)
 
     p_serve = subparsers.add_parser(
         "serve",

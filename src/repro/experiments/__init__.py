@@ -23,6 +23,7 @@ TAB-LOW-GENERAL Theorem 43 dilation sweep
 TAB-SQUARE-LOW  Theorems 48 and 51 sweep
 TAB-SQUARE-INC  Theorems 52 and 53 sweep
 TAB-OPTIMA      Section 5 comparison against known optimal embeddings
+TAB-SEARCH      empirical optimality probe: population search vs seeds
 APP-EPS         the Appendix ε sequence
 SIM-MAP         task-mapping simulation: paper embedding vs baselines
 ========  ==========================================================

@@ -1,0 +1,72 @@
+"""Integer objective encoding for the embedding search.
+
+The optimizer compares candidates millions of times per run, across two
+engines (vectorized and pure-Python loop) that must agree bit-for-bit.
+Floats are the classic way to lose that contract — ``np.mean`` and a Python
+``sum()/len()`` can differ in the last ulp — so the search never ranks by a
+float.  Instead each candidate is scored by three exact integers (max edge
+dilation, total edge dilation, edge congestion) and folded into one ordinal:
+
+``scale = guest_edges * host_diameter + 1``
+    strictly greater than any possible dilation total, so the total acts as
+    a lexicographic tie-break under the primary term;
+
+``dilation``   → ``dil_max * scale + dil_sum``
+``congestion`` → ``congestion * scale + dil_sum``
+``combined``   → ``(dil_max + congestion) * scale + dil_sum``
+
+Lower is better.  The tie-break matters: among embeddings with the paper's
+optimal dilation the search can still shorten the *average* edge, which is
+what the reported ``average_dilation`` column reflects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "OBJECTIVES",
+    "needs_congestion",
+    "objective_scale",
+    "encode_objective",
+    "decode_primary",
+]
+
+#: Objective modes accepted by the optimizer and the CLI, in display order.
+OBJECTIVES = ("dilation", "congestion", "combined")
+
+
+def needs_congestion(objective: str) -> bool:
+    """True when the mode requires routing every candidate's guest edges."""
+    return objective in ("congestion", "combined")
+
+
+def objective_scale(guest_edges: int, host_diameter: int) -> int:
+    """The lexicographic radix: ``> max possible dilation total``."""
+    return guest_edges * host_diameter + 1
+
+
+def encode_objective(
+    objective: str,
+    scale: int,
+    dilation_max: int,
+    dilation_total: int,
+    congestion: Optional[int],
+) -> int:
+    """Fold the exact cost components into one comparable integer."""
+    if objective == "dilation":
+        primary = dilation_max
+    elif objective == "congestion":
+        primary = congestion
+    elif objective == "combined":
+        primary = dilation_max + congestion
+    else:
+        raise ValueError(
+            f"unknown objective {objective!r}; choose from {', '.join(OBJECTIVES)}"
+        )
+    return primary * scale + dilation_total
+
+
+def decode_primary(objective_value: int, scale: int) -> int:
+    """The primary cost term back out of an encoded objective."""
+    return objective_value // scale

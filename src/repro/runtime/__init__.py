@@ -20,7 +20,13 @@ parallelism policy — lives in one ambient
     shared by the survey engine, the experiment harness and the CLI.
 """
 
-from .cache import CachedConstruction, ConstructionCache, embedding_cache_key
+from .cache import (
+    CachedConstruction,
+    ConstructionCache,
+    OptimizerState,
+    embedding_cache_key,
+    optimum_cache_key,
+)
 from .context import (
     BACKENDS,
     Backend,
@@ -58,7 +64,9 @@ __all__ = [
     # cache
     "CachedConstruction",
     "ConstructionCache",
+    "OptimizerState",
     "embedding_cache_key",
+    "optimum_cache_key",
     # registry
     "Registry",
     "register_strategy",

@@ -42,9 +42,11 @@ from ..utils.atomicio import atomic_write
 __all__ = [
     "CachedConstruction",
     "ConstructionCache",
+    "OptimizerState",
     "embedding_cache_key",
     "edge_arrays_cache_key",
     "family_cache_key",
+    "optimum_cache_key",
 ]
 
 PathLike = Union[str, Path]
@@ -99,6 +101,45 @@ def family_cache_key(guest, host) -> CacheKey:
         host.kind.value,
         tuple(host.shape),
     )
+
+
+def optimum_cache_key(objective: str, guest, host) -> CacheKey:
+    """The address of a search-found optimum for a pair, per objective.
+
+    Optima are keyed separately from constructions: the same pair may hold a
+    best-known embedding per objective mode (``dilation`` / ``congestion`` /
+    ``combined``), and storing them under their own namespace keeps the
+    construction memo's byte-identity contract untouched.
+    """
+    return (
+        "optimum",
+        objective,
+        guest.kind.value,
+        tuple(guest.shape),
+        host.kind.value,
+        tuple(host.shape),
+    )
+
+
+@dataclass(frozen=True)
+class OptimizerState:
+    """The portable payload of one search-found optimum.
+
+    ``host_indices`` follows the :class:`CachedConstruction` convention (a
+    read-only ``int64`` array or a plain int tuple, reconstructable under
+    either backend).  ``objective`` is the encoded scalar objective value of
+    :mod:`repro.optimize.objective` under ``objective_mode``; ``dilation`` /
+    ``congestion`` are the human-readable components, ``steps`` the search
+    steps that produced it and ``provenance`` the seed it descended from.
+    """
+
+    host_indices: object
+    objective: int
+    objective_mode: str
+    dilation: int
+    congestion: Optional[int]
+    steps: int
+    provenance: str
 
 
 @dataclass(frozen=True)
@@ -253,6 +294,60 @@ class ConstructionCache:
         self.data[family_cache_key(guest, host)] = (
             family if error is None else (family, error)
         )
+
+    # ------------------------------------------------------------------ #
+    # Optimizer entries (search-found optima, per objective mode)
+    # ------------------------------------------------------------------ #
+    def fetch_optimum(self, objective: str, guest, host) -> Optional[OptimizerState]:
+        """The stored :class:`OptimizerState` for a pair and objective mode.
+
+        Counts as regular hit/miss traffic: a warm optimum skips (or
+        warm-starts) a whole search, which is exactly the reuse the counters
+        exist to report.
+        """
+        state = self.data.get(optimum_cache_key(objective, guest, host))
+        if not isinstance(state, OptimizerState):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return state
+
+    def store_optimum(self, objective: str, guest, host, state: OptimizerState) -> bool:
+        """Keep the best-known optimum for a pair; returns True when stored.
+
+        A worse candidate never overwrites a better stored one, so repeated
+        searches (different budgets, different seeds) monotonically improve
+        the persisted state.
+        """
+        key = optimum_cache_key(objective, guest, host)
+        existing = self.data.get(key)
+        if (
+            isinstance(existing, OptimizerState)
+            and existing.objective <= state.objective
+        ):
+            return False
+        self.data[key] = state
+        return True
+
+    def materialize_optimum(self, state: OptimizerState, guest, host):
+        """Rebuild a live ``Embedding`` from a stored optimum (backend-aware)."""
+        payload = CachedConstruction(
+            host_indices=state.host_indices,
+            strategy="optimized",
+            predicted_dilation=None,
+            notes={
+                "objective": state.objective_mode,
+                "objective_value": state.objective,
+                "search_steps": state.steps,
+                "seeded_from": state.provenance,
+            },
+        )
+        return _materialize(payload, guest, host)
+
+    @property
+    def optimum_count(self) -> int:
+        """Stored search optima (all objective modes)."""
+        return sum(1 for key in self.data if key[0] == "optimum")
 
     # ------------------------------------------------------------------ #
     # Derived-array entries (memoized per-graph tables)

@@ -229,7 +229,8 @@ def accepts_deprecated_method(func):
         if method is None:
             return func(*args, **kwargs)
         warnings.warn(
-            f"{func.__qualname__}(method=...) is deprecated; wrap the call in "
+            f"{func.__qualname__}(method=...) is deprecated and will be "
+            "removed in repro 2.0; wrap the call in "
             "repro.runtime.use_context(backend=...) instead",
             DeprecationWarning,
             stacklevel=2,

@@ -51,12 +51,14 @@ def parse_graph_spec(spec: str) -> Tuple[str, Tuple[int, ...]]:
     """Parse ``kind:shape`` strings such as ``torus:4,6`` into (kind, shape).
 
     Accepts the same conveniences as the CLI: ``ring:<n>`` (1-D torus),
-    ``line:<n>`` (1-D mesh) and ``hypercube:<d>`` (shape ``(2, ..., 2)``).
+    ``line:<n>`` (1-D mesh) and ``hypercube:<d>`` (shape ``(2, ..., 2)``),
+    and ``x`` as an extent separator (``torus:8x8`` == ``torus:8,8``).
     Raises :class:`ProtocolError` on anything unparseable.
     """
     try:
         kind_text, shape_text = spec.split(":", 1)
         kind_text = kind_text.strip().lower()
+        shape_text = shape_text.lower().replace("x", ",")
         shape = tuple(int(part) for part in shape_text.split(",") if part.strip())
         if not shape or any(length < 1 for length in shape):
             raise ValueError(f"shape {shape} must be non-empty positive extents")

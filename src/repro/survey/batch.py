@@ -197,10 +197,13 @@ def evaluate_shard_batched(
     groups: Dict[Tuple[GraphSpec, GraphSpec], Dict] = {}
     sim_jobs: List[Dict] = []
     for position, scenario in enumerate(scenarios):
-        if scenario.faults:
+        if scenario.faults or scenario.strategy == "optimize":
             # Degraded-host scenarios repair around a per-scenario fault
             # mask — nothing to share across the shard — so they take the
-            # reference path wholesale (its record, byte for byte).
+            # reference path wholesale (its record, byte for byte).  Search
+            # scenarios likewise: the optimizer *is* the batched computation
+            # (its population already rides the stacked kernels), so the
+            # shard-level grouping has nothing further to fuse.
             records[position] = _evaluate_scenario(scenario, options)
             continue
         guest = state.graph(scenario.guest_kind, scenario.guest_shape)

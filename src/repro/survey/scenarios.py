@@ -79,13 +79,16 @@ class Scenario:
     def scenario_id(self) -> str:
         """Canonical id (stable sort key), e.g. ``torus:4,6->mesh:2,2,2,3``;
         simulation scenarios append ``|<strategy>|<traffic>`` and fault
-        scenarios ``|<strategy>|<traffic>|<faults>`` (traffic may be empty)."""
+        scenarios ``|<strategy>|<traffic>|<faults>`` (traffic may be empty).
+        Any non-default strategy — e.g. the ``optimize`` search scenarios —
+        also appends the ``|<strategy>|<traffic>`` block (with an empty
+        traffic cell), so ids never collide with the plain embedding form."""
         guest = ",".join(str(length) for length in self.guest_shape)
         host = ",".join(str(length) for length in self.host_shape)
         base = f"{self.guest_kind}:{guest}->{self.host_kind}:{host}"
         if self.faults:
             return f"{base}|{self.strategy}|{self.traffic}|{self.faults}"
-        if self.traffic:
+        if self.traffic or self.strategy != "paper":
             return f"{base}|{self.strategy}|{self.traffic}"
         return base
 
@@ -363,6 +366,27 @@ def _suite_faults() -> List[Scenario]:
     return scenarios
 
 
+def _suite_optima() -> List[Scenario]:
+    """The search suite: can the optimizer beat (or match) the constructions?
+
+    Same-size pairs run through :func:`repro.optimize.optimize_embedding`
+    under the fixed :data:`repro.optimize.SUITE_OPTIONS` configuration, so
+    the records — including the ``search_objective`` / ``search_steps`` /
+    ``improved`` columns — are deterministic and golden-pinned.  The
+    ``torus:8,8->mesh:8,8`` pair is the acceptance-pinned one: the paper's
+    dilation-2 folding is in the seed population, so the searched objective
+    is never worse than the construction's.
+    """
+    pairs = [
+        ("torus", (8, 8), "mesh", (8, 8)),   # the pinned pair (T_L folding)
+        ("torus", (4, 4), "mesh", (4, 4)),   # small same-shape torus drop
+        ("mesh", (4, 4), "torus", (4, 4)),   # dilation-1 identity: search ties
+        ("mesh", (2, 12), "torus", (4, 6)),  # no paper construction: search improves
+        ("torus", (3, 8), "mesh", (6, 4)),   # no paper construction: baseline seeds
+    ]
+    return [Scenario(gk, gs, hk, hs, strategy="optimize") for gk, gs, hk, hs in pairs]
+
+
 def _suite_figures() -> List[Scenario]:
     """The worked figures of the paper (Figures 10-12 plus the abstract pair)."""
     pairs = [
@@ -396,6 +420,8 @@ def scenarios_for_suite(suite: str, *, max_nodes: int = 64) -> List[Scenario]:
         return _suite_expansion()
     if suite == "faults":
         return _suite_faults()
+    if suite == "optima":
+        return _suite_optima()
     raise ValueError(f"unknown suite {suite!r}; choose from {', '.join(suite_names())}")
 
 
@@ -410,4 +436,5 @@ def suite_names() -> List[str]:
         "simulation",
         "expansion",
         "faults",
+        "optima",
     ]

@@ -58,6 +58,11 @@ FIELDS = (
     # columns existed load with them as None (`from_dict` uses .get()).
     "faults",
     "guest_size",
+    # Appended by the optimizer suite: the encoded search objective, the
+    # generations run, and whether search beat the seeded construction.
+    "search_objective",
+    "search_steps",
+    "improved",
 )
 
 
@@ -98,6 +103,9 @@ class SurveyRecord:
     error: Optional[str] = None
     faults: Optional[str] = None
     guest_size: Optional[int] = None
+    search_objective: Optional[int] = None
+    search_steps: Optional[int] = None
+    improved: Optional[bool] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form in canonical key order (JSON object / CSV row)."""
@@ -175,6 +183,9 @@ _CSV_PARSERS = {
     "makespan": float,
     "elapsed_seconds": float,
     "matches_prediction": _parse_bool_cell,
+    "search_objective": int,
+    "search_steps": int,
+    "improved": _parse_bool_cell,
 }
 
 

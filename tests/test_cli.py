@@ -58,6 +58,75 @@ class TestCommands:
         with pytest.raises(SystemExit):
             parser.parse_args([])
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "torus-mesh-embed" in out
+        assert any(part[:1].isdigit() for part in out.split())  # a version number
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unknown_suite_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["survey", "--suite", "nope"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestOptimizeCommand:
+    OPT = ["optimize", "--guest", "torus:4x4", "--host", "mesh:4x4"]
+
+    def test_optimize_command(self, capsys):
+        assert main(self.OPT + ["--budget", "80", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        for column in ("objective", "dilation", "steps", "seeded from", "improved"):
+            assert column in out
+        assert "Torus(4, 4)" in out and "Mesh(4, 4)" in out
+
+    def test_optimize_backends_print_identical_tables(self, capsys):
+        flags = ["--budget", "60", "--seed", "3"]
+        assert main(self.OPT + flags + ["--method", "array"]) == 0
+        array_out = capsys.readouterr().out
+        assert main(self.OPT + flags + ["--method", "loop"]) == 0
+        assert capsys.readouterr().out == array_out
+
+    def test_optimize_cache_roundtrip_feeds_the_survey(self, tmp_path, capsys):
+        cache_file = tmp_path / "optima.pkl"
+        flags = ["--budget", "80", "--seed", "7", "--cache", str(cache_file)]
+        assert main(self.OPT + flags) == 0
+        first = capsys.readouterr().out
+        assert "1 optima" in first and cache_file.exists()
+        # A survey over the optima suite warm-starts from the same cache.
+        assert main(
+            [
+                "survey",
+                "--suite",
+                "optima",
+                "--smoke",
+                "--output",
+                str(tmp_path / "out.json"),
+                "--cache",
+                str(cache_file),
+            ]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "optima" in second and "hits this run" in second
+
+    def test_unknown_objective_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.OPT + ["--objective", "latency"])
+        assert excinfo.value.code == 2
+
+    def test_size_mismatch_reports_an_error(self, capsys):
+        code = main(["optimize", "--guest", "torus:4x4", "--host", "mesh:4,5"])
+        assert code != 0
+
 
 class TestSimulateFlags:
     SIM = ["simulate", "--guest", "torus:4,4", "--host", "mesh:2,2,2,2"]

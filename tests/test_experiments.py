@@ -28,6 +28,7 @@ EXPECTED_IDS = {
     "TAB-SQUARE-LOW",
     "TAB-SQUARE-INC",
     "TAB-OPTIMA",
+    "TAB-SEARCH",
     "APP-EPS",
     "SIM-MAP",
     "WORKLOADS",

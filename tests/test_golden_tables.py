@@ -36,6 +36,7 @@ from repro.experiments.square_tables import (
     square_increasing_rows,
     square_lowering_rows,
 )
+from repro.experiments.optima_tables import search_rows
 from repro.experiments.workload_tables import (
     expansion_rows,
     fault_rows,
@@ -67,6 +68,7 @@ TABLES = {
     "tab_expansion": expansion_rows,
     "tab_faults": fault_rows,
     "tab_hotspot": hotspot_rows,
+    "tab_optima": search_rows,
 }
 
 
