@@ -38,6 +38,12 @@ setup(
             "networkx",
             "ruff",
         ],
+        # The JIT kernel tier (backend="compiled").  Optional: without it the
+        # runtime degrades to the array backend (or uses the C-via-cffi tier
+        # when cffi and a C compiler are present).
+        "compiled": [
+            "numba",
+        ],
     },
     entry_points={
         "console_scripts": [

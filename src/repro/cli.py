@@ -44,6 +44,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from typing import Optional, Sequence
 
 from .analysis.metrics import evaluate_embedding
@@ -70,7 +71,13 @@ from .netsim import (
     traffic_pattern_names,
 )
 from .numbering.graycode import natural_sequence
-from .runtime import ConstructionCache, build_strategy, strategy_names, use_context
+from .runtime import (
+    BACKENDS,
+    ConstructionCache,
+    build_strategy,
+    strategy_names,
+    use_context,
+)
 from .survey import (
     SurveyOptions,
     run_survey,
@@ -216,6 +223,42 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextmanager
+def _profiled(enabled: bool, output_path: Optional[str] = None):
+    """Optionally run the body under cProfile (the ``--profile`` flag).
+
+    On exit the top-20 functions by cumulative time are printed and the raw
+    stats are dumped to ``profile.pstats`` — next to ``output_path`` when the
+    command writes an output file, in the working directory otherwise — for
+    ``snakeviz``/``pstats`` digging.
+    """
+    if not enabled:
+        yield
+        return
+    import cProfile
+    import io
+    import os
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(20)
+        print(stream.getvalue(), end="")
+        if output_path is not None:
+            directory = os.path.dirname(os.path.abspath(output_path))
+            target = os.path.join(directory, "profile.pstats")
+        else:
+            target = "profile.pstats"
+        stats.dump_stats(target)
+        print(f"profile written to {target}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     guest = parse_graph(args.guest)
     host = parse_graph(args.host)
@@ -229,7 +272,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         link_weights=link_weights,
     )
     cache = _load_cache(args)
-    with use_context(backend=args.method, cache=cache):
+    with _profiled(args.profile), use_context(backend=args.method, cache=cache):
         traffic = traffic_pattern(args.traffic, guest, message_size=args.message_size)
         rows = []
         for name in strategy_names():
@@ -277,7 +320,9 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         resume=not args.no_resume,
     )
     cache = _load_cache(args)
-    with use_context(backend=args.method, cache=cache, batch=not args.no_batch):
+    with _profiled(args.profile, args.output), use_context(
+        backend=args.method, cache=cache, batch=not args.no_batch
+    ):
         report = run_survey(scenarios, options)
     _save_cache(args, cache)
     if report.reused_shard_indices:
@@ -469,8 +514,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_embed.add_argument(
         "--method",
         default="auto",
-        choices=("auto", "array", "loop"),
-        help="runtime backend (array kernels vs per-node loop reference)",
+        choices=BACKENDS,
+        help=(
+            "runtime backend: array kernels, per-node loop reference, or "
+            "compiled JIT kernels for the hot loops"
+        ),
     )
     p_embed.set_defaults(func=_cmd_embed)
 
@@ -506,7 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--method",
         default="auto",
-        choices=("auto", "array", "loop"),
+        choices=BACKENDS,
         help="runtime backend (array kernels vs per-message loop reference)",
     )
     p_sim.add_argument(
@@ -514,6 +562,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="construction-cache file; loaded before and saved after the run, "
         "so repeated invocations skip re-construction",
+    )
+    p_sim.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile: print the top-20 cumulative functions and "
+        "write profile.pstats",
     )
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -571,7 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_survey.add_argument(
         "--method",
         default="auto",
-        choices=("auto", "array", "loop"),
+        choices=BACKENDS,
         help="runtime backend (vectorized array path vs per-node loop reference)",
     )
     p_survey.add_argument(
@@ -584,6 +638,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="tiny deterministic run (suite 'smoke', sequential) for CI",
+    )
+    p_survey.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile: print the top-20 cumulative functions and "
+        "write profile.pstats next to --output",
     )
     p_survey.set_defaults(func=_cmd_survey)
 
@@ -621,7 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument(
         "--method",
         default="auto",
-        choices=("auto", "array", "loop"),
+        choices=BACKENDS,
         help="runtime backend (stacked-kernel search vs pure-Python reference)",
     )
     p_opt.add_argument(
@@ -658,7 +718,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--method",
         default="auto",
-        choices=("auto", "array", "loop"),
+        choices=BACKENDS,
         help="runtime backend of the resident execution context",
     )
     p_serve.add_argument(

@@ -1,0 +1,37 @@
+"""JIT kernel tier for the irregular hot loops (``backend="compiled"``).
+
+The package ports the four hottest irregular kernels — the simulator's
+event-loop drain, CSR route expansion + link-load accumulation, stacked
+dilation/congestion scoring, and the optimizer's move application — to a
+compiled tier selected at runtime:
+
+* :mod:`~repro.compiled.kernels_py` — the shared kernel sources (plain
+  Python in the njit-able subset; the algorithmic contract);
+* :mod:`~repro.compiled.jit` — Numba ``@njit(cache=True)`` tier;
+* :mod:`~repro.compiled.ckernels` — C-via-cffi tier (content-hashed shared
+  library, built once per machine);
+* :mod:`~repro.compiled.dispatch` — tier selection and the
+  :class:`~repro.compiled.dispatch.KernelSet` facade the hook sites call;
+* :mod:`~repro.compiled.toolchain` — detection flags, monkeypatchable for
+  degradation tests.
+
+Results are pinned bit-for-bit against the array backend; when no toolchain
+is available the runtime context falls back to ``"array"`` with one
+RuntimeWarning per process.
+"""
+
+from __future__ import annotations
+
+from .dispatch import KernelSet, active_kernels, interpreted_kernels, load_kernels
+from .toolchain import HAVE_CFFI, HAVE_NUMBA, compiled_tier_available, preferred_tier
+
+__all__ = [
+    "KernelSet",
+    "active_kernels",
+    "interpreted_kernels",
+    "load_kernels",
+    "HAVE_CFFI",
+    "HAVE_NUMBA",
+    "compiled_tier_available",
+    "preferred_tier",
+]

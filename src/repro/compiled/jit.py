@@ -1,0 +1,33 @@
+"""Numba tier: ``@njit(cache=True)`` wrappers of the shared kernel sources.
+
+Imported lazily by :func:`repro.compiled.dispatch.load_kernels` and only
+when :mod:`numba` is importable.  Each kernel of
+:mod:`repro.compiled.kernels_py` is compiled exactly as written — the
+sources are the contract, this module adds nothing but the decorator — with
+``cache=True`` so the nopython compilation cost is paid once per machine,
+not once per process (the on-disk cache lives next to ``kernels_py.py``).
+
+No explicit signatures: the kernels are monomorphic (the dispatch facade
+normalizes every argument to contiguous ``int64``/``float64`` arrays and
+Python ints), so lazy specialization compiles each exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from . import kernels_py
+
+__all__ = ["function_table"]
+
+_TABLE: Dict[str, Callable] = {}
+
+
+def function_table() -> Dict[str, Callable]:
+    """Kernel name -> njit-compiled callable (compiled on first request)."""
+    if not _TABLE:
+        import numba
+
+        for name in kernels_py.KERNEL_NAMES:
+            _TABLE[name] = numba.njit(cache=True)(getattr(kernels_py, name))
+    return _TABLE

@@ -31,6 +31,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..compiled.dispatch import active_kernels
 from ..core.embedding import Embedding, use_array_path
 from ..exceptions import SimulationError
 from ..runtime.context import accepts_deprecated_method
@@ -553,6 +554,28 @@ def simulate_phases_rounds(phases, *, max_events: int = 5_000_000):
     hop_occupancy = np.concatenate(occ_parts)
     phase_of = np.repeat(np.arange(len(live), dtype=np.int64), counts)
 
+    kernels = active_kernels()
+    if kernels is not None:
+        # Compiled backend: the whole drain is one JIT kernel call over the
+        # merged arrays — same heap order, same float ops, bit-for-bit equal
+        # completion times (tests/test_compiled_backend.py pins it).
+        status, completion, _events = kernels.drain(
+            first_hop,
+            last_hop,
+            link_ids,
+            hop_occupancy,
+            phase_of,
+            link_offset,
+            len(live),
+            max_events,
+        )
+        if status != 0:
+            raise SimulationError(
+                f"simulation exceeded {max_events} events; the configuration "
+                "is too large"
+            )
+        return _split_completions(makespans, completions, completion, live, counts)
+
     completion = np.zeros(first_hop.size, dtype=np.float64)
     link_free = np.zeros(link_offset, dtype=np.float64)
     events = np.zeros(len(live), dtype=np.int64)
@@ -647,6 +670,11 @@ def simulate_phases_rounds(phases, *, max_events: int = 5_000_000):
             last_a = last_a[keep]
             dead = 0
 
+    return _split_completions(makespans, completions, completion, live, counts)
+
+
+def _split_completions(makespans, completions, completion, live, counts):
+    """Slice the merged completion array back into per-phase results."""
     offset = 0
     for position, index in enumerate(live):
         phase_completion = completion[offset : offset + counts[position]]

@@ -181,6 +181,15 @@ def stacked_edge_congestion(images, edge_u, edge_v, shape: Sequence[int], *, tor
     worst = np.zeros(batch, dtype=np.int64)
     if edge_u.size == 0:
         return worst
+    # Imported lazily: repro.compiled.dispatch imports this module.
+    from ..compiled.dispatch import active_kernels
+
+    kernels = active_kernels()
+    if kernels is not None:
+        _, _, congestion = kernels.score_rows(
+            images, edge_u, edge_v, tuple(shape), torus, with_congestion=True
+        )
+        return congestion
     lengths = tuple(shape)
     weights = digit_weights(lengths)
     size = int(np.prod(np.asarray(lengths, dtype=np.int64)))

@@ -53,16 +53,20 @@ __all__ = [
 #: Allowed values of :attr:`ExecutionContext.backend` (and of the deprecated
 #: per-call ``method=`` override): ``"auto"`` prefers the vectorized array
 #: kernels when NumPy is available, ``"array"`` requests them explicitly,
-#: ``"loop"`` forces the retained pure-Python reference implementations.
+#: ``"loop"`` forces the retained pure-Python reference implementations, and
+#: ``"compiled"`` requests the JIT kernel tier (:mod:`repro.compiled`) for
+#: the irregular hot loops, with the array kernels everywhere else.
 Backend = str
 
-BACKENDS = ("auto", "array", "loop")
+BACKENDS = ("auto", "array", "loop", "compiled")
 
 #: Patchable alias so tests can simulate a NumPy-less environment without
 #: uninstalling NumPy.
 _HAVE_NUMPY = HAVE_NUMPY
 
 _warned_numpy_fallback = False
+
+_warned_compiled_fallback = False
 
 
 def _validate_backend(backend: Backend) -> Backend:
@@ -79,7 +83,9 @@ class ExecutionContext:
     ----------
     backend:
         Construction/measure/simulation implementation — ``"auto"`` (array
-        kernels when NumPy is available), ``"array"`` or ``"loop"``.
+        kernels when NumPy is available), ``"array"``, ``"loop"`` or
+        ``"compiled"`` (JIT kernels for the irregular hot loops, array
+        kernels elsewhere).
     cache:
         The content-addressed construction memo
         (:class:`~repro.runtime.cache.ConstructionCache`), or ``None`` to
@@ -115,35 +121,61 @@ class ExecutionContext:
             raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
 
     def resolved_backend(self, override: Optional[Backend] = None) -> Backend:
-        """The concrete backend — ``"array"`` or ``"loop"`` — in effect.
+        """The concrete backend — ``"array"``, ``"loop"`` or ``"compiled"``.
 
         ``override`` (when not ``None``) takes precedence over the context's
         own :attr:`backend`; it is how the deprecated per-call ``method=``
         shim slots into the resolution order.  Array-capable requests degrade
         to ``"loop"`` with one per-process warning when NumPy is missing.
+        A ``"compiled"`` request additionally needs a kernel toolchain
+        (Numba, or cffi plus a C compiler); without one it degrades to
+        ``"array"`` with one per-process warning — ``"auto"`` never selects
+        ``"compiled"`` on its own, the JIT tier is strictly opt-in.
         """
         requested = _validate_backend(
             override if override is not None else self.backend
         )
         if requested == "loop":
             return "loop"
-        if _HAVE_NUMPY:
-            return "array"
-        global _warned_numpy_fallback
-        if not _warned_numpy_fallback:
-            _warned_numpy_fallback = True
-            warnings.warn(
-                "NumPy is not available; the runtime falls back to the "
-                "pure-Python loop backend for every array-capable request "
-                "(this warning is emitted once per process)",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-        return "loop"
+        if not _HAVE_NUMPY:
+            global _warned_numpy_fallback
+            if not _warned_numpy_fallback:
+                _warned_numpy_fallback = True
+                warnings.warn(
+                    "NumPy is not available; the runtime falls back to the "
+                    "pure-Python loop backend for every array-capable request "
+                    "(this warning is emitted once per process)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return "loop"
+        if requested == "compiled":
+            from ..compiled import toolchain
+
+            if toolchain.compiled_tier_available():
+                return "compiled"
+            global _warned_compiled_fallback
+            if not _warned_compiled_fallback:
+                _warned_compiled_fallback = True
+                warnings.warn(
+                    "no kernel toolchain is available (install numba via "
+                    "'pip install repro[compiled]', or provide cffi and a C "
+                    "compiler); backend='compiled' falls back to the array "
+                    "backend (this warning is emitted once per process)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        return "array"
 
     def use_array(self, override: Optional[Backend] = None) -> bool:
-        """True when the resolved backend is the vectorized array path."""
-        return self.resolved_backend(override) == "array"
+        """True when the resolved backend runs the vectorized array kernels.
+
+        The ``"compiled"`` backend *is* the array path everywhere outside the
+        four ported kernels (the hook sites consult
+        :func:`repro.compiled.dispatch.active_kernels` themselves), so it
+        answers True here.
+        """
+        return self.resolved_backend(override) in ("array", "compiled")
 
     def resolved_workers(self) -> int:
         """The effective worker count (``None`` → ``os.cpu_count()``)."""
