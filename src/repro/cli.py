@@ -321,7 +321,7 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     )
     cache = _load_cache(args)
     with _profiled(args.profile, args.output), use_context(
-        backend=args.method, cache=cache, batch=not args.no_batch
+        backend=args.method, cache=cache, batch=not args.no_batch, chaos=args.chaos
     ):
         report = run_survey(scenarios, options)
     _save_cache(args, cache)
@@ -344,6 +344,19 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     )
     if report.cache_entries:
         print(f"construction cache: {report.cache_entries} memoized constructions")
+    if report.retries or report.crash_recoveries or report.quarantined:
+        print(
+            f"recovery: {report.retries} shard retr"
+            f"{'y' if report.retries == 1 else 'ies'}, "
+            f"{report.crash_recoveries} crash recover"
+            f"{'y' if report.crash_recoveries == 1 else 'ies'}, "
+            f"{report.quarantined} quarantined shard(s)"
+        )
+    if report.chaos_faults:
+        fired = ", ".join(
+            f"{label} x{count}" for label, count in sorted(report.chaos_faults.items())
+        )
+        print(f"chaos faults fired: {fired}")
     if report.failed:
         for record in report.failed[:5]:
             print(f"  FAILED {record.scenario_id}: {record.error}", file=sys.stderr)
@@ -412,33 +425,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         window=args.window / 1000.0,
         max_batch=args.max_batch,
         snapshot_interval=args.snapshot_interval,
+        max_pending=args.max_pending,
+        request_timeout=args.request_timeout if args.request_timeout > 0 else None,
+        chaos=args.chaos,
     )
     server = serve(service, args.host, args.port)
     bound_host, bound_port = server.server_address[:2]
+    chaos_note = ""
+    if service.context.chaos is not None:
+        chaos_note = f", chaos {service.context.chaos.token}"
     print(
         f"repro service listening on http://{bound_host}:{bound_port} "
         f"(backend {service.context.resolved_backend()}, "
         f"window {args.window:g}ms, max batch {args.max_batch}, "
-        f"cache {args.cache or 'in-memory'})",
+        f"cache {args.cache or 'in-memory'}{chaos_note})",
         flush=True,
     )
 
-    # SIGTERM (supervisors, `kill`) takes the same clean-shutdown path as
-    # Ctrl-C.  Daemons launched from non-interactive shells with `&` start
+    # SIGTERM (supervisors, `kill`) drains gracefully: new requests get 503
+    # + Retry-After, in-flight batches finish, the cache snapshots once
+    # more.  Daemons launched from non-interactive shells with `&` start
     # with SIGINT *ignored* (POSIX job control), so SIGTERM is the only
-    # reliable way to stop them with a final cache snapshot.
+    # reliable way to stop them cleanly.
     def _request_shutdown(signum, frame):
+        service.begin_drain()
         raise KeyboardInterrupt
 
     previous_sigterm = signal.signal(signal.SIGTERM, _request_shutdown)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
+        print("draining: refusing new requests, finishing in-flight batches",
+              file=sys.stderr)
     finally:
         signal.signal(signal.SIGTERM, previous_sigterm)
+        service.begin_drain()
         server.server_close()
         service.close()
+        recovery = service.stats_snapshot()["recovery"]
+        print(f"shutdown complete (recovery counters: {recovery})", file=sys.stderr)
     return 0
 
 
@@ -645,6 +670,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under cProfile: print the top-20 cumulative functions and "
         "write profile.pstats next to --output",
     )
+    p_survey.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. 'worker_crash:0.02,"
+        "slow_io:0.05x200ms,seed=7' (see docs/ARCHITECTURE.md, Failure model)",
+    )
     p_survey.set_defaults(func=_cmd_survey)
 
     p_opt = subparsers.add_parser(
@@ -732,6 +764,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="minimum seconds between periodic cache snapshots (default 30)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission-queue bound; beyond it requests are shed with "
+        "503 + Retry-After (default 1024)",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-request deadline in seconds, answered with 504 on a miss "
+        "(default 30; 0 disables)",
+    )
+    p_serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. 'request_error:0.05,"
+        "slow_io:0.1x50ms,seed=7' (see docs/ARCHITECTURE.md, Failure model)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -1,59 +1,13 @@
 """Deterministic pure-Python PRNG for the embedding optimizer.
 
-The optimizer's differential contract (array engine vs loop reference,
-bit-for-bit under a fixed seed) rules out both ``random.Random`` (whose
-Mersenne state is awkward to reason about across draws of different kinds)
-and NumPy generators (unavailable to the loop engine).  SplitMix64 is a
-64-bit mixing PRNG small enough to restate exactly: both engines share one
-instance driven from the *shared* search driver, so the stream of move
-parameters and acceptance draws is identical by construction.
-
-Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
-generators" (OOPSLA 2014) — the same mixer Java's ``SplittableRandom`` and
-NumPy's ``SeedSequence`` build on.
+The implementation moved to :mod:`repro.utils.rng` when the chaos plane
+and the retry/backoff policy started sharing it; this module remains the
+optimizer-facing import site (``from .rng import SplitMix64`` throughout
+:mod:`repro.optimize.search`).
 """
 
 from __future__ import annotations
 
+from ..utils.rng import SplitMix64
+
 __all__ = ["SplitMix64"]
-
-_MASK64 = (1 << 64) - 1
-_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
-
-
-class SplitMix64:
-    """SplitMix64: 64-bit state, one add + two xor-shift-multiply mixes."""
-
-    __slots__ = ("_state",)
-
-    def __init__(self, seed: int):
-        self._state = seed & _MASK64
-
-    def next_u64(self) -> int:
-        """The next raw 64-bit output word."""
-        self._state = (self._state + _GOLDEN_GAMMA) & _MASK64
-        z = self._state
-        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
-        return z ^ (z >> 31)
-
-    def randrange(self, n: int) -> int:
-        """A draw from ``range(n)``.
-
-        Plain modulo reduction: the ~2**-64 bias is irrelevant for a search
-        heuristic, and avoiding rejection sampling keeps the number of raw
-        draws per move fixed — one — which makes the stream easy to audit.
-        """
-        if n <= 0:
-            raise ValueError("randrange() bound must be positive")
-        return self.next_u64() % n
-
-    def random(self) -> float:
-        """A float in ``[0, 1)`` with 53 random bits (the IEEE mantissa)."""
-        return (self.next_u64() >> 11) * (2.0**-53)
-
-    def shuffle(self, items: list) -> None:
-        """In-place Fisher-Yates using :meth:`randrange` (deterministic)."""
-        for i in range(len(items) - 1, 0, -1):
-            j = self.randrange(i + 1)
-            items[i], items[j] = items[j], items[i]

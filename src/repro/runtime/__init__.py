@@ -18,6 +18,11 @@ parallelism policy — lives in one ambient
 ``registry``
     The plugin registries of embedding strategies and traffic patterns
     shared by the survey engine, the experiment harness and the CLI.
+``chaos``
+    The deterministic fault-injection plane: a seeded
+    :class:`ChaosPlan` carried on the context, named :func:`inject`
+    points, and the process-local fault tally behind the recovery
+    counters in survey reports and ``/stats``.
 """
 
 from .cache import (
@@ -26,6 +31,14 @@ from .cache import (
     OptimizerState,
     embedding_cache_key,
     optimum_cache_key,
+)
+from .chaos import (
+    ChaosPlan,
+    FaultRule,
+    InjectedFault,
+    chaos_counters,
+    inject,
+    reset_chaos_counters,
 )
 from .context import (
     BACKENDS,
@@ -61,6 +74,13 @@ __all__ = [
     "resolve_backend",
     "use_array_path",
     "accepts_deprecated_method",
+    # chaos
+    "ChaosPlan",
+    "FaultRule",
+    "InjectedFault",
+    "chaos_counters",
+    "inject",
+    "reset_chaos_counters",
     # cache
     "CachedConstruction",
     "ConstructionCache",

@@ -1,0 +1,317 @@
+"""The chaos plane: deterministic fault injection behind named sites.
+
+The system models faults as *workloads* (degraded hosts, PR 6) but until
+this module assumed its own runtime never fails: one worker crash killed a
+whole sweep, a wedged request stalled the service forever, and none of it
+was testable on demand.  The chaos plane makes runtime faults first-class
+and — crucially — **seeded**: a :class:`ChaosPlan` parsed from a spec
+string like ``"worker_crash:0.02,slow_io:0.05x200ms,torn_write:0.01,seed=7"``
+drives every injection decision through the repo's one PRNG mixer
+(:func:`~repro.utils.rng.splitmix64_mix`), so a given seed replays the
+identical fault schedule, run after run, process after process.
+
+Injection sites are *named*: code that can fail calls
+``inject("survey.shard", key=..., kinds=(...))`` at the point where a real
+fault would bite.  With no plan on the ambient
+:class:`~repro.runtime.context.ExecutionContext` the call is a two-attribute
+no-op (one contextvar read, one ``is None`` test) — the production path
+pays nothing.  With a plan active, each spec rule whose kind the site
+honours draws one deterministic decision:
+
+* ``slow_io`` — :func:`inject` sleeps the rule's delay in place and keeps
+  going (latency faults compose with error faults);
+* every other kind — the rule is *returned* and the call site applies it
+  (``worker_crash`` → the survey worker kills its own process,
+  ``torn_write`` → :func:`~repro.utils.atomicio.atomic_write` aborts before
+  the rename, ``request_error`` → the service fails the batch).
+
+Decisions are keyed two ways:
+
+* an explicit ``key`` (the survey runner passes ``(shard, attempt)``) makes
+  the decision a pure function of ``(seed, site, kind, key)`` — fully
+  replayable regardless of process scheduling, and naturally *different*
+  on the retry, which is what lets recovery succeed;
+* no key falls back to a per-``(site, kind)`` sequence counter, reset per
+  process — deterministic for a single-process run (the service tier).
+
+Every fired fault is counted in a process-local tally
+(:func:`chaos_counters`), which the survey report and the service
+``/stats`` document surface as recovery observability.
+
+Sites wired in this repo::
+
+    survey.shard     worker_crash, slow_io   (repro.survey.runner)
+    store.write      torn_write, slow_io     (repro.utils.atomicio)
+    service.handle   request_error, slow_io  (repro.service.server)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..utils.rng import splitmix64_mix, stable_text_hash
+from .context import current
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosPlan",
+    "FaultRule",
+    "InjectedFault",
+    "chaos_counters",
+    "inject",
+    "merge_chaos_counters",
+    "raise_fault",
+    "reset_chaos_counters",
+]
+
+#: The fault kinds the spec grammar accepts.
+FAULT_KINDS = ("worker_crash", "slow_io", "torn_write", "request_error")
+
+
+class InjectedFault(RuntimeError):
+    """An error fault fired by the chaos plane.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: injected
+    faults model infrastructure failure (a crashed worker, a torn write, a
+    flaky request), so they must flow through the same generic recovery
+    paths a real ``OSError`` would, not through library-error handling.
+    """
+
+    def __init__(self, kind: str, site: str):
+        super().__init__(f"chaos: injected {kind} at {site}")
+        self.kind = kind
+        self.site = site
+
+    def __reduce__(self):
+        # The two-argument __init__ breaks default exception pickling
+        # (args holds only the message); survey workers ship these across
+        # the process pool, so spell the reconstruction out.
+        return (InjectedFault, (self.kind, self.site))
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault kind with its firing probability (and delay for latency).
+
+    Token forms: ``worker_crash:0.02`` (probability only) and
+    ``slow_io:0.05x200ms`` (probability x injected delay).
+    """
+
+    kind: str
+    probability: float
+    delay: float = 0.0  # seconds; only meaningful for slow_io
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.delay < 0:
+            raise ValueError(f"fault delay must be >= 0, got {self.delay}")
+
+    @property
+    def token(self) -> str:
+        if self.delay:
+            return f"{self.kind}:{self.probability:g}x{self.delay * 1e3:g}ms"
+        return f"{self.kind}:{self.probability:g}"
+
+
+def _parse_rule(entry: str) -> FaultRule:
+    kind, _, parameters = entry.partition(":")
+    if not parameters:
+        raise ValueError(
+            f"malformed chaos entry {entry!r}: expected kind:probability"
+            "[xDELAYms], e.g. worker_crash:0.02 or slow_io:0.05x200ms"
+        )
+    probability_text, _, delay_text = parameters.partition("x")
+    try:
+        probability = float(probability_text)
+    except ValueError as error:
+        raise ValueError(
+            f"malformed chaos probability in {entry!r}: {probability_text!r}"
+        ) from error
+    delay = 0.0
+    if delay_text:
+        scale = 1.0
+        if delay_text.endswith("ms"):
+            scale, delay_text = 1e-3, delay_text[:-2]
+        elif delay_text.endswith("s"):
+            delay_text = delay_text[:-1]
+        try:
+            delay = float(delay_text) * scale
+        except ValueError as error:
+            raise ValueError(
+                f"malformed chaos delay in {entry!r}: expected e.g. 200ms or 0.2s"
+            ) from error
+    return FaultRule(kind=kind.strip(), probability=probability, delay=delay)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, replayable fault schedule (frozen, picklable).
+
+    The plan rides on :class:`~repro.runtime.context.ExecutionContext`, so
+    survey workers inherit it with the rest of the context and inject the
+    *same* schedule the parent would — which is what makes a chaos soak
+    assertable in CI rather than merely stochastic.
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPlan":
+        """Parse a spec string: comma-separated fault tokens plus ``seed=N``.
+
+        >>> ChaosPlan.parse("worker_crash:0.02,slow_io:0.05x200ms,seed=7")
+        ... # doctest: +ELLIPSIS
+        ChaosPlan(rules=(...), seed=7)
+        """
+        rules = []
+        seed = 0
+        for raw in spec.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            if entry.startswith("seed="):
+                try:
+                    seed = int(entry[len("seed=") :])
+                except ValueError as error:
+                    raise ValueError(
+                        f"malformed chaos seed in {entry!r}: expected seed=<int>"
+                    ) from error
+                continue
+            rules.append(_parse_rule(entry))
+        if not rules:
+            raise ValueError(
+                f"chaos spec {spec!r} names no fault rules; expected e.g. "
+                "'worker_crash:0.02,seed=7'"
+            )
+        return cls(rules=tuple(rules), seed=seed)
+
+    @property
+    def token(self) -> str:
+        """The canonical spec string (``parse`` round-trips it)."""
+        return ",".join([rule.token for rule in self.rules] + [f"seed={self.seed}"])
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+    def decides(self, rule: FaultRule, site: str, key: object) -> bool:
+        """Does ``rule`` fire at ``site`` for ``key``?  Pure and replayable.
+
+        The decision hashes ``(site, kind, key)`` into one 64-bit word
+        (FNV-1a over the stable text form — Python's salted ``hash`` would
+        differ across worker processes), folds in the plan seed and runs one
+        SplitMix64 finalizer pass; the top 53 bits become the uniform draw
+        compared against the rule's probability.
+        """
+        if rule.probability <= 0.0:
+            return False
+        if rule.probability >= 1.0:
+            return True
+        word = stable_text_hash(f"{site}|{rule.kind}|{key!r}")
+        mixed = splitmix64_mix((word + self.seed * 0x9E3779B97F4A7C15) & ((1 << 64) - 1))
+        return (mixed >> 11) * (2.0**-53) < rule.probability
+
+    def fire(
+        self,
+        site: str,
+        key: object = None,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> Optional[FaultRule]:
+        """Evaluate every applicable rule at ``site``; apply latency faults
+        in place and return the first error fault that fired (or ``None``).
+
+        ``kinds`` restricts which fault kinds the call site honours (a
+        write path cannot meaningfully "crash a worker").  ``key=None``
+        draws from the per-``(site, kind)`` sequence counter instead of a
+        caller-supplied replay key.
+        """
+        fault: Optional[FaultRule] = None
+        for rule in self.rules:
+            if kinds is not None and rule.kind not in kinds:
+                continue
+            decision_key = key if key is not None else _next_sequence(site, rule.kind)
+            if not self.decides(rule, site, decision_key):
+                continue
+            _count(site, rule.kind)
+            if rule.kind == "slow_io":
+                if rule.delay:
+                    time.sleep(rule.delay)
+                continue
+            if fault is None:
+                fault = rule
+        return fault
+
+
+# ---------------------------------------------------------------------- #
+# Process-local injection state: sequence counters and the fault tally
+# ---------------------------------------------------------------------- #
+_state_lock = threading.Lock()
+_sequences: Dict[Tuple[str, str], int] = {}
+_counters: Dict[str, int] = {}
+
+
+def _next_sequence(site: str, kind: str) -> Tuple[str, int]:
+    with _state_lock:
+        value = _sequences.get((site, kind), 0)
+        _sequences[(site, kind)] = value + 1
+    return ("#", value)
+
+
+def _count(site: str, kind: str) -> None:
+    label = f"{site}:{kind}"
+    with _state_lock:
+        _counters[label] = _counters.get(label, 0) + 1
+
+
+def chaos_counters() -> Dict[str, int]:
+    """Faults fired in this process so far, keyed ``site:kind`` (a copy)."""
+    with _state_lock:
+        return dict(sorted(_counters.items()))
+
+
+def merge_chaos_counters(delta: Dict[str, int]) -> None:
+    """Fold a worker's fault tally into this process's (survey merge path)."""
+    with _state_lock:
+        for label, count in delta.items():
+            _counters[label] = _counters.get(label, 0) + count
+
+
+def reset_chaos_counters() -> None:
+    """Zero the tally and the keyless sequence counters (tests, run starts)."""
+    with _state_lock:
+        _counters.clear()
+        _sequences.clear()
+
+
+def inject(
+    site: str, key: object = None, kinds: Optional[Sequence[str]] = None
+) -> Optional[FaultRule]:
+    """The injection point: fire the ambient plan's faults at ``site``.
+
+    Returns ``None`` immediately — one contextvar read, one ``is None``
+    test — when no plan is active, so instrumented hot paths stay
+    effectively free (the chaos bench gates the disabled overhead at ≤1%
+    of per-record evaluation time).  ``slow_io`` faults sleep here; error
+    faults are returned for the call site to apply (most sites raise
+    :class:`InjectedFault` via :func:`raise_fault`).
+    """
+    plan = current().chaos
+    if plan is None:
+        return None
+    return plan.fire(site, key, kinds)
+
+
+def raise_fault(fault: Optional[FaultRule], site: str) -> None:
+    """Raise :class:`InjectedFault` when ``fault`` is an error fault."""
+    if fault is not None:
+        raise InjectedFault(fault.kind, site)

@@ -33,10 +33,13 @@ import os
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional, Union
 
 from ..numbering.arrays import HAVE_NUMPY
 from .cache import ConstructionCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .chaos import ChaosPlan
 
 __all__ = [
     "BACKENDS",
@@ -101,10 +104,17 @@ class ExecutionContext:
         event loop per shard).  On by default; set ``False`` to force the
         per-scenario path (the cross-checked reference, and the only path
         available when the resolved backend is ``"loop"``).
+    chaos:
+        The active fault-injection schedule
+        (:class:`~repro.runtime.chaos.ChaosPlan`), or ``None`` — the
+        default, under which every named injection point is a no-op.  A
+        spec string (``"worker_crash:0.02,seed=7"``) is parsed on
+        construction.
 
     The dataclass is frozen and picklable: survey workers receive the
     parent's context verbatim (the cache dict rides along as the warm
-    start), and scoped overrides are :func:`dataclasses.replace` copies.
+    start, the chaos plan so workers inject the same seeded schedule), and
+    scoped overrides are :func:`dataclasses.replace` copies.
     """
 
     backend: Backend = "auto"
@@ -112,6 +122,7 @@ class ExecutionContext:
     workers: Optional[int] = None
     shard_size: int = 64
     batch: bool = True
+    chaos: Optional[Union["ChaosPlan", str]] = None
 
     def __post_init__(self) -> None:
         _validate_backend(self.backend)
@@ -119,6 +130,10 @@ class ExecutionContext:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+        if isinstance(self.chaos, str):
+            from .chaos import ChaosPlan
+
+            object.__setattr__(self, "chaos", ChaosPlan.parse(self.chaos))
 
     def resolved_backend(self, override: Optional[Backend] = None) -> Backend:
         """The concrete backend — ``"array"``, ``"loop"`` or ``"compiled"``.

@@ -24,14 +24,22 @@ responses byte-identical to the per-request reference path.
     ``repro invoke``.
 """
 
-from .client import ServiceClient, ServiceError
+from .client import DEFAULT_RETRY, ServiceClient, ServiceError
 from .coalescer import CoalescerClosed, RequestCoalescer
 from .protocol import OPS, ProtocolError, ServiceRequest, parse_graph_spec
-from .server import DEFAULT_PORT, ReproService, ServiceHTTPServer, serve
+from .server import (
+    DEFAULT_PORT,
+    ReproService,
+    ServiceHTTPServer,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+    serve,
+)
 
 __all__ = [
     "OPS",
     "DEFAULT_PORT",
+    "DEFAULT_RETRY",
     "CoalescerClosed",
     "ProtocolError",
     "RequestCoalescer",
@@ -39,7 +47,9 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceHTTPServer",
+    "ServiceOverloadedError",
     "ServiceRequest",
+    "ServiceTimeoutError",
     "parse_graph_spec",
     "serve",
 ]

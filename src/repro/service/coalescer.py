@@ -84,6 +84,8 @@ class RequestCoalescer:
         self._evaluate_batch = evaluate_batch
         self._closed = threading.Event()
         self._lock = threading.Lock()
+        self._outstanding_lock = threading.Lock()
+        self._outstanding: set = set()
         self.batches = 0
         self.coalesced_batches = 0
         self.max_batch_size = 0
@@ -178,6 +180,9 @@ class RequestCoalescer:
         if self._closed.is_set():
             raise CoalescerClosed("the coalescer is closed")
         item = _Pending(request)
+        with self._outstanding_lock:
+            self._outstanding.add(item)
+        item.future.add_done_callback(lambda _future: self._forget(item))
 
         def _enqueue() -> None:
             assert self._queue is not None
@@ -189,8 +194,39 @@ class RequestCoalescer:
                 return
             self._queue.put_nowait(item)
 
-        self._loop.call_soon_threadsafe(_enqueue)
+        try:
+            self._loop.call_soon_threadsafe(_enqueue)
+        except RuntimeError as error:
+            # The event loop already stopped (a crashed or closed coalescer
+            # losing a race with submit): fail the future instead of
+            # leaving a caller blocked on it forever.
+            if not item.future.done():
+                item.future.set_exception(
+                    CoalescerClosed(f"the coalescer event loop is gone: {error}")
+                )
         return item.future
+
+    def _forget(self, item: _Pending) -> None:
+        with self._outstanding_lock:
+            self._outstanding.discard(item)
+
+    def pending_count(self) -> int:
+        """Requests submitted but not yet resolved (admission-control input)."""
+        with self._outstanding_lock:
+            return len(self._outstanding)
+
+    def is_alive(self) -> bool:
+        """Can this coalescer still make progress on submitted requests?
+
+        False once closed, once the loop thread has died, or once the
+        collector task has finished (a crash in :meth:`_collect` leaves the
+        loop spinning but nothing consuming the queue) — the signal the
+        service watchdog polls to decide a restart is due.
+        """
+        if self._closed.is_set() or not self._thread.is_alive():
+            return False
+        collector = self._collector
+        return collector is None or not collector.done()
 
     def batch_stats(self) -> Dict[str, object]:
         """Counters of the batches formed so far (thread-safe snapshot)."""
@@ -208,7 +244,14 @@ class RequestCoalescer:
             }
 
     def close(self, timeout: float = 10.0) -> None:
-        """Stop collecting, fail queued requests, finish the in-flight batch."""
+        """Stop collecting, fail queued requests, finish the in-flight batch.
+
+        Bounded: if the loop thread does not exit within ``timeout`` (a
+        wedged evaluator holding the in-flight batch), every request still
+        pending fails with :class:`CoalescerClosed` instead of blocking its
+        caller forever, and the evaluator thread is abandoned rather than
+        joined.
+        """
         if self._closed.is_set():
             return
         self._closed.set()
@@ -224,9 +267,29 @@ class RequestCoalescer:
                     )
             self._loop.call_soon(self._loop.stop)
 
-        self._loop.call_soon_threadsafe(_shutdown)
+        deadline = time.monotonic() + timeout
+        try:
+            self._loop.call_soon_threadsafe(_shutdown)
+        except RuntimeError:
+            pass  # loop already stopped (crashed thread): sweep below
         self._thread.join(timeout)
-        self._executor.shutdown(wait=True)
+        # Bounded wait for the in-flight batch: the evaluator resolves the
+        # outstanding futures when it finishes; a wedged one never does.
+        while self.pending_count() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        wedged = self._thread.is_alive() or self.pending_count() > 0
+        # A wedged evaluator cannot be interrupted; don't join it.
+        self._executor.shutdown(wait=not wedged)
+        with self._outstanding_lock:
+            stranded = list(self._outstanding)
+        for item in stranded:
+            if not item.future.done():
+                item.future.set_exception(
+                    CoalescerClosed(
+                        "the coalescer closed before this request completed"
+                        + (" (evaluation thread is wedged)" if wedged else "")
+                    )
+                )
 
     def __enter__(self) -> "RequestCoalescer":
         return self

@@ -27,6 +27,17 @@ The HTTP front end is deliberately stdlib-only
 (:class:`http.server.ThreadingHTTPServer`): handler threads block on the
 coalescer future while the event loop gathers their batch.
 
+Failure plane (PR 10): requests carry a per-request deadline
+(:class:`ServiceTimeoutError` → HTTP 504), admission is bounded —
+beyond ``max_pending`` outstanding requests the service sheds with
+:class:`ServiceOverloadedError` → HTTP 503 + ``Retry-After`` — a watchdog
+thread replaces a dead coalescer (counted in ``coalescer_restarts``), and
+SIGTERM triggers a graceful drain: new work gets 503, in-flight batches
+finish, the cache snapshots once more.  The ``service.handle`` chaos site
+(:func:`repro.runtime.chaos.inject`) lets a seeded
+:class:`~repro.runtime.chaos.ChaosPlan` exercise all of it on demand;
+``GET /stats`` exposes the recovery counters.
+
 Endpoints::
 
     POST /embed     {"guest": "torus:4,6", "host": "mesh:2,2,2,3", ...}
@@ -42,20 +53,45 @@ import json
 import threading
 import time
 from collections import deque
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..runtime.cache import ConstructionCache
+from ..runtime.chaos import chaos_counters, raise_fault
 from ..runtime.context import ExecutionContext, use_context
 from ..survey.runner import SurveyOptions, evaluate_shard
 from ..survey.store import SurveyRecord
 from .coalescer import RequestCoalescer
 from .protocol import ProtocolError, ServiceRequest
 
-__all__ = ["DEFAULT_PORT", "ReproService", "ServiceHTTPServer", "serve"]
+__all__ = [
+    "DEFAULT_PORT",
+    "ReproService",
+    "ServiceHTTPServer",
+    "ServiceOverloadedError",
+    "ServiceTimeoutError",
+    "serve",
+]
 
 #: Default TCP port of ``repro serve`` (and of the client SDK).
 DEFAULT_PORT = 8642
+
+
+class ServiceOverloadedError(RuntimeError):
+    """The admission queue is full (or the service is draining); retry later.
+
+    Mapped to HTTP 503 with a ``Retry-After`` header by the front end, which
+    is what the client SDK's backoff keys on.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.5):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceTimeoutError(RuntimeError):
+    """A request missed its per-request deadline; mapped to HTTP 504."""
 
 
 def _quantile(sorted_values: Sequence[float], q: float) -> float:
@@ -74,6 +110,8 @@ class ServiceStats:
         self.started_at = time.time()
         self.requests = 0
         self.failures = 0  # futures that resolved with an exception
+        self.shed = 0  # admission-control rejections (503)
+        self.timeouts = 0  # per-request deadline misses (504)
         self._latencies: deque = deque(maxlen=latency_window)
 
     def observe_request(self, seconds: float, failed: bool = False) -> None:
@@ -84,6 +122,14 @@ class ServiceStats:
             else:
                 self._latencies.append(seconds)
 
+    def observe_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def observe_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             latencies = sorted(self._latencies)
@@ -91,6 +137,8 @@ class ServiceStats:
                 "uptime_seconds": round(time.time() - self.started_at, 3),
                 "requests": self.requests,
                 "failures": self.failures,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
                 "latency_ms": {
                     "count": len(latencies),
                     "p50": round(_quantile(latencies, 0.50) * 1e3, 3),
@@ -119,6 +167,21 @@ class ReproService:
     snapshot_interval:
         Minimum seconds between periodic cache snapshots (``cache_path``
         only); ``0`` snapshots after every batch.
+    max_pending:
+        Admission-queue bound: requests arriving while this many are already
+        outstanding are shed with :class:`ServiceOverloadedError` (HTTP 503
+        + ``Retry-After``) instead of growing an unbounded backlog.
+    request_timeout:
+        Per-request deadline in seconds for :meth:`handle`; ``None`` waits
+        forever (the pre-chaos behaviour).
+    chaos:
+        A chaos spec string or :class:`~repro.runtime.chaos.ChaosPlan` for
+        the resident context — arms the ``service.handle`` and
+        ``store.write`` injection points.
+    watchdog_interval:
+        Seconds between liveness checks of the coalescer thread; a dead
+        coalescer (crashed collector task or loop thread) is replaced and
+        counted in ``coalescer_restarts``.  ``0`` disables the watchdog.
     """
 
     def __init__(
@@ -130,6 +193,10 @@ class ReproService:
         window: float = 0.005,
         max_batch: int = 256,
         snapshot_interval: float = 30.0,
+        max_pending: int = 1024,
+        request_timeout: Optional[float] = 30.0,
+        chaos=None,
+        watchdog_interval: float = 0.5,
     ):
         if cache is None:
             cache = (
@@ -137,24 +204,76 @@ class ReproService:
                 if cache_path is not None
                 else ConstructionCache()
             )
-        self.context = ExecutionContext(backend=backend, cache=cache, batch=True)
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.context = ExecutionContext(
+            backend=backend, cache=cache, batch=True, chaos=chaos
+        )
         self.cache_path = cache_path
         self.snapshot_interval = snapshot_interval
+        self.max_pending = max_pending
+        self.request_timeout = request_timeout
         self._last_snapshot = time.monotonic()
         self._snapshotted_entries = len(cache)
         self.stats = ServiceStats()
+        self._coalescer_kwargs = {"window": window, "max_batch": max_batch}
+        self._coalescer_lock = threading.Lock()
         self.coalescer = RequestCoalescer(
-            self._evaluate_batch, window=window, max_batch=max_batch
+            self._evaluate_batch, **self._coalescer_kwargs
         )
+        self.coalescer_restarts = 0
         self._closed = False
+        self._draining = False
+        self._chaos_baseline = chaos_counters()
+        self._watchdog: Optional[threading.Thread] = None
+        if watchdog_interval > 0:
+            self._watchdog_interval = watchdog_interval
+            self._watchdog = threading.Thread(
+                target=self._watch_coalescer,
+                name="repro-service-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
 
     # ------------------------------------------------------------------ #
     # Request path
     # ------------------------------------------------------------------ #
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` ran — new work is being refused."""
+        return self._draining
+
     def submit(self, request: ServiceRequest):
-        """Enqueue a request; the future resolves to ``(record, batch_size)``."""
+        """Enqueue a request; the future resolves to ``(record, batch_size)``.
+
+        Front door of the recovery plane: refuses work while draining,
+        sheds when the admission queue is full, and carries the
+        ``service.handle`` chaos injection point (a ``request_error`` fault
+        fails the request exactly as an evaluator bug would; ``slow_io``
+        stretches it).
+        """
+        if self._draining or self._closed:
+            raise ServiceOverloadedError(
+                "the service is draining and accepts no new requests",
+                retry_after=1.0,
+            )
+        coalescer = self.coalescer
+        if coalescer.pending_count() >= self.max_pending:
+            self.stats.observe_shed()
+            raise ServiceOverloadedError(
+                f"admission queue is full ({self.max_pending} requests pending)",
+                retry_after=0.5,
+            )
+        # The plan lives on the *resident* context (handler threads never
+        # enter use_context), so fire it directly rather than via inject().
+        plan = self.context.chaos
+        if plan is not None:
+            raise_fault(
+                plan.fire("service.handle", kinds=("request_error", "slow_io")),
+                "service.handle",
+            )
         started = time.perf_counter()
-        future = self.coalescer.submit(request)
+        future = coalescer.submit(request)
 
         def _observe(done) -> None:
             self.stats.observe_request(
@@ -164,9 +283,50 @@ class ReproService:
         future.add_done_callback(_observe)
         return future
 
-    def handle(self, request: ServiceRequest) -> Tuple[SurveyRecord, int]:
-        """Blocking :meth:`submit` — the HTTP handler's code path."""
-        return self.submit(request).result()
+    def handle(
+        self, request: ServiceRequest, timeout: Optional[float] = None
+    ) -> Tuple[SurveyRecord, int]:
+        """Blocking :meth:`submit` with a per-request deadline.
+
+        ``timeout`` overrides the service-wide ``request_timeout``; a miss
+        raises :class:`ServiceTimeoutError` (HTTP 504) and is counted in
+        the ``timeouts`` stat.  The batch itself keeps evaluating — the
+        deadline bounds the *caller's* wait, it cannot interrupt the
+        evaluator mid-kernel.
+        """
+        deadline = timeout if timeout is not None else self.request_timeout
+        future = self.submit(request)
+        try:
+            return future.result(timeout=deadline)
+        except FutureTimeoutError:
+            self.stats.observe_timeout()
+            raise ServiceTimeoutError(
+                f"request missed its {deadline:g}s deadline"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # Watchdog
+    # ------------------------------------------------------------------ #
+    def _watch_coalescer(self) -> None:
+        """Replace a dead coalescer (crashed loop/collector) with a fresh one."""
+        while not self._closed:
+            time.sleep(self._watchdog_interval)
+            if self._closed or self._draining:
+                continue
+            suspect = self.coalescer
+            if suspect.is_alive():
+                continue
+            with self._coalescer_lock:
+                if self._closed or self.coalescer is not suspect:
+                    continue
+                self.coalescer = RequestCoalescer(
+                    self._evaluate_batch, **self._coalescer_kwargs
+                )
+                self.coalescer_restarts += 1
+            # Fail whatever the dead coalescer stranded; callers see a
+            # CoalescerClosed error and the client SDK retries against the
+            # replacement.
+            suspect.close(timeout=1.0)
 
     def _evaluate_batch(
         self, requests: Sequence[ServiceRequest]
@@ -197,7 +357,10 @@ class ReproService:
                 shard_records = evaluate_shard(scenarios, options)
             for index, record in zip(positions, shard_records):
                 records[index] = record
-        self._maybe_snapshot()
+        # Snapshot under the resident context too, so a chaos plan's
+        # store.write faults exercise the snapshot path.
+        with use_context(self.context):
+            self._maybe_snapshot()
         return [(record, len(requests)) for record in records]
 
     # ------------------------------------------------------------------ #
@@ -239,14 +402,42 @@ class ReproService:
             "misses": cache.misses if cache is not None else 0,
             "path": self.cache_path,
         }
+        chaos_faults = {
+            label: count - self._chaos_baseline.get(label, 0)
+            for label, count in chaos_counters().items()
+            if count - self._chaos_baseline.get(label, 0)
+        }
+        document["recovery"] = {
+            "shed": self.stats.shed,
+            "timeouts": self.stats.timeouts,
+            "coalescer_restarts": self.coalescer_restarts,
+            "pending": self.coalescer.pending_count(),
+            "max_pending": self.max_pending,
+            "draining": self._draining,
+            "chaos": self.context.chaos.token if self.context.chaos else None,
+            "chaos_faults": chaos_faults,
+        }
         return document
 
+    def begin_drain(self) -> None:
+        """Refuse new requests (503 + ``Retry-After``); in-flight ones finish.
+
+        First half of the graceful-shutdown handshake: the SIGTERM handler
+        calls this, lets the HTTP server stop accepting, then calls
+        :meth:`close` — which waits for the in-flight batch and snapshots
+        the cache.
+        """
+        self._draining = True
+
     def close(self) -> None:
-        """Stop the coalescer and take a final cache snapshot."""
+        """Drain, stop the coalescer and take a final cache snapshot."""
         if self._closed:
             return
+        self._draining = True
         self._closed = True
-        self.coalescer.close()
+        with self._coalescer_lock:
+            coalescer = self.coalescer
+        coalescer.close()
         self._maybe_snapshot(force=True)
 
     def __enter__(self) -> "ReproService":
@@ -278,17 +469,31 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         if self.path == "/health":
-            self._send_json(200, {"ok": True, "status": "serving"})
+            if self.server.service.draining:
+                self._send_json(
+                    503,
+                    {"ok": False, "status": "draining"},
+                    headers={"Retry-After": "1"},
+                )
+            else:
+                self._send_json(200, {"ok": True, "status": "serving"})
         elif self.path == "/stats":
             self._send_json(
                 200, {"ok": True, "stats": self.server.service.stats_snapshot()}
@@ -311,6 +516,16 @@ class _RequestHandler(BaseHTTPRequestHandler):
             return
         try:
             record, batch_size = self.server.service.handle(request)
+        except ServiceOverloadedError as error:
+            self._send_json(
+                503,
+                {"ok": False, "error": str(error)},
+                headers={"Retry-After": f"{error.retry_after:g}"},
+            )
+            return
+        except ServiceTimeoutError as error:
+            self._send_json(504, {"ok": False, "error": str(error)})
+            return
         except Exception as error:  # noqa: BLE001 - surface, don't kill the thread
             self._send_json(
                 500, {"ok": False, "error": f"{type(error).__name__}: {error}"}

@@ -19,13 +19,33 @@ back so the parent's cache keeps growing across shards and invocations.
 
 ``workers <= 1`` (or a single shard) runs inline in the calling process —
 the mode used by tests and ``repro survey --smoke``.
+
+**Failure model.**  A shard attempt that raises (a crashed worker, a torn
+shard write, an injected chaos fault) is retried with capped exponential
+backoff and deterministic jitter (:class:`~repro.utils.backoff.BackoffPolicy`)
+up to ``SurveyOptions.max_shard_attempts``; a shard that keeps failing is
+*quarantined* — its scenarios are recorded with status ``"failed"`` and the
+sweep keeps going.  A worker process dying outright (``os._exit``, OOM,
+SIGKILL) breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`;
+the runner respawns the pool and resubmits **only the unfinished shards**
+(the same frontier crash-resume uses), charging one attempt to each shard
+that was in flight when the pool broke.  ``SurveyOptions.shard_timeout``
+adds a per-shard deadline: a shard still running past it is treated like a
+crash (pool recycled, attempt charged).  All recovery traffic — retries,
+pool respawns, quarantines, injected faults — is reported on
+:class:`SurveyReport`.  The chaos plane (:mod:`repro.runtime.chaos`)
+injects ``worker_crash``/``slow_io`` faults at the ``survey.shard`` site,
+keyed by ``(shard, attempt)`` so a seeded schedule replays identically and
+the retry of a crashed shard draws a fresh decision.
 """
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -35,6 +55,12 @@ from ..analysis.metrics import evaluate_embedding
 from ..core.dispatch import embed
 from ..exceptions import UnsupportedEmbeddingError
 from ..netsim import HostNetwork, simulate_phase, traffic_pattern
+from ..runtime.chaos import (
+    InjectedFault,
+    chaos_counters,
+    inject,
+    merge_chaos_counters,
+)
 from ..runtime.context import (
     ExecutionContext,
     current,
@@ -42,6 +68,8 @@ from ..runtime.context import (
     use_context,
 )
 from ..runtime.registry import build_strategy
+from ..utils.backoff import BackoffPolicy
+from ..utils.rng import SplitMix64
 from .scenarios import Scenario
 from .store import SurveyRecord, read_json, write_json
 
@@ -52,6 +80,13 @@ __all__ = [
     "evaluate_scenario",
     "evaluate_shard",
 ]
+
+#: Default per-shard retry policy: three attempts, 50ms → 2s capped
+#: exponential backoff with half jitter.  One policy instance — the
+#: dataclass is frozen — shared by every :class:`SurveyOptions` default.
+DEFAULT_SHARD_BACKOFF = BackoffPolicy(
+    max_attempts=3, base_delay=0.05, max_delay=2.0, factor=4.0, jitter=0.5
+)
 
 
 @dataclass(frozen=True)
@@ -81,6 +116,15 @@ class SurveyOptions:
         whose records match the shard's scenario ids and these options
         (congestion measured iff requested), the file is loaded instead of
         recomputing the shard — crash resume for long sweeps.
+    retry:
+        The per-shard retry policy: ``retry.max_attempts`` total tries per
+        shard (the quarantine threshold), with the policy's capped jittered
+        exponential backoff between them.
+    shard_timeout:
+        Per-shard deadline in seconds (pooled runs only): a shard still
+        running past it is treated like a worker crash — the pool is
+        recycled, the shard is charged an attempt and retried.  ``None``
+        (the default) disables the deadline.
     """
 
     workers: Optional[int] = None
@@ -89,11 +133,21 @@ class SurveyOptions:
     with_congestion: bool = False
     method: Optional[str] = None  # stays 5th: positional callers predate it
     resume: bool = True
+    retry: BackoffPolicy = DEFAULT_SHARD_BACKOFF
+    shard_timeout: Optional[float] = None
 
 
 @dataclass
 class SurveyReport:
-    """Outcome of :func:`run_survey`: merged records plus run metadata."""
+    """Outcome of :func:`run_survey`: merged records plus run metadata.
+
+    The recovery counters report the run's fault traffic: ``retries`` is
+    every shard attempt after the first, ``crash_recoveries`` every pool
+    respawn after a broken worker (or a shard deadline), ``quarantined``
+    the shards abandoned after exhausting their attempts (their scenarios
+    carry status ``"failed"``), and ``chaos_faults`` the injected-fault
+    tally (``site:kind`` → count) when a chaos plan was active.
+    """
 
     records: List[SurveyRecord]
     elapsed_seconds: float
@@ -101,6 +155,10 @@ class SurveyReport:
     shard_paths: List[str] = field(default_factory=list)
     reused_shard_indices: List[int] = field(default_factory=list)
     cache_entries: int = 0  # memoized constructions in the context cache
+    retries: int = 0
+    crash_recoveries: int = 0
+    quarantined: int = 0
+    chaos_faults: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> List[SurveyRecord]:
@@ -112,7 +170,9 @@ class SurveyReport:
 
     @property
     def failed(self) -> List[SurveyRecord]:
-        return [record for record in self.records if record.status == "error"]
+        """Records that did not produce a measurement: unexpected errors
+        (status ``"error"``) and quarantined scenarios (status ``"failed"``)."""
+        return [record for record in self.records if record.status in ("error", "failed")]
 
     def strategy_histogram(self) -> Dict[str, int]:
         """Measured-record count per strategy name, alphabetically."""
@@ -338,8 +398,16 @@ def _evaluate_scenario(scenario: Scenario, options: SurveyOptions) -> SurveyReco
         )
 
 
+#: True inside a survey pool worker process (set by the pool initializer).
+#: An injected ``worker_crash`` kills the *process* there — the real fault,
+#: exercising ``BrokenProcessPool`` recovery — but only raises inline.
+_IN_POOL_WORKER = False
+
+
 def _install_worker_context(context: ExecutionContext) -> None:
     """Pool initializer: adopt the parent's context (cache = warm start)."""
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
     set_default_context(context)
 
 
@@ -367,15 +435,34 @@ def evaluate_shard(
 
 
 def _run_shard(
-    shard_index: int, scenarios: Sequence[Scenario], options: SurveyOptions
-) -> Tuple[int, List[SurveyRecord], Dict, Tuple[int, int]]:
+    shard_index: int,
+    scenarios: Sequence[Scenario],
+    options: SurveyOptions,
+    attempt: int = 0,
+) -> Tuple[int, List[SurveyRecord], Dict, Tuple[int, int], Dict[str, int]]:
     """Worker entry point: evaluate one shard under the ambient context.
 
     Returns the shard's records plus the construction-cache entries this
     shard added (relative to the shard start), so the parent can merge the
-    delta and keep one growing memo across shards and invocations, and the
-    shard's (hits, misses) so pooled runs report true cache traffic.
+    delta and keep one growing memo across shards and invocations, the
+    shard's (hits, misses) so pooled runs report true cache traffic, and
+    the injected-fault tally delta so chaos counters survive the pool.
+
+    ``attempt`` keys the chaos plane's ``survey.shard`` injection point: a
+    seeded plan decides crash-or-not as a pure function of
+    ``(shard, attempt)``, so the schedule replays identically whatever the
+    pool scheduling, and a retried shard draws a *fresh* decision.
     """
+    fault = inject(
+        "survey.shard",
+        key=("shard", shard_index, attempt),
+        kinds=("worker_crash", "slow_io"),
+    )
+    if fault is not None:
+        if _IN_POOL_WORKER:
+            os._exit(1)  # a real crash: no cleanup, no result, broken pool
+        raise InjectedFault(fault.kind, "survey.shard")
+    chaos_before = chaos_counters()
     cache = current().cache
     records: List[SurveyRecord]
     delta: Dict = {}
@@ -391,7 +478,12 @@ def _run_shard(
     if options.shard_dir is not None:
         shard_path = Path(options.shard_dir) / f"shard-{shard_index:04d}.json"
         write_json(records, shard_path)
-    return shard_index, records, delta, counters
+    chaos_delta = {
+        label: count - chaos_before.get(label, 0)
+        for label, count in chaos_counters().items()
+        if count != chaos_before.get(label, 0)
+    }
+    return shard_index, records, delta, counters, chaos_delta
 
 
 def _shards(scenarios: Sequence[Scenario], shard_size: int) -> List[Sequence[Scenario]]:
@@ -448,6 +540,229 @@ def run_survey(
         return _run_survey(scenarios, options)
 
 
+@dataclass
+class _Recovery:
+    """Mutable recovery tally of one run (folded into the report)."""
+
+    retries: int = 0
+    crash_recoveries: int = 0
+    quarantined: int = 0
+
+
+def _quarantine_records(
+    shard: Sequence[Scenario], error: BaseException
+) -> List[SurveyRecord]:
+    """Status-``"failed"`` records for a shard abandoned after N attempts.
+
+    The identification columns are filled from the scenarios themselves
+    (building the small graph objects is cheap and cannot crash a worker —
+    it runs in the parent); the measurement columns stay ``None``.
+    """
+    message = f"quarantined after repeated shard failures: {type(error).__name__}: {error}"
+    records = []
+    for scenario in shard:
+        try:
+            guest = scenario.guest_graph()
+            host = scenario.host_graph()
+            base = _record_base(scenario, guest, host)
+        except Exception:  # noqa: BLE001 - a poison scenario must still record
+            base = dict(
+                scenario_id=scenario.scenario_id,
+                guest=f"{scenario.guest_kind}:{scenario.guest_shape}",
+                host=f"{scenario.host_kind}:{scenario.host_shape}",
+                nodes=0,
+                guest_edges=0,
+                guest_size=0,
+                faults=scenario.faults or None,
+            )
+        records.append(SurveyRecord(status="failed", error=message, **base))
+    return records
+
+
+def _merge_worker_result(result, results, context) -> None:
+    """Fold one finished shard into the parent: records, cache, chaos tally."""
+    index, records, delta, (hits, misses), chaos_delta = result
+    results[index] = records
+    if context.cache is not None:
+        # Fold the worker's memo traffic back into the parent: new entries
+        # keep the cache growing across shards, and the counters keep
+        # `--cache` reporting truthful.
+        context.cache.merge(delta)
+        context.cache.hits += hits
+        context.cache.misses += misses
+    if chaos_delta:
+        merge_chaos_counters(chaos_delta)
+
+
+def _run_inline(pending, options, results, recovery, rng) -> None:
+    """Sequential path: evaluate shards in-process with the same retry and
+    quarantine semantics as the pooled path (injected crashes raise here)."""
+    for index, shard in pending:
+        attempt = 0
+        while True:
+            try:
+                results[index] = _run_shard(index, shard, options, attempt)[1]
+                break
+            except Exception as error:  # noqa: BLE001 - retry any shard failure
+                attempt += 1
+                if attempt >= options.retry.max_attempts:
+                    recovery.quarantined += 1
+                    results[index] = _quarantine_records(shard, error)
+                    break
+                recovery.retries += 1
+                time.sleep(options.retry.delay(attempt - 1, rng))
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Abandon a pool whose shard blew its deadline: cancel the queue and
+    kill the worker processes (there is no portable way to stop one task)."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 - already-dead workers are fine
+            pass
+
+
+def _run_pooled(pending, options, context, workers, results, recovery, rng) -> None:
+    """Pooled path: one pool per *round*; a broken pool (crashed worker) or
+    a blown shard deadline ends the round, charges an attempt to every
+    shard that was in flight, and the next round resubmits only the
+    unfinished frontier on a fresh pool.  Shards out of attempts are
+    quarantined between rounds; plain (non-crash) shard failures retry
+    within the round after their backoff delay.
+    """
+    queue: Dict[int, Sequence[Scenario]] = dict(pending)
+    attempts: Dict[int, int] = {index: 0 for index, _ in pending}
+    errors: Dict[int, BaseException] = {}
+
+    def _charge(index: int, error: BaseException) -> bool:
+        """One failed attempt; True when the shard is out of attempts."""
+        errors[index] = error
+        attempts[index] += 1
+        return attempts[index] >= options.retry.max_attempts
+
+    while queue:
+        # Quarantine anything out of attempts before spending a fresh pool.
+        for index in [
+            i for i in sorted(queue) if attempts[i] >= options.retry.max_attempts
+        ]:
+            recovery.quarantined += 1
+            results[index] = _quarantine_records(queue.pop(index), errors[index])
+        if not queue:
+            break
+        round_broke = False
+        pool_workers = min(workers, len(queue))
+        with ProcessPoolExecutor(
+            max_workers=pool_workers,
+            initializer=_install_worker_context,
+            initargs=(context,),
+        ) as pool:
+            # Windowed submission: at most `pool_workers` shards in flight,
+            # so every submitted future is (about to be) running — which
+            # makes both the crash blast radius (who gets charged an
+            # attempt) and the per-shard deadline accurate.
+            unsubmitted: List[int] = sorted(queue)
+            futures: Dict[object, int] = {}
+            started_at: Dict[object, float] = {}
+            retry_at: List[Tuple[float, int]] = []  # (due time, shard index)
+
+            def _submit(index: int) -> None:
+                future = pool.submit(
+                    _run_shard, index, queue[index], options, attempts[index]
+                )
+                futures[future] = index
+                started_at[future] = time.monotonic()
+
+            try:
+                while futures or retry_at or unsubmitted:
+                    now = time.monotonic()
+                    while retry_at and retry_at[0][0] <= now:
+                        unsubmitted.append(retry_at.pop(0)[1])
+                    while unsubmitted and len(futures) < pool_workers:
+                        _submit(unsubmitted.pop(0))
+                    if not futures:
+                        # Only backoff timers left: sleep until the next one.
+                        time.sleep(max(0.0, retry_at[0][0] - time.monotonic()))
+                        continue
+                    timeout = 0.05
+                    if options.shard_timeout is not None:
+                        next_deadline = min(started_at.values()) + options.shard_timeout
+                        timeout = min(timeout, max(0.0, next_deadline - now))
+                    done, _ = wait(
+                        futures, timeout=timeout, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        index = futures.pop(future)
+                        started_at.pop(future)
+                        try:
+                            _merge_worker_result(future.result(), results, context)
+                            queue.pop(index, None)
+                        except BrokenProcessPool as error:
+                            # Every in-flight shard is a casualty of the same
+                            # crash; charge them all (the crasher is among
+                            # them, and charging is what guarantees a poison
+                            # shard eventually quarantines) and respawn.
+                            _charge(index, error)
+                            for casualty in futures.values():
+                                _charge(casualty, error)
+                            round_broke = True
+                            break
+                        except Exception as error:  # noqa: BLE001 - shard failure
+                            if _charge(index, error):
+                                recovery.quarantined += 1
+                                results[index] = _quarantine_records(
+                                    queue.pop(index), error
+                                )
+                                continue
+                            recovery.retries += 1
+                            delay = options.retry.delay(attempts[index] - 1, rng)
+                            retry_at.append((time.monotonic() + delay, index))
+                            retry_at.sort()
+                    if round_broke:
+                        recovery.crash_recoveries += 1
+                        break
+                    if options.shard_timeout is not None and futures:
+                        now = time.monotonic()
+                        overdue = [
+                            futures[future]
+                            for future, since in started_at.items()
+                            if now - since > options.shard_timeout
+                        ]
+                        if overdue:
+                            # A wedged shard: there is no way to stop one
+                            # task, so kill the pool, charge every in-flight
+                            # shard and retry the frontier on a fresh pool.
+                            error = TimeoutError(
+                                f"shard exceeded its "
+                                f"{options.shard_timeout:g}s deadline"
+                            )
+                            for index in futures.values():
+                                _charge(index, error)
+                            recovery.crash_recoveries += 1
+                            _terminate_pool(pool)
+                            round_broke = True
+                            break
+            except KeyboardInterrupt:
+                # Ctrl-C mid-sweep: drop the queued shards and stop handing
+                # work to the pool, so the interpreter isn't left waiting on
+                # workers for scenarios nobody will read.  Finished shard
+                # files (if any) make the next run a resume, not a restart.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        if round_broke and queue:
+            retried = [
+                index
+                for index in queue
+                if attempts[index] < options.retry.max_attempts
+            ]
+            if retried:
+                recovery.retries += len(retried)
+                worst = max(attempts[index] for index in retried)
+                time.sleep(options.retry.delay(worst - 1, rng))
+
+
 def _run_survey(scenarios: Sequence[Scenario], options: SurveyOptions) -> SurveyReport:
     context = current()
     scenarios = list(scenarios)
@@ -458,6 +773,11 @@ def _run_survey(scenarios: Sequence[Scenario], options: SurveyOptions) -> Survey
         options.shard_size if options.shard_size is not None else context.shard_size
     )
     started = time.perf_counter()
+    chaos_before = chaos_counters()
+    recovery = _Recovery()
+    # Deterministic backoff jitter: seeded by the chaos plan when present so
+    # a replayed fault schedule replays its recovery delays too.
+    rng = SplitMix64(context.chaos.seed if context.chaos is not None else 0)
     shards = _shards(scenarios, shard_size)
     results: Dict[int, List[SurveyRecord]] = {}
     shard_paths: List[str] = []
@@ -473,42 +793,21 @@ def _run_survey(scenarios: Sequence[Scenario], options: SurveyOptions) -> Survey
     pending = [(index, shard) for index, shard in enumerate(shards) if index not in results]
     if workers <= 1 or len(pending) <= 1:
         workers = 1
-        for index, shard in pending:
-            results[index] = _run_shard(index, shard, options)[1]
+        _run_inline(pending, options, results, recovery, rng)
     else:
         workers = min(workers, len(pending))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_install_worker_context,
-            initargs=(context,),
-        ) as pool:
-            futures = [
-                pool.submit(_run_shard, index, shard, options)
-                for index, shard in pending
-            ]
-            try:
-                for future in as_completed(futures):
-                    index, records, delta, (hits, misses) = future.result()
-                    results[index] = records
-                    if context.cache is not None:
-                        # Fold the worker's memo traffic back into the parent:
-                        # new entries keep the cache growing across shards, and
-                        # the counters keep `--cache` reporting truthful.
-                        context.cache.merge(delta)
-                        context.cache.hits += hits
-                        context.cache.misses += misses
-            except KeyboardInterrupt:
-                # Ctrl-C mid-sweep: drop the queued shards and stop handing
-                # work to the pool, so the interpreter isn't left waiting on
-                # workers for scenarios nobody will read.  Finished shard
-                # files (if any) make the next run a resume, not a restart.
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
+        _run_pooled(pending, options, context, workers, results, recovery, rng)
     if options.shard_dir is not None:
         shard_paths = [
             str(Path(options.shard_dir) / f"shard-{index:04d}.json")
             for index in sorted(results)
         ]
+    chaos_after = chaos_counters()
+    chaos_faults = {
+        label: count - chaos_before.get(label, 0)
+        for label, count in chaos_after.items()
+        if count != chaos_before.get(label, 0)
+    }
     merged: List[SurveyRecord] = []
     for index in sorted(results):
         merged.extend(results[index])
@@ -521,4 +820,8 @@ def _run_survey(scenarios: Sequence[Scenario], options: SurveyOptions) -> Survey
         cache_entries=(
             context.cache.construction_count if context.cache is not None else 0
         ),
+        retries=recovery.retries,
+        crash_recoveries=recovery.crash_recoveries,
+        quarantined=recovery.quarantined,
+        chaos_faults=chaos_faults,
     )

@@ -13,7 +13,16 @@ filesystem, so the final rename cannot degrade to a copy) and moved over
 the destination with :func:`os.replace` — atomic on POSIX and Windows —
 only after the handle has been flushed and closed.  A crash at any earlier
 point leaves the previous file intact and at worst a stray ``*.tmp``
-sibling, never a half-written artifact.
+sibling, never a half-written artifact.  After the replace the containing
+*directory* is fsynced too: the rename itself lives in the directory
+inode, and a power cut right after a snapshot could otherwise silently
+undo it (the classic "rename then lose the rename" crash window).
+
+The write path carries the chaos plane's ``store.write`` injection point:
+under an active :class:`~repro.runtime.chaos.ChaosPlan`, a ``torn_write``
+fault aborts the write after the payload hit the temp file but *before*
+the rename — exactly the crash the machinery defends against — and a
+``slow_io`` fault stretches the write.  Both are no-ops without a plan.
 """
 
 from __future__ import annotations
@@ -43,6 +52,10 @@ def atomic_write(
     If the body raises, the temp file is removed and the destination is
     left exactly as it was.
     """
+    # Imported here, not at module level: the runtime's cache persists
+    # through this writer, so a top-level import would be circular.
+    from ..runtime.chaos import inject, raise_fault
+
     if mode not in ("w", "wb"):
         raise ValueError(f"atomic_write mode must be 'w' or 'wb', got {mode!r}")
     path = Path(path)
@@ -61,10 +74,38 @@ def atomic_write(
             os.fsync(handle.fileno())
         finally:
             handle.close()
+        # The payload is safely in the temp file; a torn_write fault models
+        # the process dying in exactly this window — before the rename.
+        raise_fault(
+            inject("store.write", kinds=("torn_write", "slow_io")), "store.write"
+        )
         os.replace(temp_name, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(temp_name)
         except OSError:
             pass
         raise
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a rename to disk: fsync the directory that recorded it.
+
+    ``os.replace`` makes the swap atomic against concurrent *readers*, but
+    the new directory entry still lives in the page cache until the
+    directory inode is synced — a crash in that window can resurrect the
+    old file with the new one already gone.  Best-effort: directories are
+    not fsync-able on some platforms (notably Windows), where the historic
+    behaviour is kept.
+    """
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)

@@ -1,0 +1,142 @@
+"""Capped exponential backoff with deterministic jitter, plus a breaker.
+
+One retry policy for every recovery loop in the system: the survey runner's
+per-shard retries, the service client's request retries and its
+``wait_until_ready`` readiness probe all share :class:`BackoffPolicy`, so
+"how do we wait between attempts" has exactly one answer (capped exponential
+growth with full jitter — the classic AWS architecture-blog scheme) instead
+of one hand-rolled loop per call site.
+
+Jitter is drawn from :class:`~repro.utils.rng.SplitMix64`, the repo's one
+PRNG, so a seeded chaos run replays not just the same fault schedule but
+the same recovery delays.
+
+:class:`CircuitBreaker` is the minimal three-state breaker (closed →
+open → half-open) the service client puts in front of its retry loop: after
+``failure_threshold`` consecutive failures the breaker opens and calls fail
+fast for ``reset_timeout`` seconds; the first call after the timeout is the
+half-open probe that closes the breaker again on success.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .rng import SplitMix64
+
+__all__ = ["BackoffPolicy", "CircuitBreaker", "CircuitOpenError"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with full jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (so ``3`` means two retries).
+    base_delay:
+        Seconds before the first retry (the exponential's starting rung).
+    max_delay:
+        Cap on any single delay.
+    factor:
+        Exponential growth factor between rungs.
+    jitter:
+        Fraction of each rung drawn uniformly at random: the actual delay
+        is ``rung * (1 - jitter) + rung * jitter * u`` with ``u ~ U[0, 1)``.
+        ``0`` disables jitter (exact rungs, useful in tests); ``1`` is full
+        jitter over ``(0, rung]``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    factor: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: Optional[SplitMix64] = None) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based).
+
+        ``attempt=0`` is the delay after the *first* failure.  Deterministic
+        given ``rng``; without one the jitter midpoint is used (so callers
+        that don't care about determinism still spread out).
+        """
+        rung = min(self.max_delay, self.base_delay * (self.factor**attempt))
+        if self.jitter == 0.0:
+            return rung
+        fraction = rng.random() if rng is not None else 0.5
+        return rung * (1.0 - self.jitter) + rung * self.jitter * fraction
+
+    def delays(self, seed: int = 0) -> Iterator[float]:
+        """The policy's full jittered delay schedule (``max_attempts - 1``
+        entries), deterministic for a given ``seed``."""
+        rng = SplitMix64(seed)
+        for attempt in range(self.max_attempts - 1):
+            yield self.delay(attempt, rng)
+
+
+class CircuitOpenError(RuntimeError):
+    """Raised when a call is refused because the circuit breaker is open."""
+
+
+class CircuitBreaker:
+    """Minimal consecutive-failure circuit breaker (closed/open/half-open).
+
+    Not thread-safe by design: the service client that owns one is itself
+    single-threaded per instance (one connection, one breaker).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.reset_timeout:
+            return "half-open"
+        return "open"
+
+    def before_call(self) -> None:
+        """Gate a call: raises :class:`CircuitOpenError` while open."""
+        if self.state == "open":
+            remaining = self.reset_timeout - (self._clock() - self._opened_at)
+            raise CircuitOpenError(
+                f"circuit breaker is open after "
+                f"{self._consecutive_failures} consecutive failures; "
+                f"retry in {max(0.0, remaining):.2f}s"
+            )
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._opened_at = self._clock()

@@ -1,0 +1,89 @@
+"""Deterministic pure-Python PRNG shared across subsystems.
+
+The optimizer's differential contract (array engine vs loop reference,
+bit-for-bit under a fixed seed) rules out both ``random.Random`` (whose
+Mersenne state is awkward to reason about across draws of different kinds)
+and NumPy generators (unavailable to the loop engine).  SplitMix64 is a
+64-bit mixing PRNG small enough to restate exactly: both engines share one
+instance driven from the *shared* search driver, so the stream of move
+parameters and acceptance draws is identical by construction.
+
+The chaos plane (:mod:`repro.runtime.chaos`) and the retry/backoff policy
+(:mod:`repro.utils.backoff`) reuse the same mixer, so a seeded fault
+schedule and its jittered recovery delays replay identically run to run.
+
+Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+generators" (OOPSLA 2014) — the same mixer Java's ``SplittableRandom`` and
+NumPy's ``SeedSequence`` build on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SplitMix64", "splitmix64_mix", "stable_text_hash"]
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+
+def splitmix64_mix(value: int) -> int:
+    """One stateless SplitMix64 finalizer pass over a 64-bit word.
+
+    Used wherever a *keyed* deterministic decision is needed (the chaos
+    plane hashes ``(seed, site, key)`` into one word and mixes it) without
+    maintaining stream state.
+    """
+    z = (value + _GOLDEN_GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def stable_text_hash(text: str) -> int:
+    """FNV-1a 64-bit hash of ``text`` — stable across processes and runs.
+
+    Python's builtin ``hash`` of strings is salted per process
+    (``PYTHONHASHSEED``), so it cannot key a fault schedule that must
+    replay identically in every survey worker.
+    """
+    value = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        value = ((value ^ byte) * 0x100000001B3) & _MASK64
+    return value
+
+
+class SplitMix64:
+    """SplitMix64: 64-bit state, one add + two xor-shift-multiply mixes."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int):
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """The next raw 64-bit output word."""
+        self._state = (self._state + _GOLDEN_GAMMA) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def randrange(self, n: int) -> int:
+        """A draw from ``range(n)``.
+
+        Plain modulo reduction: the ~2**-64 bias is irrelevant for a search
+        heuristic, and avoiding rejection sampling keeps the number of raw
+        draws per move fixed — one — which makes the stream easy to audit.
+        """
+        if n <= 0:
+            raise ValueError("randrange() bound must be positive")
+        return self.next_u64() % n
+
+    def random(self) -> float:
+        """A float in ``[0, 1)`` with 53 random bits (the IEEE mantissa)."""
+        return (self.next_u64() >> 11) * (2.0**-53)
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates using :meth:`randrange` (deterministic)."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randrange(i + 1)
+            items[i], items[j] = items[j], items[i]

@@ -365,7 +365,9 @@ class TestServeDaemon:
             if process.poll() is None:
                 process.kill()
                 process.wait()
-        assert "shutting down" in process.stdout.read()
+        output = process.stdout.read()
+        assert "draining" in output
+        assert "shutdown complete" in output
         assert ConstructionCache.load(cache).construction_count >= 1
 
 

@@ -209,3 +209,34 @@ class TestKeyboardInterrupt:
         code = main(["survey", "--suite", "smoke", "--out", str(tmp_path / "o.json")])
         assert code == 130
         assert "interrupted" in capsys.readouterr().err
+
+
+class TestChaosTornWrite:
+    """The chaos plane's torn_write fault flows through every store writer."""
+
+    def test_injected_torn_write_preserves_previous_document(self, tmp_path):
+        from repro.runtime import use_context
+        from repro.runtime.chaos import InjectedFault
+
+        target = tmp_path / "results.json"
+        write_json([make_record()], target)
+        before = target.read_bytes()
+        with use_context(chaos="torn_write:1.0,seed=3"):
+            with pytest.raises(InjectedFault, match="torn_write"):
+                write_json([make_record(dilation=9)], target)
+        assert target.read_bytes() == before  # the rename never happened
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_injected_torn_write_on_cache_snapshot_keeps_old_pickle(self, tmp_path):
+        from repro.runtime import use_context
+        from repro.runtime.chaos import InjectedFault
+
+        path = tmp_path / "cache.pkl"
+        cache = ConstructionCache()
+        cache.save(path)
+        before = path.read_bytes()
+        with use_context(chaos="torn_write:1.0,seed=3"):
+            with pytest.raises(InjectedFault, match="torn_write"):
+                cache.save(path)
+        assert path.read_bytes() == before
+        ConstructionCache.load(path)  # still a loadable pickle
